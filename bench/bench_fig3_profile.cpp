@@ -1,0 +1,69 @@
+// Figure 3 reproduction: Dolan–Moré performance profile of the four
+// factorization methods over the 21-matrix set — RLC and RLBC (CPU-only)
+// vs RLG and RLBG (GPU-accelerated).
+//
+// Expected shape: RLG dominates (except the one matrix it cannot factor,
+// which caps its curve below 1.0), RLBG close behind, both far above the
+// CPU-only curves — exactly the paper's reading of its Figure 3.
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace spchol;
+using namespace spchol::bench;
+
+int main() {
+  const auto set = bench_set();
+  const char* names[4] = {"RLC", "RLBC", "RLG", "RLBG"};
+  std::vector<std::vector<double>> times(4);
+
+  std::printf("Figure 3: performance profile inputs\n");
+  print_rule('=');
+  std::printf("%-17s %10s %10s %10s %10s\n", "matrix", names[0], names[1],
+              names[2], names[3]);
+  print_rule();
+  for (const DatasetEntry* e : set) {
+    const PreparedMatrix m = prepare(*e);
+    FactorOptions cpu;
+    cpu.exec = Execution::kCpuParallel;
+    cpu.method = Method::kRL;
+    const double rlc = run_factor(m, cpu).seconds;
+    cpu.method = Method::kRLB;
+    const double rlbc = run_factor(m, cpu).seconds;
+    const RunResult rlg =
+        run_factor(m, gpu_options(Method::kRL, RlbVariant::kStreamed));
+    const RunResult rlbg =
+        run_factor(m, gpu_options(Method::kRLB, RlbVariant::kStreamed));
+    times[0].push_back(rlc);
+    times[1].push_back(rlbc);
+    times[2].push_back(rlg.seconds);
+    times[3].push_back(rlbg.seconds);
+    auto fmt = [](double t) { return std::isfinite(t) ? t : -1.0; };
+    std::printf("%-17s %10.4f %10.4f %10.4f %10.4f%s\n", e->name.c_str(),
+                fmt(rlc), fmt(rlbc), fmt(rlg.seconds), fmt(rlbg.seconds),
+                rlg.out_of_memory ? "   (RLG: OOM)" : "");
+  }
+
+  const auto taus = tau_grid(2.0, 21);
+  const PerformanceProfile p = performance_profile(times, taus);
+  std::printf("\nP(log2(r) <= tau) per method:\n");
+  print_rule('=');
+  std::printf("%6s", "tau");
+  for (const char* n : names) std::printf(" %8s", n);
+  std::printf("\n");
+  print_rule();
+  for (std::size_t t = 0; t < taus.size(); ++t) {
+    std::printf("%6.2f", taus[t]);
+    for (int mth = 0; mth < 4; ++mth) {
+      std::printf(" %8.3f", p.fraction[mth][t]);
+    }
+    std::printf("\n");
+  }
+  print_rule();
+  std::printf(
+      "expected: RLG first to 1.0 on the matrices it can run (capped below "
+      "1.0 by the nlpkkt120 failure), RLBG close behind, CPU methods need "
+      "much larger tau.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "spchol/support/timer.hpp"
+
+namespace spchol::bench {
+
+PreparedMatrix prepare(const DatasetEntry& entry) {
+  PreparedMatrix m;
+  m.entry = &entry;
+  WallTimer t;
+  m.a = entry.make();
+  const Permutation fill =
+      compute_ordering(m.a, OrderingMethod::kNestedDissection);
+  m.symb = SymbolicFactor::analyze(m.a, fill, AnalyzeOptions{});
+  m.analyze_wall = t.seconds();
+  return m;
+}
+
+std::vector<const DatasetEntry*> bench_set() {
+  std::vector<const DatasetEntry*> set;
+  const bool quick = std::getenv("SPCHOL_BENCH_QUICK") != nullptr;
+  const std::vector<std::string> quick_names = {
+      "CurlCurl_2", "PFlow_742",  "bone010",   "Serena",
+      "Bump_2911",  "nlpkkt120", "Queen_4147"};
+  for (const auto& e : dataset()) {
+    if (quick) {
+      bool keep = false;
+      for (const auto& q : quick_names) keep = keep || q == e.name;
+      if (!keep) continue;
+    }
+    set.push_back(&e);
+  }
+  return set;
+}
+
+RunResult run_factor(const PreparedMatrix& m, const FactorOptions& opts) {
+  RunResult r;
+  try {
+    const CholeskyFactor f = CholeskyFactor::factorize(m.a, m.symb, opts);
+    r.stats = f.stats();
+    r.seconds = r.stats.modeled_seconds;
+  } catch (const gpu::DeviceOutOfMemory&) {
+    r.out_of_memory = true;
+    r.seconds = std::numeric_limits<double>::quiet_NaN();
+  }
+  return r;
+}
+
+double best_cpu_seconds(const PreparedMatrix& m) {
+  FactorOptions o;
+  o.exec = Execution::kCpuParallel;
+  o.method = Method::kRL;
+  const double rl = run_factor(m, o).seconds;
+  o.method = Method::kRLB;
+  const double rlb = run_factor(m, o).seconds;
+  return std::min(rl, rlb);
+}
+
+FactorOptions gpu_options(Method method, RlbVariant variant, Execution exec,
+                          offset_t thr_rl, offset_t thr_rlb) {
+  FactorOptions o;
+  o.method = method;
+  o.exec = exec;
+  o.rlb_variant = variant;
+  o.gpu_threshold_rl = thr_rl;
+  o.gpu_threshold_rlb = thr_rlb;
+  o.device.memory_bytes = kDatasetDeviceBytes;
+  return o;
+}
+
+void print_rule(char c, int width) {
+  for (int i = 0; i < width; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+}  // namespace spchol::bench

@@ -1,0 +1,72 @@
+// Domain example: a 3D Poisson boundary-value problem with a manufactured
+// solution, solved by the full pipeline (nested dissection, supernode
+// merging, partition refinement, RL factorization, triangular solves).
+// Compares the fill-reducing orderings and reports the accuracy of the
+// recovered solution.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "spchol/spchol.hpp"
+#include "spchol/support/timer.hpp"
+
+namespace {
+
+constexpr spchol::index_t kN = 24;  // grid points per side
+
+/// Manufactured interior solution u(x,y,z) = sin(pi x) sin(pi y) sin(pi z).
+double u_exact(spchol::index_t x, spchol::index_t y, spchol::index_t z) {
+  const double h = 1.0 / (kN + 1);
+  return std::sin(M_PI * (x + 1) * h) * std::sin(M_PI * (y + 1) * h) *
+         std::sin(M_PI * (z + 1) * h);
+}
+
+}  // namespace
+
+int main() {
+  using namespace spchol;
+  const CscMatrix a = grid3d_7pt(kN, kN, kN);
+  const index_t n = a.cols();
+  std::printf("3D Poisson, %dx%dx%d grid: n=%d, nnz(lower)=%lld\n", kN, kN,
+              kN, n, static_cast<long long>(a.nnz()));
+
+  // b = A u_exact (so the discrete system's exact solution is u_exact).
+  std::vector<double> u(static_cast<std::size_t>(n));
+  for (index_t z = 0; z < kN; ++z) {
+    for (index_t y = 0; y < kN; ++y) {
+      for (index_t x = 0; x < kN; ++x) {
+        u[x + kN * (y + kN * z)] = u_exact(x, y, z);
+      }
+    }
+  }
+  std::vector<double> b(static_cast<std::size_t>(n));
+  a.sym_lower_matvec(u, b);
+
+  std::printf("\n%-20s %10s %12s %10s %12s %12s\n", "ordering", "nnz(L)",
+              "flops", "supernodes", "factor(s)", "max err");
+  for (const auto om :
+       {OrderingMethod::kNatural, OrderingMethod::kRcm,
+        OrderingMethod::kMinimumDegree, OrderingMethod::kNestedDissection}) {
+    SolverOptions opts;
+    opts.ordering = om;
+    opts.factor.method = Method::kRL;
+    opts.factor.exec = Execution::kCpuParallel;
+    CholeskySolver solver(opts);
+    WallTimer t;
+    solver.factorize(a);
+    const double factor_wall = t.seconds();
+    const auto x = solver.solve(b);
+    double err = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      err = std::max(err, std::abs(x[i] - u[i]));
+    }
+    std::printf("%-20s %9.2fM %12.3e %10d %12.3f %12.3e\n", to_string(om),
+                static_cast<double>(solver.symbolic().factor_nnz()) / 1e6,
+                solver.symbolic().flops(),
+                solver.symbolic().num_supernodes(), factor_wall, err);
+  }
+  std::printf(
+      "\nnested dissection minimizes fill and flops — the reason the paper "
+      "orders with METIS before factorizing.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Tuning example: how the three §III/§IV.A knobs — the CPU/GPU supernode
+// threshold, the supernode-merge growth cap, and partition refinement —
+// shape the modeled factorization time on a user matrix, ending with a
+// recommended configuration (the way the paper arrived at its empirical
+// 600k/750k thresholds and 25% cap).
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+#include "spchol/spchol.hpp"
+
+int main() {
+  using namespace spchol;
+  const CscMatrix a = grid3d_vector(14, 14, 14, 3);
+  std::printf("tuning on a vector-valued 3D problem: n=%d\n\n", a.cols());
+
+  // --- 1) threshold sweep (fixed analysis) -------------------------------
+  const Permutation fill =
+      compute_ordering(a, OrderingMethod::kNestedDissection);
+  const SymbolicFactor symb = SymbolicFactor::analyze(a, fill, {});
+  std::printf("%-22s %12s %12s\n", "GPU threshold", "RL (s)", "RLB (s)");
+  offset_t best_thr = 0;
+  double best_rl = std::numeric_limits<double>::infinity();
+  for (const offset_t thr :
+       {offset_t{0}, offset_t{20'000}, offset_t{60'000}, offset_t{150'000},
+        std::numeric_limits<offset_t>::max()}) {
+    FactorOptions fo;
+    fo.exec = Execution::kGpuHybrid;
+    fo.gpu_threshold_rl = thr;
+    fo.gpu_threshold_rlb = thr;
+    fo.method = Method::kRL;
+    const double rl =
+        CholeskyFactor::factorize(a, symb, fo).stats().modeled_seconds;
+    fo.method = Method::kRLB;
+    const double rlb =
+        CholeskyFactor::factorize(a, symb, fo).stats().modeled_seconds;
+    if (rl < best_rl) {
+      best_rl = rl;
+      best_thr = thr;
+    }
+    if (thr == std::numeric_limits<offset_t>::max()) {
+      std::printf("%-22s %12.4f %12.4f\n", "inf (CPU only)", rl, rlb);
+    } else {
+      std::printf("%-22lld %12.4f %12.4f\n", static_cast<long long>(thr),
+                  rl, rlb);
+    }
+  }
+
+  // --- 2) merge cap + PR -------------------------------------------------
+  std::printf("\n%-10s %4s %12s %10s %12s\n", "merge cap", "PR",
+              "supernodes", "blocks", "RLB time(s)");
+  for (const double cap : {0.0, 0.25, 0.5}) {
+    for (const bool pr : {false, true}) {
+      AnalyzeOptions ao;
+      ao.merge_growth_cap = cap;
+      ao.partition_refinement = pr;
+      const SymbolicFactor sf = SymbolicFactor::analyze(a, fill, ao);
+      FactorOptions fo;
+      fo.method = Method::kRLB;
+      fo.exec = Execution::kCpuParallel;
+      const double t =
+          CholeskyFactor::factorize(a, sf, fo).stats().modeled_seconds;
+      std::printf("%-10.2f %4s %12d %10lld %12.4f\n", cap,
+                  pr ? "on" : "off", sf.num_supernodes(),
+                  static_cast<long long>(sf.total_blocks()), t);
+    }
+  }
+
+  std::printf(
+      "\nrecommendation: RL, GPU threshold %lld, merge cap 0.25, PR on "
+      "(modeled %.4f s)\n",
+      static_cast<long long>(best_thr), best_rl);
+  return 0;
+}

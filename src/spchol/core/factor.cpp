@@ -1,0 +1,334 @@
+#include "spchol/core/factor.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "spchol/core/internal.hpp"
+#include "spchol/core/solver.hpp"
+#include "spchol/matrix/coo.hpp"
+#include "spchol/support/timer.hpp"
+
+namespace spchol {
+
+const char* to_string(Method m) {
+  switch (m) {
+    case Method::kRL:
+      return "RL";
+    case Method::kRLB:
+      return "RLB";
+    case Method::kLeftLooking:
+      return "LL";
+  }
+  return "?";
+}
+
+const char* to_string(Execution e) {
+  switch (e) {
+    case Execution::kCpuSerial:
+      return "cpu-serial";
+    case Execution::kCpuParallel:
+      return "cpu-parallel";
+    case Execution::kGpuHybrid:
+      return "gpu-hybrid";
+    case Execution::kGpuOnly:
+      return "gpu-only";
+  }
+  return "?";
+}
+
+namespace detail {
+
+void cpu_factor_panel(FactorContext& ctx, index_t s) {
+  const index_t w = ctx.symb.sn_width(s);
+  const index_t r = ctx.symb.sn_nrows(s);
+  double* panel = ctx.sn_values(s);
+  try {
+    dense::potrf_lower_parallel(ctx.pool, ctx.real_threads, w, panel, r);
+  } catch (const NotPositiveDefinite& e) {
+    throw NotPositiveDefinite(ctx.symb.sn_begin(s) + e.column());
+  }
+  ctx.account_cpu(dense::flops_potrf(w));
+  if (r > w) {
+    ctx.cpu_trsm(r - w, w, panel, r, panel + w, r);
+  }
+}
+
+double rl_assemble(FactorContext& ctx, index_t s, const double* u) {
+  const SymbolicFactor& symb = ctx.symb;
+  const index_t w = symb.sn_width(s);
+  const index_t below = symb.sn_below(s);
+  if (below == 0) return 0.0;
+  const auto rows = symb.sn_rows(s);
+  const index_t ldu = below;
+  double entries = 0.0;
+
+  // Walk the below-diagonal rows in segments per target supernode; the
+  // relative indices of ALL remaining rows inside the target are produced
+  // by one two-pointer merge per target (they are reused for every column
+  // of the segment).
+  std::vector<index_t> rel(static_cast<std::size_t>(below));
+  index_t b0 = 0;  // below-row cursor
+  while (b0 < below) {
+    const index_t target = symb.col_to_sn(rows[w + b0]);
+    index_t b1 = b0;
+    while (b1 < below && symb.col_to_sn(rows[w + b1]) == target) ++b1;
+    // Relative indices of rows[w+b0 .. end) within the target's row list.
+    const auto trows = symb.sn_rows(target);
+    std::size_t t = 0;
+    for (index_t b = b0; b < below; ++b) {
+      const index_t rr = rows[w + b];
+      while (t < trows.size() && trows[t] < rr) ++t;
+      SPCHOL_CHECK(t < trows.size() && trows[t] == rr,
+                   "update row missing from ancestor structure");
+      rel[b] = static_cast<index_t>(t);
+    }
+    double* tvals = ctx.sn_values(target);
+    const index_t ldt = symb.sn_nrows(target);
+    const index_t tfirst = symb.sn_begin(target);
+    // Columns b in [b0, b1) of the update matrix target supernode `target`;
+    // each column is written by exactly one task (safe to parallelize).
+    parallel_for(
+        ctx.pool, b0, b1, ctx.real_threads,
+        [&](index_t lo, index_t hi) {
+          for (index_t b = lo; b < hi; ++b) {
+            const index_t tcol = rows[w + b] - tfirst;
+            double* tcolp = tvals + static_cast<offset_t>(tcol) * ldt;
+            const double* ucol = u + static_cast<offset_t>(b) * ldu;
+            for (index_t a = b; a < below; ++a) {
+              tcolp[rel[a]] += ucol[a];
+            }
+          }
+        },
+        /*grain=*/1);
+    entries += 0.5 * static_cast<double>(b1 - b0) *
+               static_cast<double>((below - b0) + (below - b1 + 1));
+    b0 = b1;
+  }
+  return entries;
+}
+
+}  // namespace detail
+
+CholeskyFactor CholeskyFactor::factorize(const CscMatrix& a_lower,
+                                         const SymbolicFactor& symb,
+                                         const FactorOptions& opts) {
+  SPCHOL_CHECK(a_lower.square() && a_lower.cols() == symb.n(),
+               "matrix/symbolic dimension mismatch");
+  WallTimer timer;
+  CholeskyFactor f;
+  f.symb_ = std::make_shared<SymbolicFactor>(symb);
+  f.values_.assign(static_cast<std::size_t>(symb.factor_values()), 0.0);
+
+  // Scatter PAPᵀ into the supernode rectangles.
+  const CscMatrix ap = a_lower.permuted_sym_lower(symb.permutation());
+  for (index_t s = 0; s < symb.num_supernodes(); ++s) {
+    const auto rows = symb.sn_rows(s);
+    const index_t r = static_cast<index_t>(rows.size());
+    double* panel = f.values_.data() + symb.sn_values_offset(s);
+    for (index_t j = symb.sn_begin(s); j < symb.sn_end(s); ++j) {
+      const index_t jl = j - symb.sn_begin(s);
+      const auto arows = ap.col_rows(j);
+      const auto avals = ap.col_values(j);
+      std::size_t t = 0;
+      for (std::size_t k = 0; k < arows.size(); ++k) {
+        while (t < rows.size() && rows[t] < arows[k]) ++t;
+        SPCHOL_CHECK(t < rows.size() && rows[t] == arows[k],
+                     "A entry outside the symbolic structure");
+        panel[static_cast<offset_t>(jl) * r + static_cast<index_t>(t)] =
+            avals[k];
+      }
+    }
+  }
+
+  detail::FactorContext ctx(*f.symb_, f.values_, opts);
+  try {
+    switch (opts.method) {
+      case Method::kRL:
+        detail::run_rl(ctx);
+        break;
+      case Method::kRLB:
+        detail::run_rlb(ctx);
+        break;
+      case Method::kLeftLooking:
+        detail::run_left_looking(ctx);
+        break;
+    }
+  } catch (const NotPositiveDefinite& e) {
+    // Report the column in ORIGINAL indices.
+    throw NotPositiveDefinite(symb.permutation().new_to_old(e.column()));
+  }
+  ctx.dev.synchronize();
+
+  FactorStats& st = f.stats_;
+  st.modeled_seconds = ctx.dev.makespan();
+  st.wall_seconds = timer.seconds();
+  st.supernodes_on_gpu = ctx.supernodes_on_gpu;
+  st.total_supernodes = symb.num_supernodes();
+  st.cpu_blas_seconds = ctx.cpu_blas_seconds;
+  st.gpu_kernel_seconds = ctx.dev.stats().kernel_seconds;
+  st.h2d_seconds = ctx.dev.stats().h2d_seconds;
+  st.d2h_seconds = ctx.dev.stats().d2h_seconds;
+  st.assembly_seconds = ctx.assembly_seconds;
+  st.device_peak_bytes = ctx.dev.mem_peak();
+  st.h2d_bytes = ctx.dev.stats().h2d_bytes;
+  st.d2h_bytes = ctx.dev.stats().d2h_bytes;
+  st.num_gpu_kernels = ctx.dev.stats().num_kernels;
+  st.num_cpu_blas_calls = ctx.num_cpu_blas_calls;
+  st.flops = symb.flops();
+  return f;
+}
+
+double CholeskyFactor::entry(index_t i, index_t j) const {
+  SPCHOL_CHECK(i >= 0 && i < symb_->n() && j >= 0 && j < symb_->n(),
+               "entry index out of range");
+  if (i < j) return 0.0;
+  const index_t s = symb_->col_to_sn(j);
+  const index_t pos = symb_->row_position(s, i);
+  if (pos < 0) return 0.0;
+  const offset_t jl = j - symb_->sn_begin(s);
+  return values_[symb_->sn_values_offset(s) + jl * symb_->sn_nrows(s) + pos];
+}
+
+CscMatrix CholeskyFactor::to_csc_lower() const {
+  CooMatrix coo(symb_->n(), symb_->n());
+  for (index_t s = 0; s < symb_->num_supernodes(); ++s) {
+    const auto rows = symb_->sn_rows(s);
+    const index_t r = static_cast<index_t>(rows.size());
+    const double* panel = values_.data() + symb_->sn_values_offset(s);
+    for (index_t jl = 0; jl < symb_->sn_width(s); ++jl) {
+      const index_t j = symb_->sn_begin(s) + jl;
+      for (index_t t = jl; t < r; ++t) {
+        coo.add(rows[t], j, panel[static_cast<offset_t>(jl) * r + t]);
+      }
+    }
+  }
+  return coo.to_csc();
+}
+
+void CholeskyFactor::solve(std::span<const double> b,
+                           std::span<double> x) const {
+  const index_t n = symb_->n();
+  SPCHOL_CHECK(b.size() == static_cast<std::size_t>(n) &&
+                   x.size() == static_cast<std::size_t>(n),
+               "solve vector size mismatch");
+  const Permutation& perm = symb_->permutation();
+  std::vector<double> y(static_cast<std::size_t>(n));
+  for (index_t k = 0; k < n; ++k) y[k] = b[perm.new_to_old(k)];
+
+  // Forward solve L y' = y.
+  for (index_t s = 0; s < symb_->num_supernodes(); ++s) {
+    const auto rows = symb_->sn_rows(s);
+    const index_t w = symb_->sn_width(s);
+    const index_t r = static_cast<index_t>(rows.size());
+    const index_t f = symb_->sn_begin(s);
+    const double* panel = values_.data() + symb_->sn_values_offset(s);
+    for (index_t jl = 0; jl < w; ++jl) {
+      const double* col = panel + static_cast<offset_t>(jl) * r;
+      double v = y[f + jl];
+      v /= col[jl];
+      y[f + jl] = v;
+      for (index_t t = jl + 1; t < w; ++t) y[f + t] -= col[t] * v;
+      for (index_t t = w; t < r; ++t) y[rows[t]] -= col[t] * v;
+    }
+  }
+  // Backward solve Lᵀ x' = y'.
+  for (index_t s = symb_->num_supernodes() - 1; s >= 0; --s) {
+    const auto rows = symb_->sn_rows(s);
+    const index_t w = symb_->sn_width(s);
+    const index_t r = static_cast<index_t>(rows.size());
+    const index_t f = symb_->sn_begin(s);
+    const double* panel = values_.data() + symb_->sn_values_offset(s);
+    for (index_t jl = w - 1; jl >= 0; --jl) {
+      const double* col = panel + static_cast<offset_t>(jl) * r;
+      double v = y[f + jl];
+      for (index_t t = w; t < r; ++t) v -= col[t] * y[rows[t]];
+      for (index_t t = jl + 1; t < w; ++t) v -= col[t] * y[f + t];
+      y[f + jl] = v / col[jl];
+    }
+  }
+  for (index_t k = 0; k < n; ++k) x[perm.new_to_old(k)] = y[k];
+}
+
+void CholeskyFactor::solve_multi(std::span<const double> b,
+                                 std::span<double> x, index_t nrhs) const {
+  const index_t n = symb_->n();
+  SPCHOL_CHECK(nrhs >= 0, "negative nrhs");
+  SPCHOL_CHECK(b.size() == static_cast<std::size_t>(n) * nrhs &&
+                   x.size() == static_cast<std::size_t>(n) * nrhs,
+               "solve_multi size mismatch");
+  const Permutation& perm = symb_->permutation();
+  std::vector<double> y(static_cast<std::size_t>(n) * nrhs);
+  for (index_t q = 0; q < nrhs; ++q) {
+    const double* bq = b.data() + static_cast<std::size_t>(q) * n;
+    double* yq = y.data() + static_cast<std::size_t>(q) * n;
+    for (index_t k = 0; k < n; ++k) yq[k] = bq[perm.new_to_old(k)];
+  }
+  // Forward then backward, panel column reused across all RHS columns.
+  for (index_t s = 0; s < symb_->num_supernodes(); ++s) {
+    const auto rows = symb_->sn_rows(s);
+    const index_t w = symb_->sn_width(s);
+    const index_t r = static_cast<index_t>(rows.size());
+    const index_t f = symb_->sn_begin(s);
+    const double* panel = values_.data() + symb_->sn_values_offset(s);
+    for (index_t jl = 0; jl < w; ++jl) {
+      const double* col = panel + static_cast<offset_t>(jl) * r;
+      for (index_t q = 0; q < nrhs; ++q) {
+        double* yq = y.data() + static_cast<std::size_t>(q) * n;
+        const double v = yq[f + jl] / col[jl];
+        yq[f + jl] = v;
+        for (index_t t = jl + 1; t < w; ++t) yq[f + t] -= col[t] * v;
+        for (index_t t = w; t < r; ++t) yq[rows[t]] -= col[t] * v;
+      }
+    }
+  }
+  for (index_t s = symb_->num_supernodes() - 1; s >= 0; --s) {
+    const auto rows = symb_->sn_rows(s);
+    const index_t w = symb_->sn_width(s);
+    const index_t r = static_cast<index_t>(rows.size());
+    const index_t f = symb_->sn_begin(s);
+    const double* panel = values_.data() + symb_->sn_values_offset(s);
+    for (index_t jl = w - 1; jl >= 0; --jl) {
+      const double* col = panel + static_cast<offset_t>(jl) * r;
+      for (index_t q = 0; q < nrhs; ++q) {
+        double* yq = y.data() + static_cast<std::size_t>(q) * n;
+        double v = yq[f + jl];
+        for (index_t t = w; t < r; ++t) v -= col[t] * yq[rows[t]];
+        for (index_t t = jl + 1; t < w; ++t) v -= col[t] * yq[f + t];
+        yq[f + jl] = v / col[jl];
+      }
+    }
+  }
+  for (index_t q = 0; q < nrhs; ++q) {
+    double* xq = x.data() + static_cast<std::size_t>(q) * n;
+    const double* yq = y.data() + static_cast<std::size_t>(q) * n;
+    for (index_t k = 0; k < n; ++k) xq[perm.new_to_old(k)] = yq[k];
+  }
+}
+
+double CholeskyFactor::solve_refined(const CscMatrix& a_lower,
+                                     std::span<const double> b,
+                                     std::span<double> x,
+                                     int max_iterations) const {
+  const index_t n = symb_->n();
+  SPCHOL_CHECK(a_lower.square() && a_lower.cols() == n,
+               "solve_refined matrix mismatch");
+  solve(b, x);
+  double best = relative_residual(a_lower, x, b);
+  std::vector<double> r(static_cast<std::size_t>(n));
+  std::vector<double> dx(static_cast<std::size_t>(n));
+  std::vector<double> ax(static_cast<std::size_t>(n));
+  for (int it = 0; it < max_iterations; ++it) {
+    a_lower.sym_lower_matvec(x, ax);
+    for (index_t i = 0; i < n; ++i) r[i] = b[i] - ax[i];
+    solve(r, dx);
+    std::vector<double> candidate(x.begin(), x.end());
+    for (index_t i = 0; i < n; ++i) candidate[i] += dx[i];
+    const double res = relative_residual(a_lower, candidate, b);
+    if (res >= best) break;  // refinement stopped helping
+    std::copy(candidate.begin(), candidate.end(), x.begin());
+    best = res;
+  }
+  return best;
+}
+
+}  // namespace spchol

@@ -1,0 +1,110 @@
+// Shared implementation context for the numeric factorization paths.
+// Not part of the public API.
+#pragma once
+
+#include <vector>
+
+#include "spchol/core/factor.hpp"
+#include "spchol/dense/kernels.hpp"
+#include "spchol/gpu/blas.hpp"
+
+namespace spchol::detail {
+
+/// Everything the RL/RLB kernels need: symbolic data, factor values,
+/// the simulated device (whose host clock is the modeled CPU timeline),
+/// and accumulators for the stats breakdown.
+struct FactorContext {
+  const SymbolicFactor& symb;
+  std::vector<double>& values;
+  const FactorOptions& opts;
+  gpu::Device dev;
+  ThreadPool& pool;
+  std::size_t real_threads;
+
+  double cpu_blas_seconds = 0.0;
+  double assembly_seconds = 0.0;
+  std::size_t num_cpu_blas_calls = 0;
+  index_t supernodes_on_gpu = 0;
+
+  FactorContext(const SymbolicFactor& s, std::vector<double>& v,
+                const FactorOptions& o)
+      : symb(s),
+        values(v),
+        opts(o),
+        dev(o.device),
+        pool(ThreadPool::global()),
+        real_threads(ThreadPool::global().size() + 1) {}
+
+  double* sn_values(index_t s) {
+    return values.data() + symb.sn_values_offset(s);
+  }
+
+  /// True when supernode s runs its BLAS on the device.
+  bool on_gpu(index_t s) const {
+    if (opts.exec == Execution::kCpuSerial ||
+        opts.exec == Execution::kCpuParallel) {
+      return false;
+    }
+    if (opts.exec == Execution::kGpuOnly) return true;
+    const offset_t threshold = opts.method == Method::kRL
+                                   ? opts.gpu_threshold_rl
+                                   : opts.gpu_threshold_rlb;
+    return symb.sn_entries(s) >= threshold;
+  }
+
+  // --- CPU BLAS: execute for real, advance the modeled host clock --------
+  void account_cpu(double flops) {
+    const double t = opts.exec == Execution::kCpuSerial
+                         ? dev.model().cpu_kernel_seconds(flops, 1)
+                         : dev.model().cpu_kernel_seconds_best(flops);
+    dev.advance_host(t);
+    cpu_blas_seconds += t;
+    num_cpu_blas_calls++;
+  }
+  void cpu_potrf(index_t n, double* a, index_t lda) {
+    dense::potrf_lower_parallel(pool, real_threads, n, a, lda);
+    account_cpu(dense::flops_potrf(n));
+  }
+  void cpu_trsm(index_t m, index_t n, const double* l, index_t ldl, double* b,
+                index_t ldb) {
+    dense::trsm_right_lower_trans_parallel(pool, real_threads, m, n, l, ldl,
+                                           b, ldb);
+    account_cpu(dense::flops_trsm(m, n));
+  }
+  void cpu_syrk(index_t n, index_t k, const double* a, index_t lda, double* c,
+                index_t ldc) {
+    dense::syrk_lower_nt_parallel(pool, real_threads, n, k, a, lda, c, ldc);
+    account_cpu(dense::flops_syrk(n, k));
+  }
+  void cpu_gemm(index_t m, index_t n, index_t k, const double* a, index_t lda,
+                const double* b, index_t ldb, double* c, index_t ldc) {
+    dense::gemm_nt_minus_parallel(pool, real_threads, m, n, k, a, lda, b, ldb,
+                                  c, ldc);
+    account_cpu(dense::flops_gemm(m, n, k));
+  }
+
+  /// Models one parallel-assembly region of `entries` scatter-adds.
+  void account_assembly(double entries) {
+    const double t = dev.model().assembly_seconds(
+        entries, opts.assembly_threads);
+    dev.advance_host(t);
+    assembly_seconds += t;
+  }
+};
+
+/// Factors the supernode panel on the CPU (DPOTRF on the diagonal block,
+/// DTRSM on the rectangular part). Throws NotPositiveDefinite with the
+/// PERMUTED global column index.
+void cpu_factor_panel(FactorContext& ctx, index_t s);
+
+/// RL assembly: adds the host update matrix `u` (below × below,
+/// ld = below, holding MINUS the outer product) into the ancestors of s.
+/// Returns the number of entries scattered (for the assembly model).
+double rl_assemble(FactorContext& ctx, index_t s, const double* u);
+
+/// RL / RLB / left-looking drivers (rl.cpp, rlb.cpp, left_looking.cpp).
+void run_rl(FactorContext& ctx);
+void run_rlb(FactorContext& ctx);
+void run_left_looking(FactorContext& ctx);
+
+}  // namespace spchol::detail

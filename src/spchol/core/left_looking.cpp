@@ -1,0 +1,125 @@
+// Supernodal LEFT-LOOKING Cholesky — the classic alternative the paper's
+// right-looking family is positioned against ([1] shows RL/RLB are
+// "superior to or competitive with other methods in terms of both time
+// and storage"). Provided as a CPU baseline for bench_baselines.
+//
+// For each supernode s (left to right): gather the updates of every
+// already-factored descendant d whose row structure reaches into s's
+// columns (one DGEMM per (d, s) pair over the segment of d's rows inside
+// s, scattered through relative indices), then factor s's panel. The
+// descendants that reach s are maintained in linked worklists, with a
+// per-descendant cursor walking its row list upward — the standard
+// CHOLMOD-style bookkeeping.
+#include <vector>
+
+#include "spchol/core/internal.hpp"
+
+namespace spchol::detail {
+
+void run_left_looking(FactorContext& ctx) {
+  const SymbolicFactor& symb = ctx.symb;
+  const index_t ns = symb.num_supernodes();
+  SPCHOL_CHECK(ctx.opts.exec == Execution::kCpuSerial ||
+                   ctx.opts.exec == Execution::kCpuParallel,
+               "left-looking factorization is a CPU-only baseline");
+
+  // Worklists: head[s] → first descendant currently updating s;
+  // next[d] chains descendants; cursor[d] is the position in d's row list
+  // where the segment targeting the current supernode starts.
+  std::vector<index_t> head(static_cast<std::size_t>(ns), -1);
+  std::vector<index_t> next(static_cast<std::size_t>(ns), -1);
+  std::vector<index_t> cursor(static_cast<std::size_t>(ns), 0);
+
+  // Scratch for one descendant's update segment (m × nseg ≤ below²).
+  offset_t scratch_max = 0;
+  for (index_t s = 0; s < ns; ++s) {
+    const offset_t below = symb.sn_below(s);
+    scratch_max = std::max(scratch_max, below * below);
+  }
+  std::vector<double> u(static_cast<std::size_t>(scratch_max));
+  std::vector<index_t> rel;
+
+  for (index_t s = 0; s < ns; ++s) {
+    const index_t sbegin = symb.sn_begin(s);
+    const index_t send = symb.sn_end(s);
+    const auto srows = symb.sn_rows(s);
+    double* svals = ctx.sn_values(s);
+    const index_t lds = symb.sn_nrows(s);
+
+    // --- gather: apply every pending descendant update into s ---
+    index_t d = head[s];
+    head[s] = -1;
+    while (d != -1) {
+      const index_t dnext = next[d];
+      const auto drows = symb.sn_rows(d);
+      const index_t ldd = symb.sn_nrows(d);
+      const index_t wd = symb.sn_width(d);
+      const double* dvals = ctx.sn_values(d);
+      const index_t k0 = cursor[d];
+      index_t k1 = k0;
+      while (k1 < static_cast<index_t>(drows.size()) && drows[k1] < send) {
+        ++k1;
+      }
+      const index_t m = static_cast<index_t>(drows.size()) - k0;
+      const index_t nseg = k1 - k0;
+      SPCHOL_CHECK(nseg > 0, "descendant reached target with empty segment");
+
+      // U = -L_d[k0:, :] · L_d[k0:k1, :]ᵀ  (m × nseg).
+      std::fill(u.begin(),
+                u.begin() + static_cast<std::size_t>(m) * nseg, 0.0);
+      dense::gemm_nt_minus_parallel(ctx.pool, ctx.real_threads, m, nseg, wd,
+                                    dvals + k0, ldd, dvals + k0, ldd,
+                                    u.data(), m);
+      ctx.account_cpu(dense::flops_gemm(m, nseg, wd));
+
+      // Scatter the lower trapezoid into s through relative indices.
+      rel.resize(static_cast<std::size_t>(m));
+      {
+        std::size_t t = 0;
+        for (index_t k = 0; k < m; ++k) {
+          const index_t row = drows[k0 + k];
+          while (t < srows.size() && srows[t] < row) ++t;
+          SPCHOL_CHECK(t < srows.size() && srows[t] == row,
+                       "descendant row missing from target structure");
+          rel[k] = static_cast<index_t>(t);
+        }
+      }
+      double entries = 0.0;
+      parallel_for(
+          ctx.pool, 0, nseg, ctx.real_threads,
+          [&](index_t lo, index_t hi) {
+            for (index_t c = lo; c < hi; ++c) {
+              const index_t tcol = drows[k0 + c] - sbegin;
+              double* tcolp = svals + static_cast<offset_t>(tcol) * lds;
+              const double* ucol = u.data() + static_cast<offset_t>(c) * m;
+              for (index_t k = c; k < m; ++k) tcolp[rel[k]] += ucol[k];
+            }
+          },
+          /*grain=*/1);
+      entries += 0.5 * static_cast<double>(nseg) *
+                 static_cast<double>(m + (m - nseg) + 1);
+      ctx.account_assembly(entries);
+
+      // Advance d's cursor past this segment and re-link it to the next
+      // supernode its structure reaches.
+      cursor[d] = k1;
+      if (k1 < static_cast<index_t>(drows.size())) {
+        const index_t t = symb.col_to_sn(drows[k1]);
+        next[d] = head[t];
+        head[t] = d;
+      }
+      d = dnext;
+    }
+
+    // --- factor the panel, then enqueue s for its first target ---
+    cpu_factor_panel(ctx, s);
+    if (static_cast<index_t>(srows.size()) > send - sbegin) {
+      cursor[s] = send - sbegin;
+      const index_t t = symb.col_to_sn(srows[cursor[s]]);
+      next[s] = head[t];
+      head[t] = s;
+    }
+  }
+}
+
+}  // namespace spchol::detail

@@ -1,0 +1,53 @@
+#include "spchol/core/perf_profile.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace spchol {
+
+std::vector<double> tau_grid(double max_tau, int points) {
+  SPCHOL_CHECK(points >= 2 && max_tau > 0.0, "invalid tau grid");
+  std::vector<double> taus(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    taus[i] = max_tau * static_cast<double>(i) / (points - 1);
+  }
+  return taus;
+}
+
+PerformanceProfile performance_profile(
+    const std::vector<std::vector<double>>& times,
+    const std::vector<double>& taus) {
+  const std::size_t nm = times.size();
+  SPCHOL_CHECK(nm > 0, "no methods");
+  const std::size_t nc = times[0].size();
+  for (const auto& row : times) {
+    SPCHOL_CHECK(row.size() == nc, "ragged times matrix");
+  }
+  auto ok = [](double t) { return std::isfinite(t) && t > 0.0; };
+
+  PerformanceProfile p;
+  p.taus = taus;
+  p.fraction.assign(nm, std::vector<double>(taus.size(), 0.0));
+  if (nc == 0) return p;
+
+  for (std::size_t c = 0; c < nc; ++c) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t m = 0; m < nm; ++m) {
+      if (ok(times[m][c])) best = std::min(best, times[m][c]);
+    }
+    if (!std::isfinite(best)) continue;  // every method failed this case
+    for (std::size_t m = 0; m < nm; ++m) {
+      if (!ok(times[m][c])) continue;  // failed: counts for no tau
+      const double log_ratio = std::log2(times[m][c] / best);
+      for (std::size_t t = 0; t < taus.size(); ++t) {
+        if (log_ratio <= taus[t] + 1e-12) p.fraction[m][t] += 1.0;
+      }
+    }
+  }
+  for (auto& row : p.fraction) {
+    for (auto& v : row) v /= static_cast<double>(nc);
+  }
+  return p;
+}
+
+}  // namespace spchol

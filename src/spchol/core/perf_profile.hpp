@@ -1,0 +1,29 @@
+// Dolan–Moré performance profiles ([14] in the paper) — Figure 3 plots
+// P(log2(r_{p,s}) <= tau) per method over the 21-matrix test set.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spchol/support/common.hpp"
+
+namespace spchol {
+
+struct PerformanceProfile {
+  std::vector<double> taus;  // log2 ratio grid
+  /// fraction[m][t]: fraction of cases where method m is within factor
+  /// 2^taus[t] of the per-case best.
+  std::vector<std::vector<double>> fraction;
+};
+
+/// times[m][c] = runtime of method m on case c; non-finite or non-positive
+/// values mean "failed" (never within any ratio) — exactly how the paper
+/// treats RL's nlpkkt120 failure.
+PerformanceProfile performance_profile(
+    const std::vector<std::vector<double>>& times,
+    const std::vector<double>& taus);
+
+/// Evenly spaced grid [0, max_tau] with `points` samples.
+std::vector<double> tau_grid(double max_tau, int points);
+
+}  // namespace spchol

@@ -1,0 +1,105 @@
+// RL: the right-looking method (§II.A) and its GPU acceleration (§III).
+//
+// Per supernode J: DPOTRF on the diagonal block, DTRSM on the rectangular
+// part, one DSYRK producing the whole update matrix in scratch, then
+// scatter-assembly into the ancestors via generalized relative indices.
+//
+// GPU path (paper §III): H2D(J) → device POTRF → device TRSM → async
+// D2H(factored J) on the copy stream, overlapped with the device SYRK on
+// the compute stream → synchronous D2H(update matrix) → parallel CPU
+// assembly. Small supernodes (entries < threshold) stay on the CPU.
+#include <cstring>
+#include <vector>
+
+#include "spchol/core/internal.hpp"
+
+namespace spchol::detail {
+
+void run_rl(FactorContext& ctx) {
+  const SymbolicFactor& symb = ctx.symb;
+  const index_t ns = symb.num_supernodes();
+  const FactorOptions& opts = ctx.opts;
+  const bool gpu_enabled = opts.exec == Execution::kGpuHybrid ||
+                           opts.exec == Execution::kGpuOnly;
+
+  // Host scratch for the update matrix, preallocated at the largest size
+  // (the paper preallocates "so that it can store the largest update
+  // matrix during the factorization").
+  offset_t host_update_max = 0;
+  offset_t gpu_panel_max = 0;
+  offset_t gpu_update_max = 0;
+  for (index_t s = 0; s < ns; ++s) {
+    const offset_t below = symb.sn_below(s);
+    host_update_max = std::max(host_update_max, below * below);
+    if (gpu_enabled && ctx.on_gpu(s)) {
+      gpu_panel_max = std::max(gpu_panel_max, symb.sn_entries(s));
+      gpu_update_max = std::max(gpu_update_max, below * below);
+    }
+  }
+  std::vector<double> u_host(static_cast<std::size_t>(host_update_max));
+
+  // Device buffers are preallocated once; this is where RL fails on the
+  // nlpkkt120 class (update matrix larger than device memory).
+  gpu::Stream compute(ctx.dev);
+  gpu::Stream copy(ctx.dev);
+  gpu::DeviceBuffer panel_dev;
+  gpu::DeviceBuffer update_dev;
+  if (gpu_panel_max > 0) {
+    panel_dev = gpu::DeviceBuffer(ctx.dev,
+                                  static_cast<std::size_t>(gpu_panel_max));
+  }
+  if (gpu_update_max > 0) {
+    update_dev = gpu::DeviceBuffer(ctx.dev,
+                                   static_cast<std::size_t>(gpu_update_max));
+  }
+
+  for (index_t s = 0; s < ns; ++s) {
+    const index_t w = symb.sn_width(s);
+    const index_t r = symb.sn_nrows(s);
+    const index_t below = r - w;
+    double* panel = ctx.sn_values(s);
+    const std::size_t ubytes =
+        static_cast<std::size_t>(below) * static_cast<std::size_t>(below);
+
+    if (!ctx.on_gpu(s)) {
+      cpu_factor_panel(ctx, s);
+      if (below > 0) {
+        std::memset(u_host.data(), 0, ubytes * sizeof(double));
+        ctx.cpu_syrk(below, w, panel + w, r, u_host.data(), below);
+        ctx.account_assembly(rl_assemble(ctx, s, u_host.data()));
+      }
+      continue;
+    }
+
+    ctx.supernodes_on_gpu++;
+    // The panel buffer is reused: wait out the previous async D2H.
+    copy.synchronize();
+    const std::size_t entries = static_cast<std::size_t>(r) * w;
+    gpu::copy_h2d(ctx.dev, compute, panel_dev, 0, panel, entries,
+                  /*async=*/true);
+    try {
+      gpu::potrf_lower(ctx.dev, compute, w, panel_dev, 0, r);
+    } catch (const NotPositiveDefinite& e) {
+      throw NotPositiveDefinite(symb.sn_begin(s) + e.column());
+    }
+    if (below > 0) {
+      gpu::trsm_right_lower_trans(ctx.dev, compute, below, w, panel_dev, 0,
+                                  r, w, r);
+    }
+    // Asynchronous D2H of the factored supernode: the CPU does not need it
+    // yet, so it overlaps the update SYRK (paper §III).
+    copy.wait(compute.record());
+    gpu::copy_d2h(ctx.dev, copy, panel, panel_dev, 0, entries,
+                  /*async=*/true);
+    if (below > 0) {
+      gpu::syrk_lower_nt_beta0(ctx.dev, compute, below, w, panel_dev, w, r,
+                               update_dev, 0, below);
+      gpu::copy_d2h(ctx.dev, compute, u_host.data(), update_dev, 0, ubytes,
+                    /*async=*/false);
+      ctx.account_assembly(rl_assemble(ctx, s, u_host.data()));
+    }
+  }
+  ctx.dev.synchronize();
+}
+
+}  // namespace spchol::detail

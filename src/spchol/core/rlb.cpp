@@ -1,0 +1,273 @@
+// RLB: the right-looking blocked method (§II.B) and its two GPU variants
+// (§III).
+//
+// Per supernode J with blocks B_1 < ... < B_m (maximal consecutive row
+// runs split at target supernode boundaries): after the panel
+// factorization, for every i the diagonal target L(B_i,B_i) receives one
+// DSYRK and every pair k > i one DGEMM into L(B_k,B_i) — written DIRECTLY
+// into ancestor factor storage on the CPU (no update matrix), one relative
+// index per block.
+//
+// GPU v1 (kBatched): the per-block products accumulate in a device-side
+// update matrix and come back in ONE transfer — same memory footprint as
+// RL (paper: "of no practical value compared to RL", kept for the §IV.B
+// v1-vs-v2 bandwidth/latency experiment).
+// GPU v2 (kStreamed): every product is transferred and assembled as soon
+// as it completes; device scratch is a single block pair — the low-memory
+// variant that survives nlpkkt120.
+#include <cstring>
+#include <vector>
+
+#include "spchol/core/internal.hpp"
+
+namespace spchol::detail {
+
+namespace {
+
+/// Resolved addressing for one block: where its rows live inside the
+/// target supernode.
+struct BlockTarget {
+  double* tvals;      // target supernode value base
+  index_t ldt;        // target leading dimension
+  index_t rpos;       // row position of the block within the target rows
+  index_t tcol0;      // first target-local column (diagonal updates)
+};
+
+BlockTarget resolve(FactorContext& ctx, const SupernodeBlock& b) {
+  const SymbolicFactor& symb = ctx.symb;
+  BlockTarget t;
+  t.tvals = ctx.sn_values(b.target_sn);
+  t.ldt = symb.sn_nrows(b.target_sn);
+  t.rpos = symb.row_position(b.target_sn, b.first_row);
+  SPCHOL_CHECK(t.rpos >= 0, "block rows missing from target structure");
+  t.tcol0 = b.first_row - symb.sn_begin(b.target_sn);
+  return t;
+}
+
+/// Position of block rows of `b` within the supernode containing block
+/// `diag` (the target of a (b, diag) DGEMM).
+index_t rows_position_in(FactorContext& ctx, const SupernodeBlock& b,
+                         const SupernodeBlock& diag) {
+  const index_t pos =
+      ctx.symb.row_position(diag.target_sn, b.first_row);
+  SPCHOL_CHECK(pos >= 0, "gemm target rows missing from ancestor structure");
+  return pos;
+}
+
+}  // namespace
+
+void run_rlb(FactorContext& ctx) {
+  const SymbolicFactor& symb = ctx.symb;
+  const index_t ns = symb.num_supernodes();
+  const FactorOptions& opts = ctx.opts;
+  const bool gpu_enabled = opts.exec == Execution::kGpuHybrid ||
+                           opts.exec == Execution::kGpuOnly;
+  const bool batched = opts.rlb_variant == RlbVariant::kBatched;
+
+  // Pre-size the device buffers over the supernodes that will use them.
+  offset_t gpu_panel_max = 0;
+  offset_t gpu_update_max = 0;  // v1: below²; v2: largest single block pair
+  offset_t host_update_max = 0;
+  for (index_t s = 0; s < ns; ++s) {
+    if (!gpu_enabled || !ctx.on_gpu(s)) continue;
+    const offset_t below = symb.sn_below(s);
+    gpu_panel_max = std::max(gpu_panel_max, symb.sn_entries(s));
+    if (batched) {
+      gpu_update_max = std::max(gpu_update_max, below * below);
+      host_update_max = std::max(host_update_max, below * below);
+    } else {
+      offset_t max_block = 0;
+      for (const auto& b : symb.sn_blocks(s)) {
+        max_block = std::max<offset_t>(max_block, b.nrows);
+      }
+      gpu_update_max = std::max(gpu_update_max, max_block * max_block);
+      host_update_max = std::max(host_update_max, max_block * max_block);
+    }
+  }
+  // The streamed variant double-buffers its host staging area so the
+  // assembly of product p-1 can read while product p's copy lands.
+  std::vector<double> u_host(static_cast<std::size_t>(host_update_max) *
+                             (batched ? 1 : 2));
+
+  gpu::Stream compute(ctx.dev);
+  gpu::Stream copy(ctx.dev);
+  gpu::DeviceBuffer panel_dev;
+  gpu::DeviceBuffer update_dev;
+  if (gpu_panel_max > 0) {
+    panel_dev = gpu::DeviceBuffer(ctx.dev,
+                                  static_cast<std::size_t>(gpu_panel_max));
+  }
+  if (gpu_update_max > 0) {
+    update_dev = gpu::DeviceBuffer(ctx.dev,
+                                   static_cast<std::size_t>(gpu_update_max));
+  }
+
+  for (index_t s = 0; s < ns; ++s) {
+    const index_t w = symb.sn_width(s);
+    const index_t r = symb.sn_nrows(s);
+    const index_t below = r - w;
+    double* panel = ctx.sn_values(s);
+    const auto blocks = symb.sn_blocks(s);
+    const index_t m = static_cast<index_t>(blocks.size());
+
+    if (!ctx.on_gpu(s)) {
+      // --- pure CPU RLB: updates applied directly in factor storage ---
+      cpu_factor_panel(ctx, s);
+      for (index_t i = 0; i < m; ++i) {
+        const auto& bi = blocks[i];
+        const BlockTarget t = resolve(ctx, bi);
+        ctx.cpu_syrk(bi.nrows, w, panel + bi.src_offset, r,
+                     t.tvals + t.rpos +
+                         static_cast<offset_t>(t.tcol0) * t.ldt,
+                     t.ldt);
+        for (index_t k = i + 1; k < m; ++k) {
+          const auto& bk = blocks[k];
+          const index_t rposk = rows_position_in(ctx, bk, bi);
+          ctx.cpu_gemm(bk.nrows, bi.nrows, w, panel + bk.src_offset, r,
+                       panel + bi.src_offset, r,
+                       t.tvals + rposk +
+                           static_cast<offset_t>(t.tcol0) * t.ldt,
+                       t.ldt);
+        }
+      }
+      continue;
+    }
+
+    // --- GPU path: factor the panel on the device ---
+    ctx.supernodes_on_gpu++;
+    copy.synchronize();  // panel buffer reuse hazard
+    const std::size_t entries = static_cast<std::size_t>(r) * w;
+    gpu::copy_h2d(ctx.dev, compute, panel_dev, 0, panel, entries,
+                  /*async=*/true);
+    try {
+      gpu::potrf_lower(ctx.dev, compute, w, panel_dev, 0, r);
+    } catch (const NotPositiveDefinite& e) {
+      throw NotPositiveDefinite(symb.sn_begin(s) + e.column());
+    }
+    if (below > 0) {
+      gpu::trsm_right_lower_trans(ctx.dev, compute, below, w, panel_dev, 0,
+                                  r, w, r);
+    }
+    copy.wait(compute.record());
+    gpu::copy_d2h(ctx.dev, copy, panel, panel_dev, 0, entries,
+                  /*async=*/true);
+    if (below == 0) continue;
+
+    if (batched) {
+      // --- v1: all block products into a device update matrix, one D2H.
+      // Every product overwrites its own disjoint tile (beta = 0), so no
+      // zeroing pass is needed; the assembly reads only the lower
+      // block-triangle the products cover.
+      const std::size_t ubytes = static_cast<std::size_t>(below) *
+                                 static_cast<std::size_t>(below);
+      for (index_t i = 0; i < m; ++i) {
+        const auto& bi = blocks[i];
+        const offset_t bi_off = bi.src_offset - w;  // below-space offset
+        gpu::syrk_lower_nt_beta0(ctx.dev, compute, bi.nrows, w, panel_dev,
+                                 bi.src_offset, r, update_dev,
+                                 static_cast<std::size_t>(bi_off) +
+                                     static_cast<std::size_t>(bi_off) *
+                                         below,
+                                 below);
+        for (index_t k = i + 1; k < m; ++k) {
+          const auto& bk = blocks[k];
+          const offset_t bk_off = bk.src_offset - w;
+          gpu::gemm_nt_minus_beta0(ctx.dev, compute, bk.nrows, bi.nrows, w,
+                                   panel_dev, bk.src_offset, r,
+                                   bi.src_offset, r, update_dev,
+                                   static_cast<std::size_t>(bk_off) +
+                                       static_cast<std::size_t>(bi_off) *
+                                           below,
+                                   below);
+        }
+      }
+      gpu::copy_d2h(ctx.dev, compute, u_host.data(), update_dev, 0, ubytes,
+                    /*async=*/false);
+      ctx.account_assembly(rl_assemble(ctx, s, u_host.data()));
+      continue;
+    }
+
+    // --- v2: one product at a time, transferred back as soon as it is
+    // computed ("one transfer and assembly operation for each individual
+    // DSYRK or DGEMM call"). The device pipeline is kept busy: the next
+    // product waits only for the previous copy-out of the scratch (stream
+    // event, no host block), and the host assembles product p-1 while the
+    // device computes product p. Device scratch stays a single block pair
+    // — the low-memory property that survives nlpkkt120.
+    struct Pending {
+      bool is_syrk;
+      index_t rows, cols;  // product dimensions (rows x cols, ld = rows)
+      double* tbase;
+      index_t ldt;
+      int staging;
+      gpu::Event copy_done;
+    };
+    Pending pending{};
+    bool has_pending = false;
+    int staging = 0;
+    auto flush_pending = [&]() {
+      if (!has_pending) return;
+      ctx.dev.wait_event(pending.copy_done);
+      const double* u = u_host.data() +
+                        static_cast<std::size_t>(pending.staging) *
+                            static_cast<std::size_t>(host_update_max);
+      double entries = 0.0;
+      for (index_t c = 0; c < pending.cols; ++c) {
+        const index_t v0 = pending.is_syrk ? c : 0;
+        double* tcol = pending.tbase + static_cast<offset_t>(c) * pending.ldt;
+        const double* ucol = u + static_cast<std::size_t>(c) * pending.rows;
+        for (index_t v = v0; v < pending.rows; ++v) tcol[v] += ucol[v];
+        entries += static_cast<double>(pending.rows - v0);
+      }
+      ctx.account_assembly(entries);
+      has_pending = false;
+    };
+    gpu::Event scratch_free{};  // completion of the last copy out of scratch
+    auto stream_product = [&](bool is_syrk, index_t rows, index_t cols,
+                              offset_t src_rows_off, offset_t src_cols_off,
+                              double* tbase, index_t ldt) {
+      const std::size_t cnt =
+          static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+      compute.wait(scratch_free);  // scratch reuse hazard (device-side)
+      if (is_syrk) {
+        gpu::syrk_lower_nt_beta0(ctx.dev, compute, rows, w, panel_dev,
+                                 src_rows_off, r, update_dev, 0, rows);
+      } else {
+        gpu::gemm_nt_minus_beta0(ctx.dev, compute, rows, cols, w, panel_dev,
+                                 src_rows_off, r, src_cols_off, r,
+                                 update_dev, 0, rows);
+      }
+      copy.wait(compute.record());
+      double* stage = u_host.data() +
+                      static_cast<std::size_t>(staging) *
+                          static_cast<std::size_t>(host_update_max);
+      gpu::copy_d2h(ctx.dev, copy, stage, update_dev, 0, cnt,
+                    /*async=*/true);
+      scratch_free = copy.record();
+      // Assemble the previous product while this one is in flight.
+      flush_pending();
+      pending = {is_syrk, rows, cols, tbase, ldt, staging, scratch_free};
+      has_pending = true;
+      staging ^= 1;
+    };
+    for (index_t i = 0; i < m; ++i) {
+      const auto& bi = blocks[i];
+      const BlockTarget t = resolve(ctx, bi);
+      stream_product(
+          /*is_syrk=*/true, bi.nrows, bi.nrows, bi.src_offset, bi.src_offset,
+          t.tvals + t.rpos + static_cast<offset_t>(t.tcol0) * t.ldt, t.ldt);
+      for (index_t k = i + 1; k < m; ++k) {
+        const auto& bk = blocks[k];
+        const index_t rposk = rows_position_in(ctx, bk, bi);
+        stream_product(
+            /*is_syrk=*/false, bk.nrows, bi.nrows, bk.src_offset,
+            bi.src_offset,
+            t.tvals + rposk + static_cast<offset_t>(t.tcol0) * t.ldt, t.ldt);
+      }
+    }
+    flush_pending();
+  }
+  ctx.dev.synchronize();
+}
+
+}  // namespace spchol::detail

@@ -1,0 +1,73 @@
+#include "spchol/core/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spchol {
+
+void CholeskySolver::analyze(const CscMatrix& a_lower) {
+  const Permutation fill =
+      compute_ordering(a_lower, opts_.ordering, opts_.nd);
+  symb_ = SymbolicFactor::analyze(a_lower, fill, opts_.analyze);
+  factor_.reset();
+}
+
+void CholeskySolver::factorize(const CscMatrix& a_lower) {
+  if (!symb_) analyze(a_lower);
+  factor_ = CholeskyFactor::factorize(a_lower, *symb_, opts_.factor);
+}
+
+std::vector<double> CholeskySolver::solve(std::span<const double> b) const {
+  SPCHOL_CHECK(factor_.has_value(), "solve requires factorize()");
+  std::vector<double> x(b.size());
+  factor_->solve(b, x);
+  return x;
+}
+
+std::vector<double> CholeskySolver::solve(const CscMatrix& a_lower,
+                                          std::span<const double> b,
+                                          SolverOptions opts) {
+  CholeskySolver solver(std::move(opts));
+  solver.factorize(a_lower);
+  return solver.solve(b);
+}
+
+const SymbolicFactor& CholeskySolver::symbolic() const {
+  SPCHOL_CHECK(symb_.has_value(), "analyze() has not been run");
+  return *symb_;
+}
+
+const CholeskyFactor& CholeskySolver::factor() const {
+  SPCHOL_CHECK(factor_.has_value(), "factorize() has not been run");
+  return *factor_;
+}
+
+const FactorStats& CholeskySolver::stats() const { return factor().stats(); }
+
+double relative_residual(const CscMatrix& a_lower, std::span<const double> x,
+                         std::span<const double> b) {
+  const index_t n = a_lower.cols();
+  std::vector<double> ax(static_cast<std::size_t>(n));
+  a_lower.sym_lower_matvec(x, ax);
+  double rnorm = 0.0, bnorm = 0.0, xnorm = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    rnorm = std::max(rnorm, std::abs(b[i] - ax[i]));
+    bnorm = std::max(bnorm, std::abs(b[i]));
+    xnorm = std::max(xnorm, std::abs(x[i]));
+  }
+  // ∞-norm of A from the lower triangle.
+  std::vector<double> rowsum(static_cast<std::size_t>(n), 0.0);
+  for (index_t j = 0; j < n; ++j) {
+    const auto rows = a_lower.col_rows(j);
+    const auto vals = a_lower.col_values(j);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      rowsum[rows[k]] += std::abs(vals[k]);
+      if (rows[k] != j) rowsum[j] += std::abs(vals[k]);
+    }
+  }
+  const double anorm = *std::max_element(rowsum.begin(), rowsum.end());
+  const double denom = anorm * xnorm + bnorm;
+  return denom > 0.0 ? rnorm / denom : rnorm;
+}
+
+}  // namespace spchol

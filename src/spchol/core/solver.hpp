@@ -1,0 +1,57 @@
+// High-level facade: ordering → symbolic analysis → numeric factorization
+// → triangular solves, mirroring the paper's full solution pipeline
+// (METIS ND + supernode merging + partition refinement + RL/RLB).
+#pragma once
+
+#include <optional>
+
+#include "spchol/core/factor.hpp"
+#include "spchol/graph/ordering.hpp"
+
+namespace spchol {
+
+struct SolverOptions {
+  OrderingMethod ordering = OrderingMethod::kNestedDissection;
+  NdOptions nd{};
+  AnalyzeOptions analyze{};
+  FactorOptions factor{};
+};
+
+class CholeskySolver {
+ public:
+  explicit CholeskySolver(SolverOptions opts = {}) : opts_(std::move(opts)) {}
+
+  const SolverOptions& options() const noexcept { return opts_; }
+
+  /// Ordering + symbolic analysis. Reusable across factorizations of
+  /// matrices with the same pattern.
+  void analyze(const CscMatrix& a_lower);
+
+  /// Numeric factorization (runs analyze() first if it has not been run).
+  void factorize(const CscMatrix& a_lower);
+
+  /// Solves A x = b. Requires factorize().
+  std::vector<double> solve(std::span<const double> b) const;
+
+  /// One-shot convenience.
+  static std::vector<double> solve(const CscMatrix& a_lower,
+                                   std::span<const double> b,
+                                   SolverOptions opts = {});
+
+  bool analyzed() const noexcept { return symb_.has_value(); }
+  bool factorized() const noexcept { return factor_.has_value(); }
+  const SymbolicFactor& symbolic() const;
+  const CholeskyFactor& factor() const;
+  const FactorStats& stats() const;
+
+ private:
+  SolverOptions opts_;
+  std::optional<SymbolicFactor> symb_;
+  std::optional<CholeskyFactor> factor_;
+};
+
+/// ‖b − A x‖∞ / (‖A‖∞·‖x‖∞ + ‖b‖∞), A given by its lower triangle.
+double relative_residual(const CscMatrix& a_lower, std::span<const double> x,
+                         std::span<const double> b);
+
+}  // namespace spchol

@@ -1,0 +1,142 @@
+#include <algorithm>
+
+#include "spchol/dense/kernels.hpp"
+
+namespace spchol::dense {
+
+namespace {
+
+// Cache blocking: the A panel (kIB × kKB doubles ≈ 192 KiB) stays L2-hot
+// across all columns of C.
+constexpr index_t kIB = 96;
+constexpr index_t kKB = 256;
+
+// C(i0:i0+iw, j) -= A(i0:., k0:k0+kw) · B(j, k0:k0+kw)ᵀ for one column j,
+// saxpy-4 over k so the i-loop vectorizes to FMA.
+inline void gemm_column(index_t iw, index_t kw, const double* a, index_t lda,
+                        const double* brow, index_t ldb, double* c) {
+  index_t kk = 0;
+  for (; kk + 4 <= kw; kk += 4) {
+    const double b0 = brow[(kk + 0) * ldb];
+    const double b1 = brow[(kk + 1) * ldb];
+    const double b2 = brow[(kk + 2) * ldb];
+    const double b3 = brow[(kk + 3) * ldb];
+    const double* a0 = a + (kk + 0) * lda;
+    const double* a1 = a + (kk + 1) * lda;
+    const double* a2 = a + (kk + 2) * lda;
+    const double* a3 = a + (kk + 3) * lda;
+    for (index_t i = 0; i < iw; ++i) {
+      c[i] -= a0[i] * b0 + a1[i] * b1 + a2[i] * b2 + a3[i] * b3;
+    }
+  }
+  for (; kk < kw; ++kk) {
+    const double b0 = brow[kk * ldb];
+    const double* a0 = a + kk * lda;
+    for (index_t i = 0; i < iw; ++i) c[i] -= a0[i] * b0;
+  }
+}
+
+}  // namespace
+
+void gemm_nt_minus(index_t m, index_t n, index_t k, const double* a,
+                   index_t lda, const double* b, index_t ldb, double* c,
+                   index_t ldc) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  for (index_t i0 = 0; i0 < m; i0 += kIB) {
+    const index_t iw = std::min(kIB, m - i0);
+    for (index_t k0 = 0; k0 < k; k0 += kKB) {
+      const index_t kw = std::min(kKB, k - k0);
+      const double* ablk = a + i0 + k0 * lda;
+      for (index_t j = 0; j < n; ++j) {
+        gemm_column(iw, kw, ablk, lda, b + j + k0 * ldb, ldb,
+                    c + i0 + j * ldc);
+      }
+    }
+  }
+}
+
+void gemm_nt_minus_parallel(ThreadPool& pool, std::size_t threads, index_t m,
+                            index_t n, index_t k, const double* a,
+                            index_t lda, const double* b, index_t ldb,
+                            double* c, index_t ldc) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  if (threads <= 1) {
+    gemm_nt_minus(m, n, k, a, lda, b, ldb, c, ldc);
+    return;
+  }
+  // Partition rows of C: each thread owns a contiguous row band, so every
+  // output element has one writer and the k-accumulation order is fixed.
+  parallel_for(
+      pool, 0, m, threads,
+      [&](index_t lo, index_t hi) {
+        gemm_nt_minus(hi - lo, n, k, a + lo, lda, b, ldb, c + lo, ldc);
+      },
+      /*grain=*/32);
+}
+
+void syrk_lower_nt(index_t n, index_t k, const double* a, index_t lda,
+                   double* c, index_t ldc) {
+  if (n <= 0 || k <= 0) return;
+  // Column block of width kJB; the triangle is handled per column (the
+  // ragged start), everything below row j0+jw uses the rectangular kernel.
+  constexpr index_t kJB = 64;
+  for (index_t j0 = 0; j0 < n; j0 += kJB) {
+    const index_t jw = std::min(kJB, n - j0);
+    // Ragged diagonal block: per-column saxpy from the column's own row.
+    for (index_t k0 = 0; k0 < k; k0 += kKB) {
+      const index_t kw = std::min(kKB, k - k0);
+      for (index_t j = j0; j < j0 + jw; ++j) {
+        gemm_column(jw - (j - j0), kw, a + j + k0 * lda, lda,
+                    a + j + k0 * lda, lda, c + j + j * ldc);
+      }
+    }
+    // Rectangle below the block: C(j0+jw:n, j0:j0+jw) -= A_below · A_blkᵀ.
+    const index_t below = n - (j0 + jw);
+    if (below > 0) {
+      gemm_nt_minus(below, jw, k, a + j0 + jw, lda, a + j0, lda,
+                    c + (j0 + jw) + j0 * ldc, ldc);
+    }
+  }
+}
+
+void syrk_lower_nt_parallel(ThreadPool& pool, std::size_t threads, index_t n,
+                            index_t k, const double* a, index_t lda,
+                            double* c, index_t ldc) {
+  if (n <= 0 || k <= 0) return;
+  if (threads <= 1 || n < 64) {
+    syrk_lower_nt(n, k, a, lda, c, ldc);
+    return;
+  }
+  // Partition columns with balanced trapezoid areas: column j costs
+  // (n - j)·k, so chunk boundaries equalize sum(n - j).
+  const double total = 0.5 * static_cast<double>(n) *
+                       static_cast<double>(n + 1);
+  const std::size_t nchunks = threads;
+  std::vector<index_t> bounds(nchunks + 1, n);
+  bounds[0] = 0;
+  index_t j = 0;
+  double acc = 0.0;
+  for (std::size_t cidx = 1; cidx < nchunks; ++cidx) {
+    const double target =
+        total * static_cast<double>(cidx) / static_cast<double>(nchunks);
+    while (j < n && acc < target) {
+      acc += static_cast<double>(n - j);
+      ++j;
+    }
+    bounds[cidx] = j;
+  }
+  pool.run(nchunks, [&](std::size_t cidx) {
+    const index_t lo = bounds[cidx], hi = bounds[cidx + 1];
+    if (lo >= hi) return;
+    // This chunk owns C(lo:n, lo:hi): the diagonal trapezoid via the serial
+    // syrk on the sub-triangle plus a gemm for rows below hi.
+    syrk_lower_nt(hi - lo, k, a + lo, lda, c + lo + lo * ldc, ldc);
+    const index_t below = n - hi;
+    if (below > 0) {
+      gemm_nt_minus(below, hi - lo, k, a + hi, lda, a + lo, lda,
+                    c + hi + lo * ldc, ldc);
+    }
+  });
+}
+
+}  // namespace spchol::dense

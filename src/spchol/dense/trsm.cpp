@@ -1,0 +1,62 @@
+#include <algorithm>
+
+#include "spchol/dense/kernels.hpp"
+
+namespace spchol::dense {
+
+namespace {
+
+constexpr index_t kNB = 64;
+
+/// In-block solve: columns [j0, j0+jw) of B given that all contributions
+/// from columns < j0 are already applied. X(:,j) =
+/// (B(:,j) − Σ_{t=j0..j-1} X(:,t)·L(j,t)) / L(j,j).
+void trsm_inblock(index_t m, index_t j0, index_t jw, const double* l,
+                  index_t ldl, double* b, index_t ldb) {
+  for (index_t j = j0; j < j0 + jw; ++j) {
+    double* bj = b + j * ldb;
+    for (index_t t = j0; t < j; ++t) {
+      const double ljt = l[j + t * ldl];
+      if (ljt == 0.0) continue;
+      const double* bt = b + t * ldb;
+      for (index_t i = 0; i < m; ++i) bj[i] -= bt[i] * ljt;
+    }
+    const double inv = 1.0 / l[j + j * ldl];
+    for (index_t i = 0; i < m; ++i) bj[i] *= inv;
+  }
+}
+
+}  // namespace
+
+void trsm_right_lower_trans(index_t m, index_t n, const double* l,
+                            index_t ldl, double* b, index_t ldb) {
+  if (m <= 0 || n <= 0) return;
+  for (index_t j0 = 0; j0 < n; j0 += kNB) {
+    const index_t jw = std::min(kNB, n - j0);
+    // Contributions from already-solved column blocks:
+    // B(:, j0:j0+jw) -= X(:, 0:j0) · L(j0:j0+jw, 0:j0)ᵀ.
+    if (j0 > 0) {
+      gemm_nt_minus(m, jw, j0, b, ldb, l + j0, ldl, b + j0 * ldb, ldb);
+    }
+    trsm_inblock(m, j0, jw, l, ldl, b, ldb);
+  }
+}
+
+void trsm_right_lower_trans_parallel(ThreadPool& pool, std::size_t threads,
+                                     index_t m, index_t n, const double* l,
+                                     index_t ldl, double* b, index_t ldb) {
+  if (m <= 0 || n <= 0) return;
+  if (threads <= 1 || m < 64) {
+    trsm_right_lower_trans(m, n, l, ldl, b, ldb);
+    return;
+  }
+  // Rows of B are independent in a right-side solve.
+  parallel_for(
+      pool, 0, m, threads,
+      [&](index_t lo, index_t hi) {
+        trsm_right_lower_trans(hi - lo, n, l, ldl, b + lo, ldb);
+      },
+      /*grain=*/32);
+}
+
+}  // namespace spchol::dense

@@ -1,0 +1,114 @@
+#include "spchol/gpu/blas.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "spchol/dense/kernels.hpp"
+
+namespace spchol::gpu {
+
+namespace {
+
+void account_kernel(Device& dev, Stream& s, double flops) {
+  const double dur = dev.model().gpu_kernel_seconds(flops);
+  dev.advance_host(dev.model().issue_overhead);
+  dev.enqueue(s, dur);
+  auto& st = dev.mutable_stats();
+  st.kernel_seconds += dur;
+  st.num_kernels++;
+}
+
+}  // namespace
+
+void potrf_lower(Device& dev, Stream& s, index_t n, DeviceBuffer& buf,
+                 std::size_t off, index_t lda) {
+  dense::potrf_lower_parallel(dev.compute_pool(), dev.compute_threads(), n,
+                              buf.data() + off, lda);
+  account_kernel(dev, s, dense::flops_potrf(n));
+}
+
+void trsm_right_lower_trans(Device& dev, Stream& s, index_t m, index_t n,
+                            DeviceBuffer& buf, std::size_t l_off, index_t ldl,
+                            std::size_t b_off, index_t ldb) {
+  dense::trsm_right_lower_trans_parallel(
+      dev.compute_pool(), dev.compute_threads(), m, n, buf.data() + l_off,
+      ldl, buf.data() + b_off, ldb);
+  account_kernel(dev, s, dense::flops_trsm(m, n));
+}
+
+void syrk_lower_nt(Device& dev, Stream& s, index_t n, index_t k,
+                   const DeviceBuffer& abuf, std::size_t a_off, index_t lda,
+                   DeviceBuffer& cbuf, std::size_t c_off, index_t ldc) {
+  dense::syrk_lower_nt_parallel(dev.compute_pool(), dev.compute_threads(), n,
+                                k, abuf.data() + a_off, lda,
+                                cbuf.data() + c_off, ldc);
+  account_kernel(dev, s, dense::flops_syrk(n, k));
+}
+
+void gemm_nt_minus(Device& dev, Stream& s, index_t m, index_t n, index_t k,
+                   const DeviceBuffer& abuf, std::size_t a_off, index_t lda,
+                   std::size_t b_off, index_t ldb, DeviceBuffer& cbuf,
+                   std::size_t c_off, index_t ldc) {
+  dense::gemm_nt_minus_parallel(dev.compute_pool(), dev.compute_threads(), m,
+                                n, k, abuf.data() + a_off, lda,
+                                abuf.data() + b_off, ldb,
+                                cbuf.data() + c_off, ldc);
+  account_kernel(dev, s, dense::flops_gemm(m, n, k));
+}
+
+namespace {
+
+void zero_region(DeviceBuffer& buf, std::size_t off, index_t rows,
+                 index_t cols, index_t ld) {
+  if (rows == ld) {
+    std::memset(buf.data() + off, 0,
+                static_cast<std::size_t>(rows) * cols * sizeof(double));
+    return;
+  }
+  for (index_t c = 0; c < cols; ++c) {
+    std::memset(buf.data() + off + static_cast<std::size_t>(c) * ld, 0,
+                static_cast<std::size_t>(rows) * sizeof(double));
+  }
+}
+
+}  // namespace
+
+void syrk_lower_nt_beta0(Device& dev, Stream& s, index_t n, index_t k,
+                         const DeviceBuffer& abuf, std::size_t a_off,
+                         index_t lda, DeviceBuffer& cbuf, std::size_t c_off,
+                         index_t ldc) {
+  zero_region(cbuf, c_off, n, n, ldc);
+  dense::syrk_lower_nt_parallel(dev.compute_pool(), dev.compute_threads(), n,
+                                k, abuf.data() + a_off, lda,
+                                cbuf.data() + c_off, ldc);
+  account_kernel(dev, s, dense::flops_syrk(n, k));
+}
+
+void gemm_nt_minus_beta0(Device& dev, Stream& s, index_t m, index_t n,
+                         index_t k, const DeviceBuffer& abuf,
+                         std::size_t a_off, index_t lda, std::size_t b_off,
+                         index_t ldb, DeviceBuffer& cbuf, std::size_t c_off,
+                         index_t ldc) {
+  zero_region(cbuf, c_off, m, n, ldc);
+  dense::gemm_nt_minus_parallel(dev.compute_pool(), dev.compute_threads(), m,
+                                n, k, abuf.data() + a_off, lda,
+                                abuf.data() + b_off, ldb,
+                                cbuf.data() + c_off, ldc);
+  account_kernel(dev, s, dense::flops_gemm(m, n, k));
+}
+
+void zero_fill(Device& dev, Stream& s, DeviceBuffer& buf, std::size_t off,
+               std::size_t count) {
+  SPCHOL_CHECK(off + count <= buf.size(), "zero_fill out of range");
+  std::memset(buf.data() + off, 0, count * sizeof(double));
+  // Bandwidth-bound: model at ~1 TB/s device memory write bandwidth.
+  const double dur = dev.model().gpu_kernel_launch +
+                     static_cast<double>(count * sizeof(double)) / 1.0e12;
+  dev.advance_host(dev.model().issue_overhead);
+  dev.enqueue(s, dur);
+  auto& st = dev.mutable_stats();
+  st.kernel_seconds += dur;
+  st.num_kernels++;
+}
+
+}  // namespace spchol::gpu

@@ -1,0 +1,52 @@
+// Device BLAS: the MAGMA-equivalent calls the paper offloads. Each call
+// executes the numerics for real (on host threads, operating on device
+// buffers) and enqueues its modeled duration on a stream.
+#pragma once
+
+#include "spchol/gpu/device.hpp"
+
+namespace spchol::gpu {
+
+/// Device DPOTRF on an n×n lower block at `off` within `buf` (ld = lda).
+void potrf_lower(Device& dev, Stream& s, index_t n, DeviceBuffer& buf,
+                 std::size_t off, index_t lda);
+
+/// Device DTRSM: B := B·L⁻ᵀ; L at l_off in `buf` (n×n), B at b_off (m×n).
+void trsm_right_lower_trans(Device& dev, Stream& s, index_t m, index_t n,
+                            DeviceBuffer& buf, std::size_t l_off, index_t ldl,
+                            std::size_t b_off, index_t ldb);
+
+/// Device DSYRK: C := C − A·Aᵀ (lower); A at a_off in `abuf` (n×k), C at
+/// c_off in `cbuf` (n×n).
+void syrk_lower_nt(Device& dev, Stream& s, index_t n, index_t k,
+                   const DeviceBuffer& abuf, std::size_t a_off, index_t lda,
+                   DeviceBuffer& cbuf, std::size_t c_off, index_t ldc);
+
+/// Device DGEMM: C := C − A·Bᵀ; A (m×k) at a_off, B (n×k) at b_off — both
+/// in `abuf` — and C (m×n) at c_off in `cbuf`.
+void gemm_nt_minus(Device& dev, Stream& s, index_t m, index_t n, index_t k,
+                   const DeviceBuffer& abuf, std::size_t a_off, index_t lda,
+                   std::size_t b_off, index_t ldb, DeviceBuffer& cbuf,
+                   std::size_t c_off, index_t ldc);
+
+/// Device DSYRK with beta = 0: C := −A·Aᵀ (lower), overwriting C — one
+/// kernel, no separate zeroing pass (MAGMA semantics). The strict upper
+/// triangle of the C region is zeroed as a side effect.
+void syrk_lower_nt_beta0(Device& dev, Stream& s, index_t n, index_t k,
+                         const DeviceBuffer& abuf, std::size_t a_off,
+                         index_t lda, DeviceBuffer& cbuf, std::size_t c_off,
+                         index_t ldc);
+
+/// Device DGEMM with beta = 0: C := −A·Bᵀ, overwriting C.
+void gemm_nt_minus_beta0(Device& dev, Stream& s, index_t m, index_t n,
+                         index_t k, const DeviceBuffer& abuf,
+                         std::size_t a_off, index_t lda, std::size_t b_off,
+                         index_t ldb, DeviceBuffer& cbuf, std::size_t c_off,
+                         index_t ldc);
+
+/// Device memset-to-zero (cudaMemsetAsync equivalent), modeled as a
+/// bandwidth-bound kernel.
+void zero_fill(Device& dev, Stream& s, DeviceBuffer& buf, std::size_t off,
+               std::size_t count);
+
+}  // namespace spchol::gpu

@@ -1,0 +1,116 @@
+#include "spchol/gpu/device.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace spchol::gpu {
+
+Device::Device(DeviceConfig cfg) : cfg_(cfg) {
+  compute_threads_ = cfg_.compute_threads == 0
+                         ? std::max<std::size_t>(
+                               1, std::thread::hardware_concurrency())
+                         : cfg_.compute_threads;
+}
+
+void Device::mem_acquire(std::size_t bytes) {
+  if (mem_used_ + bytes > cfg_.memory_bytes) {
+    throw DeviceOutOfMemory(bytes, mem_used_, cfg_.memory_bytes);
+  }
+  mem_used_ += bytes;
+  mem_peak_ = std::max(mem_peak_, mem_used_);
+}
+
+void Device::mem_release(std::size_t bytes) {
+  SPCHOL_CHECK(bytes <= mem_used_, "device memory accounting underflow");
+  mem_used_ -= bytes;
+}
+
+double Device::enqueue(Stream& s, double dur) {
+  const double start = std::max(s.tail_, host_time_);
+  s.tail_ = start + dur;
+  max_stream_tail_ = std::max(max_stream_tail_, s.tail_);
+  return start;
+}
+
+void Device::synchronize() { host_time_ = std::max(host_time_, max_stream_tail_); }
+
+double Device::makespan() const noexcept {
+  return std::max(host_time_, max_stream_tail_);
+}
+
+ThreadPool& Device::compute_pool() { return ThreadPool::global(); }
+
+void Stream::synchronize() {
+  dev_->host_time_ = std::max(dev_->host_time_, tail_);
+}
+
+DeviceBuffer::DeviceBuffer(Device& dev, std::size_t count)
+    : dev_(&dev), count_(count) {
+  dev.mem_acquire(count * sizeof(double));
+  data_ = count > 0 ? new double[count] : nullptr;
+}
+
+DeviceBuffer::~DeviceBuffer() { release(); }
+
+void DeviceBuffer::release() {
+  if (dev_ != nullptr) {
+    dev_->mem_release(count_ * sizeof(double));
+    delete[] data_;
+    dev_ = nullptr;
+    data_ = nullptr;
+    count_ = 0;
+  }
+}
+
+DeviceBuffer::DeviceBuffer(DeviceBuffer&& o) noexcept
+    : dev_(o.dev_), data_(o.data_), count_(o.count_) {
+  o.dev_ = nullptr;
+  o.data_ = nullptr;
+  o.count_ = 0;
+}
+
+DeviceBuffer& DeviceBuffer::operator=(DeviceBuffer&& o) noexcept {
+  if (this != &o) {
+    release();
+    dev_ = o.dev_;
+    data_ = o.data_;
+    count_ = o.count_;
+    o.dev_ = nullptr;
+    o.data_ = nullptr;
+    o.count_ = 0;
+  }
+  return *this;
+}
+
+void copy_h2d(Device& dev, Stream& s, DeviceBuffer& dst, std::size_t dst_off,
+              const double* src, std::size_t count, bool async) {
+  SPCHOL_CHECK(dst_off + count <= dst.size(), "h2d copy out of range");
+  const std::size_t bytes = count * sizeof(double);
+  // Eager data movement (the simulation executes in program order).
+  std::memcpy(dst.data() + dst_off, src, bytes);
+  const double dur = dev.model().h2d_seconds(static_cast<double>(bytes));
+  dev.advance_host(dev.model().issue_overhead);
+  dev.enqueue(s, dur);
+  auto& st = dev.mutable_stats();
+  st.h2d_seconds += dur;
+  st.h2d_bytes += bytes;
+  st.num_h2d++;
+  if (!async) s.synchronize();
+}
+
+void copy_d2h(Device& dev, Stream& s, double* dst, const DeviceBuffer& src,
+              std::size_t src_off, std::size_t count, bool async) {
+  SPCHOL_CHECK(src_off + count <= src.size(), "d2h copy out of range");
+  const std::size_t bytes = count * sizeof(double);
+  std::memcpy(dst, src.data() + src_off, bytes);
+  const double dur = dev.model().d2h_seconds(static_cast<double>(bytes));
+  dev.advance_host(dev.model().issue_overhead);
+  dev.enqueue(s, dur);
+  auto& st = dev.mutable_stats();
+  st.d2h_seconds += dur;
+  st.d2h_bytes += bytes;
+  st.num_d2h++;
+  if (!async) s.synchronize();
+}
+
+}  // namespace spchol::gpu

@@ -1,0 +1,188 @@
+// Simulated CUDA-like device runtime.
+//
+// The device executes numerics for real (kernels run on host threads, and
+// "device memory" is host memory behind an accounting layer), while a
+// discrete-event timeline models when each operation would complete on the
+// paper's A100: every stream is a FIFO whose operations start at
+// max(stream tail, host issue time); synchronization advances the host
+// clock to the stream tail. This reproduces exactly the behaviours the
+// paper's offloading algorithms depend on:
+//   * asynchronous D2H of the factored supernode overlapping the update
+//     kernel (§III),
+//   * per-transfer latency vs bandwidth trade-offs (RLB v1 vs v2, §IV.B),
+//   * the hard 40 GB memory capacity that fails RL on nlpkkt120 (Table I).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "spchol/gpu/perf_model.hpp"
+#include "spchol/support/common.hpp"
+#include "spchol/support/thread_pool.hpp"
+
+namespace spchol::gpu {
+
+/// Thrown when a device allocation exceeds the configured capacity —
+/// the condition that prevents RL from factorizing nlpkkt120 in the paper.
+class DeviceOutOfMemory : public Error {
+ public:
+  DeviceOutOfMemory(std::size_t requested, std::size_t in_use,
+                    std::size_t capacity)
+      : Error("device out of memory: requested " + std::to_string(requested) +
+              " B with " + std::to_string(in_use) + " B in use of " +
+              std::to_string(capacity) + " B capacity"),
+        requested_(requested),
+        in_use_(in_use),
+        capacity_(capacity) {}
+  std::size_t requested() const noexcept { return requested_; }
+  std::size_t in_use() const noexcept { return in_use_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::size_t requested_, in_use_, capacity_;
+};
+
+struct DeviceConfig {
+  /// Device memory capacity in bytes (A100: 40 GB).
+  std::size_t memory_bytes = 40ull << 30;
+  PerfModel model{};
+  /// Real host threads used to execute device kernels (simulation detail,
+  /// does not affect modeled times; 0 = all hardware threads).
+  std::size_t compute_threads = 0;
+};
+
+class Device;
+
+/// A recorded point in a stream's timeline (cudaEvent equivalent).
+struct Event {
+  double time = 0.0;
+};
+
+/// One device execution queue. Operations enqueued on the same stream are
+/// serialized; different streams may overlap.
+class Stream {
+ public:
+  explicit Stream(Device& dev) : dev_(&dev) {}
+
+  /// Completion time (device timeline) of the last enqueued operation.
+  double tail() const noexcept { return tail_; }
+
+  /// Blocks the host until every enqueued operation has completed.
+  void synchronize();
+
+  /// Records an event capturing all work enqueued so far.
+  Event record() const noexcept { return {tail_}; }
+
+  /// Makes subsequent operations on this stream wait for `e`
+  /// (cudaStreamWaitEvent equivalent; does not block the host).
+  void wait(const Event& e) noexcept {
+    tail_ = e.time > tail_ ? e.time : tail_;
+  }
+
+ private:
+  friend class Device;
+  Device* dev_;
+  double tail_ = 0.0;
+};
+
+/// Modeled time breakdown, accumulated by the device.
+struct DeviceStats {
+  double h2d_seconds = 0.0;
+  double d2h_seconds = 0.0;
+  double kernel_seconds = 0.0;
+  std::size_t h2d_bytes = 0;
+  std::size_t d2h_bytes = 0;
+  std::size_t num_h2d = 0;
+  std::size_t num_d2h = 0;
+  std::size_t num_kernels = 0;
+};
+
+class Device {
+ public:
+  explicit Device(DeviceConfig cfg = {});
+
+  const DeviceConfig& config() const noexcept { return cfg_; }
+  const PerfModel& model() const noexcept { return cfg_.model; }
+
+  // --- memory accounting -------------------------------------------------
+  std::size_t mem_used() const noexcept { return mem_used_; }
+  std::size_t mem_peak() const noexcept { return mem_peak_; }
+  std::size_t mem_capacity() const noexcept { return cfg_.memory_bytes; }
+
+  // --- host clock ----------------------------------------------------------
+  double host_time() const noexcept { return host_time_; }
+  /// Advances the host clock by `seconds` of modeled CPU work.
+  void advance_host(double seconds) { host_time_ += seconds; }
+  /// Blocks the host until `e` has completed (cudaEventSynchronize).
+  void wait_event(const Event& e) {
+    host_time_ = e.time > host_time_ ? e.time : host_time_;
+  }
+  /// Waits for all streams created on this device.
+  void synchronize();
+  /// Makespan so far: host clock joined with every stream tail.
+  double makespan() const noexcept;
+
+  const DeviceStats& stats() const noexcept { return stats_; }
+  /// Internal: mutable stats for the transfer/kernel wrappers.
+  DeviceStats& mutable_stats() noexcept { return stats_; }
+
+  /// Pool used to actually execute device kernels.
+  ThreadPool& compute_pool();
+  std::size_t compute_threads() const noexcept { return compute_threads_; }
+
+  // --- operation enqueueing (used by DeviceBuffer / blas) -----------------
+  /// Reserves a slot on `s` of duration `dur`; returns the op start time.
+  double enqueue(Stream& s, double dur);
+
+ private:
+  friend class DeviceBuffer;
+  friend class Stream;
+  void mem_acquire(std::size_t bytes);
+  void mem_release(std::size_t bytes);
+  void track_stream(Stream* s);
+
+  DeviceConfig cfg_;
+  std::size_t mem_used_ = 0;
+  std::size_t mem_peak_ = 0;
+  double host_time_ = 0.0;
+  double max_stream_tail_ = 0.0;
+  std::size_t compute_threads_;
+  DeviceStats stats_;
+};
+
+/// A device-memory allocation (host-backed doubles). RAII: releases its
+/// accounting on destruction. Move-only.
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  /// Throws DeviceOutOfMemory when the accounted capacity is exceeded.
+  DeviceBuffer(Device& dev, std::size_t count);
+  ~DeviceBuffer();
+  DeviceBuffer(DeviceBuffer&& o) noexcept;
+  DeviceBuffer& operator=(DeviceBuffer&& o) noexcept;
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  double* data() noexcept { return data_; }
+  const double* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return count_; }
+  bool valid() const noexcept { return data_ != nullptr; }
+  void release();
+
+ private:
+  Device* dev_ = nullptr;
+  double* data_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+// --- transfers (counts in doubles) ----------------------------------------
+
+/// Host→device copy of `count` doubles. Synchronous variants block the
+/// host until the transfer completes; asynchronous variants only enqueue
+/// (the data is staged eagerly — simulation detail).
+void copy_h2d(Device& dev, Stream& s, DeviceBuffer& dst, std::size_t dst_off,
+              const double* src, std::size_t count, bool async);
+void copy_d2h(Device& dev, Stream& s, double* dst, const DeviceBuffer& src,
+              std::size_t src_off, std::size_t count, bool async);
+
+}  // namespace spchol::gpu

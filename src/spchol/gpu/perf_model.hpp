@@ -1,0 +1,92 @@
+// Discrete cost model for the simulated device and the modeled CPU BLAS.
+//
+// The paper's testbed is a Perlmutter node: 2× AMD EPYC 7763 (128 cores)
+// with MKL, one NVIDIA A100-40GB with MAGMA BLAS and CUDA transfers. No GPU
+// exists in this environment, so runtimes reported by the benches are
+// *modeled* from these calibrated first-order costs; the numerics always
+// execute for real (see DESIGN.md §1 and §5).
+//
+// Calibration (derived from the paper's own numbers where possible):
+//  * CPU: the paper's best CPU-only Queen_4147 time (89.552 s × 4.27 ≈
+//    382 s for roughly 2.7·10¹³ factor flops) implies an effective rate of
+//    only ~70–120 GF/s for multithreaded MKL on skinny supernodal panels.
+//    We model a 20 GF/s per-core rate with parallel efficiency t^0.85
+//    capped at 8 useful threads (≈118 GF/s ceiling); a kernel can employ
+//    one thread per ~40 kflop of work (granularity-scaled), so small supernodes run at a few
+//    GF/s — reproducing why the CPU handles them best.
+//    cpu_kernel_seconds_best() emulates the paper's best-of-{8,16,32,64,128}
+//    MKL thread sweep.
+//  * GPU: 2.6 TF/s asymptotic with half-performance at 1·10⁷ flop —
+//    effective MAGMA DSYRK/DGEMM rates at supernodal panel sizes (the
+//    A100's 9.7 TF/s nameplate is unreachable for skinny panels). The
+//    size-dependent efficiency is what makes small supernodes GPU-hostile.
+//  * Transfers: the analog dataset is ~30× smaller than the paper's
+//    matrices, which lowers the flops-to-bytes ratio of every supernode by
+//    roughly 4×; to preserve the paper's compute-to-transfer balance the
+//    link bandwidth is scaled by the same factor (PCIe 4.0 ×16 ≈ 24 GB/s →
+//    90/80 GB/s).
+//  * Per-operation fixed costs (kernel launch, transfer latency, call
+//    dispatch, assembly fork) are scaled by ~10× alongside the kernel
+//    granularity: the analogs' kernels carry ~100× fewer flops than the
+//    paper's, so unscaled microsecond-class overheads would dominate in a
+//    way the paper's full-size runs never see. The §IV.B
+//    latency-vs-bandwidth relation (splitting a large transfer costs a few
+//    percent; bandwidth cuts cost proportionally) is preserved.
+#pragma once
+
+#include <vector>
+
+#include "spchol/support/common.hpp"
+
+namespace spchol::gpu {
+
+struct PerfModel {
+  // --- CPU BLAS ---
+  double cpu_core_gflops = 20.0;
+  double cpu_parallel_exponent = 0.85;
+  /// Ceiling on useful threads for one supernodal BLAS call (MKL strong
+  /// scaling saturates early on skinny panels).
+  double cpu_max_useful_threads = 8.0;
+  double cpu_flops_per_thread_grain = 4.0e3;
+  double cpu_call_overhead = 0.1e-6;
+  double cpu_per_thread_overhead = 0.05e-6;
+  std::vector<int> cpu_thread_candidates = {8, 16, 32, 64, 128};
+
+  // --- GPU BLAS ---
+  double gpu_peak_gflops = 2600.0;
+  double gpu_half_flops = 1.0e7;
+  double gpu_kernel_launch = 1.0e-6;
+  /// Host-side cost of issuing an asynchronous operation.
+  double issue_overhead = 0.2e-6;
+
+  // --- transfers ---
+  double h2d_gbytes_per_s = 90.0;
+  double d2h_gbytes_per_s = 80.0;
+  double transfer_latency = 0.8e-6;
+
+  // --- CPU assembly (scatter-add) ---
+  double assembly_seconds_per_entry = 1.0e-9;
+  int assembly_threads = 16;
+  double assembly_parallel_exponent = 0.75;
+  double assembly_fork_overhead = 0.5e-6;
+
+  /// Modeled time of a CPU BLAS call of `flops` on `threads` threads.
+  double cpu_kernel_seconds(double flops, int threads) const;
+  /// Best over cpu_thread_candidates (the paper's MKL thread sweep).
+  double cpu_kernel_seconds_best(double flops) const;
+  /// Modeled time of a device kernel of `flops`.
+  double gpu_kernel_seconds(double flops) const;
+  double h2d_seconds(double bytes) const;
+  double d2h_seconds(double bytes) const;
+  /// Modeled time of scatter-assembling `entries` factor entries on the
+  /// CPU with `threads` OpenMP-style workers (paper parallelizes assembly).
+  double assembly_seconds(double entries, int threads) const;
+
+  /// Unscaled nameplate constants of the paper's hardware (A100 9.7 TF/s
+  /// FP64, PCIe 4.0 ≈ 24 GB/s, uncapped EPYC scaling). Useful for
+  /// reasoning about the full-size machine; the scaled defaults above are
+  /// what the analog dataset is calibrated against.
+  static PerfModel a100_nominal();
+};
+
+}  // namespace spchol::gpu

@@ -1,0 +1,134 @@
+#include "spchol/graph/graph.hpp"
+
+#include <algorithm>
+
+namespace spchol {
+
+Graph Graph::from_sym_lower(const CscMatrix& lower) {
+  SPCHOL_CHECK(lower.square(), "adjacency requires a square matrix");
+  const index_t n = lower.cols();
+  std::vector<offset_t> ptr(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t j = 0; j < n; ++j) {
+    for (const index_t i : lower.col_rows(j)) {
+      SPCHOL_CHECK(i >= j, "matrix is not lower triangular");
+      if (i != j) {
+        ptr[j + 1]++;
+        ptr[i + 1]++;
+      }
+    }
+  }
+  for (index_t v = 0; v < n; ++v) ptr[v + 1] += ptr[v];
+  std::vector<index_t> adj(static_cast<std::size_t>(ptr[n]));
+  std::vector<offset_t> pos(ptr.begin(), ptr.end() - 1);
+  for (index_t j = 0; j < n; ++j) {
+    for (const index_t i : lower.col_rows(j)) {
+      if (i != j) {
+        adj[pos[j]++] = i;
+        adj[pos[i]++] = j;
+      }
+    }
+  }
+  Graph g(std::move(ptr), std::move(adj));
+  // Sort each neighbour list for deterministic traversal order.
+  for (index_t v = 0; v < n; ++v) {
+    auto* lo = g.adj_.data() + g.ptr_[v];
+    std::sort(lo, lo + (g.ptr_[v + 1] - g.ptr_[v]));
+  }
+  return g;
+}
+
+Graph::Graph(std::vector<offset_t> ptr, std::vector<index_t> adj)
+    : ptr_(std::move(ptr)), adj_(std::move(adj)) {
+  SPCHOL_CHECK(!ptr_.empty() && ptr_.front() == 0 &&
+                   ptr_.back() == static_cast<offset_t>(adj_.size()),
+               "malformed adjacency arrays");
+}
+
+Graph Graph::induced_subgraph(std::span<const index_t> vertices) const {
+  const index_t n = num_vertices();
+  std::vector<index_t> local(static_cast<std::size_t>(n), -1);
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    SPCHOL_CHECK(vertices[i] >= 0 && vertices[i] < n,
+                 "subgraph vertex out of range");
+    local[vertices[i]] = static_cast<index_t>(i);
+  }
+  std::vector<offset_t> ptr(vertices.size() + 1, 0);
+  std::vector<index_t> adj;
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    for (const index_t w : neighbors(vertices[i])) {
+      if (local[w] >= 0) adj.push_back(local[w]);
+    }
+    ptr[i + 1] = static_cast<offset_t>(adj.size());
+  }
+  return Graph(std::move(ptr), std::move(adj));
+}
+
+std::pair<std::vector<index_t>, index_t> Graph::connected_components() const {
+  const index_t n = num_vertices();
+  std::vector<index_t> comp(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> stack;
+  index_t ncomp = 0;
+  for (index_t s = 0; s < n; ++s) {
+    if (comp[s] >= 0) continue;
+    comp[s] = ncomp;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const index_t v = stack.back();
+      stack.pop_back();
+      for (const index_t w : neighbors(v)) {
+        if (comp[w] < 0) {
+          comp[w] = ncomp;
+          stack.push_back(w);
+        }
+      }
+    }
+    ++ncomp;
+  }
+  return {std::move(comp), ncomp};
+}
+
+BfsResult bfs_levels(const Graph& g, index_t root) {
+  const index_t n = g.num_vertices();
+  SPCHOL_CHECK(root >= 0 && root < n, "BFS root out of range");
+  BfsResult r;
+  r.level.assign(static_cast<std::size_t>(n), -1);
+  r.order.reserve(static_cast<std::size_t>(n));
+  r.level[root] = 0;
+  r.order.push_back(root);
+  for (std::size_t head = 0; head < r.order.size(); ++head) {
+    const index_t v = r.order[head];
+    for (const index_t w : g.neighbors(v)) {
+      if (r.level[w] < 0) {
+        r.level[w] = r.level[v] + 1;
+        r.eccentricity = std::max(r.eccentricity, r.level[w]);
+        r.order.push_back(w);
+      }
+    }
+  }
+  return r;
+}
+
+index_t pseudo_peripheral(const Graph& g, index_t start) {
+  index_t root = start;
+  BfsResult r = bfs_levels(g, root);
+  for (int iter = 0; iter < 8; ++iter) {
+    // Pick a minimum-degree vertex in the last level.
+    index_t best = -1;
+    for (auto it = r.order.rbegin(); it != r.order.rend(); ++it) {
+      if (r.level[*it] != r.eccentricity) break;
+      if (best < 0 || g.degree(*it) < g.degree(best)) best = *it;
+    }
+    if (best < 0 || best == root) break;
+    BfsResult r2 = bfs_levels(g, best);
+    if (r2.eccentricity <= r.eccentricity) {
+      root = best;
+      r = std::move(r2);
+      break;
+    }
+    root = best;
+    r = std::move(r2);
+  }
+  return root;
+}
+
+}  // namespace spchol

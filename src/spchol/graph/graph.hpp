@@ -1,0 +1,62 @@
+// Undirected adjacency graph of a symmetric sparse matrix (no self loops),
+// plus the traversal utilities the ordering algorithms share.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "spchol/matrix/csc.hpp"
+
+namespace spchol {
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds the adjacency structure of a symmetric matrix given its lower
+  /// triangle. Diagonal entries are ignored.
+  static Graph from_sym_lower(const CscMatrix& lower);
+
+  /// Builds from explicit adjacency (ptr/adj CSR-style arrays).
+  Graph(std::vector<offset_t> ptr, std::vector<index_t> adj);
+
+  index_t num_vertices() const noexcept {
+    return static_cast<index_t>(ptr_.size()) - 1;
+  }
+  offset_t num_directed_edges() const noexcept {
+    return static_cast<offset_t>(adj_.size());
+  }
+  std::span<const index_t> neighbors(index_t v) const {
+    return {adj_.data() + ptr_[v],
+            static_cast<std::size_t>(ptr_[v + 1] - ptr_[v])};
+  }
+  index_t degree(index_t v) const {
+    return static_cast<index_t>(ptr_[v + 1] - ptr_[v]);
+  }
+
+  /// Induced subgraph on `vertices` (old vertex ids). The i-th entry of
+  /// `vertices` becomes vertex i of the subgraph.
+  Graph induced_subgraph(std::span<const index_t> vertices) const;
+
+  /// Connected components: returns component id per vertex and the count.
+  std::pair<std::vector<index_t>, index_t> connected_components() const;
+
+ private:
+  std::vector<offset_t> ptr_;
+  std::vector<index_t> adj_;
+};
+
+/// BFS from `root` over vertices where mask[v] (mask may be empty = all).
+/// Returns level per vertex (-1 = unreached) and the visit order.
+struct BfsResult {
+  std::vector<index_t> level;
+  std::vector<index_t> order;
+  index_t eccentricity = 0;
+};
+BfsResult bfs_levels(const Graph& g, index_t root);
+
+/// Pseudo-peripheral vertex via repeated BFS (George–Liu heuristic),
+/// starting from `start`.
+index_t pseudo_peripheral(const Graph& g, index_t start);
+
+}  // namespace spchol

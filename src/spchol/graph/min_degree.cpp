@@ -1,0 +1,189 @@
+#include "spchol/graph/min_degree.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace spchol {
+
+namespace {
+
+/// Doubly-linked degree buckets with a rising minimum-degree scan pointer.
+class DegreeLists {
+ public:
+  explicit DegreeLists(index_t n)
+      : head_(static_cast<std::size_t>(n) + 1, -1),
+        next_(static_cast<std::size_t>(n), -1),
+        prev_(static_cast<std::size_t>(n), -1),
+        deg_(static_cast<std::size_t>(n), 0),
+        in_list_(static_cast<std::size_t>(n), 0) {}
+
+  void insert(index_t v, index_t d) {
+    deg_[v] = d;
+    next_[v] = head_[d];
+    prev_[v] = -1;
+    if (head_[d] >= 0) prev_[head_[d]] = v;
+    head_[d] = v;
+    in_list_[v] = 1;
+    min_deg_ = std::min(min_deg_, d);
+  }
+
+  void remove(index_t v) {
+    if (!in_list_[v]) return;
+    if (prev_[v] >= 0) {
+      next_[prev_[v]] = next_[v];
+    } else {
+      head_[deg_[v]] = next_[v];
+    }
+    if (next_[v] >= 0) prev_[next_[v]] = prev_[v];
+    in_list_[v] = 0;
+  }
+
+  void update(index_t v, index_t d) {
+    remove(v);
+    insert(v, d);
+  }
+
+  index_t pop_min() {
+    while (min_deg_ < static_cast<index_t>(head_.size()) - 1 &&
+           head_[min_deg_] < 0) {
+      ++min_deg_;
+    }
+    const index_t v = head_[min_deg_];
+    if (v >= 0) remove(v);
+    return v;
+  }
+
+  index_t degree(index_t v) const { return deg_[v]; }
+
+ private:
+  std::vector<index_t> head_;
+  std::vector<index_t> next_;
+  std::vector<index_t> prev_;
+  std::vector<index_t> deg_;
+  std::vector<char> in_list_;
+  index_t min_deg_ = 0;
+};
+
+}  // namespace
+
+Permutation min_degree_ordering(const Graph& g) {
+  const index_t n = g.num_vertices();
+  if (n == 0) return Permutation::identity(0);
+
+  enum class State : char { kVariable, kElement, kDead };
+  std::vector<State> state(static_cast<std::size_t>(n), State::kVariable);
+  // For variables: adjacent alive variables / adjacent elements.
+  // For elements: member variable list (L_e), fixed at creation.
+  std::vector<std::vector<index_t>> avar(static_cast<std::size_t>(n));
+  std::vector<std::vector<index_t>> aelem(static_cast<std::size_t>(n));
+  std::vector<std::vector<index_t>> members(static_cast<std::size_t>(n));
+
+  DegreeLists lists(n);
+  for (index_t v = 0; v < n; ++v) {
+    const auto nb = g.neighbors(v);
+    avar[v].assign(nb.begin(), nb.end());
+    lists.insert(v, static_cast<index_t>(nb.size()));
+  }
+
+  std::vector<std::uint32_t> mark(static_cast<std::size_t>(n), 0);
+  std::uint32_t mark_gen = 0;
+  std::vector<std::uint32_t> egen(static_cast<std::size_t>(n), 0);
+  std::uint32_t egen_cur = 0;
+  std::vector<index_t> w(static_cast<std::size_t>(n), 0);
+
+  std::vector<index_t> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<index_t> lp;  // L_p scratch
+
+  for (index_t nelim = 0; nelim < n; ++nelim) {
+    const index_t p = lists.pop_min();
+    SPCHOL_CHECK(p >= 0, "degree lists exhausted prematurely");
+    order.push_back(p);
+
+    // --- Build L_p = (A_p ∪ ∪_{e∈E_p} L_e) \ {p}, absorbing E_p. ---
+    ++mark_gen;
+    mark[p] = mark_gen;
+    lp.clear();
+    for (const index_t u : avar[p]) {
+      if (state[u] == State::kVariable && mark[u] != mark_gen) {
+        mark[u] = mark_gen;
+        lp.push_back(u);
+      }
+    }
+    for (const index_t e : aelem[p]) {
+      if (state[e] != State::kElement) continue;
+      for (const index_t u : members[e]) {
+        if (state[u] == State::kVariable && u != p && mark[u] != mark_gen) {
+          mark[u] = mark_gen;
+          lp.push_back(u);
+        }
+      }
+      state[e] = State::kDead;
+      members[e].clear();
+      members[e].shrink_to_fit();
+    }
+    state[p] = State::kElement;
+    avar[p].clear();
+    avar[p].shrink_to_fit();
+    aelem[p].clear();
+    aelem[p].shrink_to_fit();
+    members[p] = lp;
+
+    // --- First pass: w[e] = |L_e \ L_p| for elements touching L_p. ---
+    ++egen_cur;
+    for (const index_t u : lp) {
+      for (const index_t e : aelem[u]) {
+        if (state[e] != State::kElement) continue;
+        if (egen[e] != egen_cur) {
+          egen[e] = egen_cur;
+          w[e] = static_cast<index_t>(members[e].size());
+        }
+        --w[e];
+      }
+    }
+
+    // --- Second pass: prune lists, absorb subset elements, update degrees.
+    const index_t lp_size = static_cast<index_t>(lp.size());
+    for (const index_t u : lp) {
+      // Prune A_u of members of L_p (now represented by element p).
+      auto& au = avar[u];
+      au.erase(std::remove_if(au.begin(), au.end(),
+                              [&](index_t v) {
+                                return v == p || mark[v] == mark_gen ||
+                                       state[v] != State::kVariable;
+                              }),
+               au.end());
+      // Prune E_u of dead/absorbed elements; aggressive absorption of
+      // elements entirely contained in L_p.
+      auto& eu = aelem[u];
+      index_t ext_elem = 0;
+      std::size_t out = 0;
+      for (const index_t e : eu) {
+        if (state[e] != State::kElement) continue;
+        if (egen[e] == egen_cur && w[e] == 0) {
+          state[e] = State::kDead;  // L_e ⊆ L_p: absorbed by p
+          members[e].clear();
+          continue;
+        }
+        ext_elem += (egen[e] == egen_cur)
+                        ? w[e]
+                        : static_cast<index_t>(members[e].size());
+        eu[out++] = e;
+      }
+      eu.resize(out);
+      eu.push_back(p);
+
+      const index_t bound_fill = lists.degree(u) + lp_size - 1;
+      const index_t bound_ext =
+          static_cast<index_t>(au.size()) + ext_elem + lp_size - 1;
+      const index_t bound_n = n - nelim - 1;
+      const index_t d =
+          std::max<index_t>(0, std::min({bound_fill, bound_ext, bound_n}));
+      lists.update(u, d);
+    }
+  }
+
+  return Permutation(std::move(order));
+}
+
+}  // namespace spchol

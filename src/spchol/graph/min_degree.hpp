@@ -1,0 +1,13 @@
+// Approximate minimum degree ordering (AMD-style quotient graph with
+// element absorption and Amestoy–Davis–Duff approximate external degrees;
+// supervariable merging is not performed).
+#pragma once
+
+#include "spchol/graph/graph.hpp"
+#include "spchol/support/permutation.hpp"
+
+namespace spchol {
+
+Permutation min_degree_ordering(const Graph& g);
+
+}  // namespace spchol

@@ -1,0 +1,27 @@
+// Nested dissection with BFS level-set vertex separators — the stand-in for
+// the paper's METIS nested dissection ordering step.
+#pragma once
+
+#include "spchol/graph/graph.hpp"
+#include "spchol/support/permutation.hpp"
+
+namespace spchol {
+
+struct NdOptions {
+  /// Pieces at or below this size are ordered directly (RCM) instead of
+  /// being dissected further.
+  index_t leaf_size = 64;
+  /// A candidate split is accepted only if the smaller side holds at least
+  /// this fraction of the piece.
+  double min_balance = 0.25;
+};
+
+/// Nested dissection ordering: recursively bisect with a vertex separator,
+/// ordering part A, then part B, then the separator last.
+Permutation nested_dissection(const Graph& g, const NdOptions& opts = {});
+
+/// One bisection step (exposed for testing): partitions vertices of `g`
+/// into A (0), B (1), separator (2). Requires a connected graph.
+std::vector<int> nd_vertex_separator(const Graph& g, const NdOptions& opts);
+
+}  // namespace spchol

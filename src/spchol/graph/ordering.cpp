@@ -1,0 +1,41 @@
+#include "spchol/graph/ordering.hpp"
+
+#include "spchol/graph/min_degree.hpp"
+#include "spchol/graph/rcm.hpp"
+
+namespace spchol {
+
+const char* to_string(OrderingMethod m) {
+  switch (m) {
+    case OrderingMethod::kNatural:
+      return "natural";
+    case OrderingMethod::kRcm:
+      return "rcm";
+    case OrderingMethod::kNestedDissection:
+      return "nested-dissection";
+    case OrderingMethod::kMinimumDegree:
+      return "minimum-degree";
+  }
+  return "?";
+}
+
+Permutation compute_ordering(const CscMatrix& lower, OrderingMethod method,
+                             const NdOptions& nd_opts) {
+  SPCHOL_CHECK(lower.square(), "ordering requires a square matrix");
+  if (method == OrderingMethod::kNatural) {
+    return Permutation::identity(lower.cols());
+  }
+  const Graph g = Graph::from_sym_lower(lower);
+  switch (method) {
+    case OrderingMethod::kRcm:
+      return rcm_ordering(g);
+    case OrderingMethod::kNestedDissection:
+      return nested_dissection(g, nd_opts);
+    case OrderingMethod::kMinimumDegree:
+      return min_degree_ordering(g);
+    default:
+      return Permutation::identity(lower.cols());
+  }
+}
+
+}  // namespace spchol

@@ -1,0 +1,24 @@
+// Fill-reducing ordering dispatch — the paper's pipeline uses nested
+// dissection (METIS); the alternatives are provided for comparison.
+#pragma once
+
+#include "spchol/graph/nested_dissection.hpp"
+#include "spchol/support/permutation.hpp"
+
+namespace spchol {
+
+enum class OrderingMethod {
+  kNatural,           ///< identity (no reordering)
+  kRcm,               ///< reverse Cuthill–McKee
+  kNestedDissection,  ///< BFS vertex-separator nested dissection (default)
+  kMinimumDegree,     ///< AMD-style approximate minimum degree
+};
+
+const char* to_string(OrderingMethod m);
+
+/// Computes a fill-reducing permutation for a symmetric matrix given its
+/// lower triangle.
+Permutation compute_ordering(const CscMatrix& lower, OrderingMethod method,
+                             const NdOptions& nd_opts = {});
+
+}  // namespace spchol

@@ -1,0 +1,51 @@
+#include "spchol/graph/rcm.hpp"
+
+#include <algorithm>
+
+namespace spchol {
+
+Permutation rcm_ordering(const Graph& g) {
+  const index_t n = g.num_vertices();
+  std::vector<index_t> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  std::vector<index_t> nbrs;
+
+  for (index_t s = 0; s < n; ++s) {
+    if (visited[s]) continue;
+    const index_t root = pseudo_peripheral(g, s);
+    // Cuthill–McKee BFS with neighbours enqueued by increasing degree.
+    std::size_t head = order.size();
+    visited[root] = 1;
+    order.push_back(root);
+    while (head < order.size()) {
+      const index_t v = order[head++];
+      nbrs.clear();
+      for (const index_t w : g.neighbors(v)) {
+        if (!visited[w]) {
+          visited[w] = 1;
+          nbrs.push_back(w);
+        }
+      }
+      std::sort(nbrs.begin(), nbrs.end(), [&](index_t a, index_t b) {
+        return g.degree(a) != g.degree(b) ? g.degree(a) < g.degree(b) : a < b;
+      });
+      order.insert(order.end(), nbrs.begin(), nbrs.end());
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return Permutation(std::move(order));
+}
+
+index_t bandwidth(const CscMatrix& lower, const Permutation& perm) {
+  index_t bw = 0;
+  for (index_t j = 0; j < lower.cols(); ++j) {
+    const index_t nj = perm.old_to_new(j);
+    for (const index_t i : lower.col_rows(j)) {
+      bw = std::max(bw, std::abs(perm.old_to_new(i) - nj));
+    }
+  }
+  return bw;
+}
+
+}  // namespace spchol

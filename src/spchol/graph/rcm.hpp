@@ -1,0 +1,16 @@
+// Reverse Cuthill–McKee ordering (bandwidth/profile reduction).
+#pragma once
+
+#include "spchol/graph/graph.hpp"
+#include "spchol/support/permutation.hpp"
+
+namespace spchol {
+
+/// RCM over all components (each rooted at a pseudo-peripheral vertex).
+Permutation rcm_ordering(const Graph& g);
+
+/// Envelope bandwidth of the symmetric matrix under a permutation
+/// (max over columns of new-index distance); diagnostic for tests.
+index_t bandwidth(const CscMatrix& lower, const Permutation& perm);
+
+}  // namespace spchol

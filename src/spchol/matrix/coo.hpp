@@ -1,0 +1,47 @@
+// Coordinate (triplet) sparse format — the assembly format. Duplicate
+// entries are summed when converting to CSC.
+#pragma once
+
+#include <vector>
+
+#include "spchol/support/common.hpp"
+
+namespace spchol {
+
+class CscMatrix;
+
+struct Triplet {
+  index_t row;
+  index_t col;
+  double value;
+};
+
+class CooMatrix {
+ public:
+  CooMatrix(index_t rows, index_t cols) : rows_(rows), cols_(cols) {
+    SPCHOL_CHECK(rows >= 0 && cols >= 0, "negative dimension");
+  }
+
+  index_t rows() const noexcept { return rows_; }
+  index_t cols() const noexcept { return cols_; }
+  offset_t nnz() const noexcept { return static_cast<offset_t>(entries_.size()); }
+  const std::vector<Triplet>& entries() const noexcept { return entries_; }
+
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
+  void add(index_t row, index_t col, double value) {
+    SPCHOL_CHECK(row >= 0 && row < rows_ && col >= 0 && col < cols_,
+                 "triplet index out of range");
+    entries_.push_back({row, col, value});
+  }
+
+  /// Compresses to CSC, summing duplicates; rows sorted within each column.
+  CscMatrix to_csc() const;
+
+ private:
+  index_t rows_;
+  index_t cols_;
+  std::vector<Triplet> entries_;
+};
+
+}  // namespace spchol

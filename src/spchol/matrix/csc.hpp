@@ -1,0 +1,75 @@
+// Compressed sparse column matrix. The factorization-facing convention in
+// spchol is: a symmetric matrix is stored as its LOWER triangle (diagonal
+// included), columns sorted by row index.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "spchol/support/common.hpp"
+#include "spchol/support/permutation.hpp"
+
+namespace spchol {
+
+class CscMatrix {
+ public:
+  CscMatrix() = default;
+
+  /// Validating constructor: colptr monotone with colptr[0]=0 and
+  /// colptr[cols]=nnz; row indices in range and strictly increasing per
+  /// column.
+  CscMatrix(index_t rows, index_t cols, std::vector<offset_t> colptr,
+            std::vector<index_t> rowind, std::vector<double> values);
+
+  static CscMatrix identity(index_t n);
+
+  index_t rows() const noexcept { return rows_; }
+  index_t cols() const noexcept { return cols_; }
+  offset_t nnz() const noexcept { return static_cast<offset_t>(rowind_.size()); }
+  bool square() const noexcept { return rows_ == cols_; }
+
+  const std::vector<offset_t>& colptr() const noexcept { return colptr_; }
+  const std::vector<index_t>& rowind() const noexcept { return rowind_; }
+  const std::vector<double>& values() const noexcept { return values_; }
+  std::vector<double>& mutable_values() noexcept { return values_; }
+
+  std::span<const index_t> col_rows(index_t j) const {
+    return {rowind_.data() + colptr_[j],
+            static_cast<std::size_t>(colptr_[j + 1] - colptr_[j])};
+  }
+  std::span<const double> col_values(index_t j) const {
+    return {values_.data() + colptr_[j],
+            static_cast<std::size_t>(colptr_[j + 1] - colptr_[j])};
+  }
+
+  CscMatrix transpose() const;
+
+  /// Keeps entries with row >= col.
+  CscMatrix lower() const;
+
+  /// Treats *this as the lower triangle of a symmetric matrix and returns
+  /// the full (both triangles) matrix.
+  CscMatrix full_from_lower() const;
+
+  bool structurally_symmetric() const;
+
+  /// y = A x where *this stores the lower triangle of symmetric A.
+  void sym_lower_matvec(std::span<const double> x, std::span<double> y) const;
+
+  /// B = PAPᵀ where *this stores the lower triangle of symmetric A; the
+  /// result again stores the lower triangle.
+  CscMatrix permuted_sym_lower(const Permutation& perm) const;
+
+  /// max_j |diag(j)| based 1-norm of A - B over the stored lower pattern
+  /// union (for tests).
+  static double max_abs_diff(const CscMatrix& a, const CscMatrix& b);
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<offset_t> colptr_;
+  std::vector<index_t> rowind_;
+  std::vector<double> values_;
+};
+
+}  // namespace spchol

@@ -1,0 +1,86 @@
+#include "spchol/matrix/dataset.hpp"
+
+#include "spchol/matrix/generators.hpp"
+
+namespace spchol {
+
+namespace {
+
+std::vector<DatasetEntry> build_dataset() {
+  std::vector<DatasetEntry> d;
+  auto add = [&](std::string name, index_t paper_n, index_t total_sn,
+                 PaperRow rl, PaperRow rlb, std::string analog,
+                 std::function<CscMatrix()> make) {
+    d.push_back({std::move(name), paper_n, total_sn, rl, rlb,
+                 std::move(analog), std::move(make)});
+  };
+
+  // name, paper n, paper total supernodes,
+  // Table I {time, speedup, #gpu sn}, Table II {time, speedup, #gpu sn}.
+  add("CurlCurl_2", 806529, 8822, {3.800, 1.59, 98}, {4.802, 1.26, 81},
+      "grid3d_7pt 30^3", [] { return grid3d_7pt(30, 30, 30); });
+  add("dielFilterV2real", 1157456, 11292, {5.599, 1.40, 150},
+      {7.204, 1.09, 126}, "grid3d_27pt 24^3",
+      [] { return grid3d_27pt(24, 24, 24); });
+  add("dielFilterV3real", 1102824, 10156, {5.669, 1.43, 148},
+      {6.776, 1.20, 122}, "grid3d_27pt 25^3",
+      [] { return grid3d_27pt(25, 25, 25); });
+  add("PFlow_742", 742793, 61809, {4.497, 1.35, 123}, {4.715, 1.29, 94},
+      "grid2d_5pt 420^2", [] { return grid2d_5pt(420, 420); });
+  add("CurlCurl_3", 1219574, 10074, {7.040, 2.01, 164}, {9.040, 1.56, 146},
+      "grid3d_7pt 34^3", [] { return grid3d_7pt(34, 34, 34); });
+  add("StocF-1465", 1465137, 40255, {9.379, 1.87, 236}, {12.082, 1.45, 199},
+      "grid3d_7pt 100x100x10 (flat box)",
+      [] { return grid3d_7pt(100, 100, 10); });
+  add("bone010", 986703, 4017, {9.158, 1.41, 264}, {9.754, 1.32, 228},
+      "grid3d_vector 16^3 x3dof", [] { return grid3d_vector(16, 16, 16, 3); });
+  add("Flan_1565", 1564794, 7591, {12.853, 1.31, 461}, {13.529, 1.25, 360},
+      "grid3d_vector 20^3 x3dof", [] { return grid3d_vector(20, 20, 20, 3); });
+  add("audikw_1", 943695, 3725, {9.922, 1.68, 264}, {11.355, 1.46, 223},
+      "grid3d_vector 19^3 x3dof", [] { return grid3d_vector(19, 19, 19, 3); });
+  add("Fault_639", 638802, 1981, {8.188, 1.90, 261}, {9.938, 1.56, 178},
+      "grid3d_vector 17^3 x3dof", [] { return grid3d_vector(17, 17, 17, 3); });
+  add("Hook_1498", 1498023, 10781, {12.032, 2.29, 284}, {15.114, 1.83, 242},
+      "grid3d_7pt 38^3", [] { return grid3d_7pt(38, 38, 38); });
+  add("Emilia_923", 923136, 2815, {12.432, 2.04, 405}, {15.253, 1.66, 267},
+      "grid3d_vector 18^3 x3dof", [] { return grid3d_vector(18, 18, 18, 3); });
+  add("CurlCurl_4", 2380515, 17660, {15.745, 2.44, 340}, {20.324, 1.89, 277},
+      "grid3d_7pt 42^3", [] { return grid3d_7pt(42, 42, 42); });
+  add("nlpkkt80", 1062400, 5431, {12.596, 2.42, 235}, {14.886, 2.05, 208},
+      "grid3d_wide 20^3 range2", [] { return grid3d_wide(20, 20, 20, 2); });
+  add("Geo_1438", 1437960, 4419, {18.698, 2.01, 601}, {20.419, 1.84, 405},
+      "grid3d_vector 21^3 x3dof", [] { return grid3d_vector(21, 21, 21, 3); });
+  add("Serena", 1391349, 4822, {19.333, 3.00, 388}, {24.972, 2.32, 302},
+      "grid3d_vector 22^3 x3dof", [] { return grid3d_vector(22, 22, 22, 3); });
+  add("Long_Coup_dt0", 1470152, 2897, {27.708, 3.22, 1432},
+      {40.968, 2.18, 1207}, "grid3d_vector 36x18x18 x3dof",
+      [] { return grid3d_vector(36, 18, 18, 3); });
+  add("Cube_Coup_dt0", 2164760, 3853, {42.188, 3.75, 2142},
+      {61.064, 2.59, 1918}, "grid3d_vector 25^3 x3dof",
+      [] { return grid3d_vector(25, 25, 25, 3); });
+  add("Bump_2911", 2911419, 64995, {64.339, 4.47, 2848}, {99.561, 2.89, 2368},
+      "grid3d_vector 27^3 x3dof", [] { return grid3d_vector(27, 27, 27, 3); });
+  add("nlpkkt120", 3542400, 12785,
+      {0.0, 0.0, 0, /*out_of_memory=*/true}, {114.658, 3.07, 1048},
+      "grid3d_wide 40x28x22 range2",
+      [] { return grid3d_wide(40, 28, 22, 2); });
+  add("Queen_4147", 4147110, 7158, {89.552, 4.27, 3898}, {121.299, 3.15, 3647},
+      "grid3d_vector 29^3 x3dof", [] { return grid3d_vector(29, 29, 29, 3); });
+  return d;
+}
+
+}  // namespace
+
+const std::vector<DatasetEntry>& dataset() {
+  static const std::vector<DatasetEntry> d = build_dataset();
+  return d;
+}
+
+const DatasetEntry& dataset_entry(const std::string& name) {
+  for (const auto& e : dataset()) {
+    if (e.name == name) return e;
+  }
+  throw InvalidArgument("unknown dataset entry: " + name);
+}
+
+}  // namespace spchol

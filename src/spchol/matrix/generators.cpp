@@ -1,0 +1,180 @@
+#include "spchol/matrix/generators.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "spchol/matrix/coo.hpp"
+#include "spchol/support/rng.hpp"
+
+namespace spchol {
+
+namespace {
+
+/// Builds the lower triangle from a list of strictly-lower triplets plus a
+/// strictly dominant diagonal.
+CscMatrix assemble_spd(index_t n, const std::vector<Triplet>& offdiag,
+                       double shift) {
+  std::vector<double> diag(static_cast<std::size_t>(n), 1.0 + shift);
+  for (const auto& t : offdiag) {
+    diag[t.row] += std::abs(t.value);
+    diag[t.col] += std::abs(t.value);
+  }
+  CooMatrix coo(n, n);
+  coo.reserve(offdiag.size() + static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j) coo.add(j, j, diag[j]);
+  for (const auto& t : offdiag) {
+    SPCHOL_CHECK(t.row > t.col, "offdiag triplet not strictly lower");
+    coo.add(t.row, t.col, t.value);
+  }
+  return coo.to_csc();
+}
+
+}  // namespace
+
+CscMatrix grid2d_5pt(index_t nx, index_t ny, double shift) {
+  SPCHOL_CHECK(nx > 0 && ny > 0, "grid dimensions must be positive");
+  const index_t n = nx * ny;
+  auto id = [&](index_t x, index_t y) { return x + nx * y; };
+  std::vector<Triplet> off;
+  off.reserve(static_cast<std::size_t>(2) * n);
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t j = id(x, y);
+      if (x + 1 < nx) off.push_back({id(x + 1, y), j, -1.0});
+      if (y + 1 < ny) off.push_back({id(x, y + 1), j, -1.0});
+    }
+  }
+  return assemble_spd(n, off, shift);
+}
+
+CscMatrix grid3d_7pt(index_t nx, index_t ny, index_t nz, double shift) {
+  SPCHOL_CHECK(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be positive");
+  const index_t n = nx * ny * nz;
+  auto id = [&](index_t x, index_t y, index_t z) { return x + nx * (y + ny * z); };
+  std::vector<Triplet> off;
+  off.reserve(static_cast<std::size_t>(3) * n);
+  for (index_t z = 0; z < nz; ++z) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t j = id(x, y, z);
+        if (x + 1 < nx) off.push_back({id(x + 1, y, z), j, -1.0});
+        if (y + 1 < ny) off.push_back({id(x, y + 1, z), j, -1.0});
+        if (z + 1 < nz) off.push_back({id(x, y, z + 1), j, -1.0});
+      }
+    }
+  }
+  return assemble_spd(n, off, shift);
+}
+
+namespace {
+
+CscMatrix grid3d_chebyshev(index_t nx, index_t ny, index_t nz, index_t range,
+                           double shift) {
+  SPCHOL_CHECK(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be positive");
+  SPCHOL_CHECK(range >= 1, "stencil range must be >= 1");
+  const index_t n = nx * ny * nz;
+  auto id = [&](index_t x, index_t y, index_t z) { return x + nx * (y + ny * z); };
+  std::vector<Triplet> off;
+  for (index_t z = 0; z < nz; ++z) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t j = id(x, y, z);
+        // Emit each neighbour pair once: lexicographically larger id only.
+        for (index_t dz = 0; dz <= range; ++dz) {
+          for (index_t dy = -range; dy <= range; ++dy) {
+            for (index_t dx = -range; dx <= range; ++dx) {
+              if (dz == 0 && (dy < 0 || (dy == 0 && dx <= 0))) continue;
+              const index_t X = x + dx, Y = y + dy, Z = z + dz;
+              if (X < 0 || X >= nx || Y < 0 || Y >= ny || Z < 0 || Z >= nz) {
+                continue;
+              }
+              off.push_back({id(X, Y, Z), j, -1.0});
+            }
+          }
+        }
+      }
+    }
+  }
+  return assemble_spd(n, off, shift);
+}
+
+}  // namespace
+
+CscMatrix grid3d_27pt(index_t nx, index_t ny, index_t nz, double shift) {
+  return grid3d_chebyshev(nx, ny, nz, 1, shift);
+}
+
+CscMatrix grid3d_wide(index_t nx, index_t ny, index_t nz, index_t range,
+                      double shift) {
+  return grid3d_chebyshev(nx, ny, nz, range, shift);
+}
+
+CscMatrix grid3d_vector(index_t nx, index_t ny, index_t nz, index_t dofs,
+                        double shift) {
+  SPCHOL_CHECK(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be positive");
+  SPCHOL_CHECK(dofs >= 1, "dofs must be >= 1");
+  const index_t nodes = nx * ny * nz;
+  const index_t n = nodes * dofs;
+  auto node = [&](index_t x, index_t y, index_t z) {
+    return x + nx * (y + ny * z);
+  };
+  constexpr double kSame = -1.0;
+  constexpr double kCross = -0.25;
+  std::vector<Triplet> off;
+  auto couple = [&](index_t a, index_t b) {  // node a > node b
+    for (index_t da = 0; da < dofs; ++da) {
+      for (index_t db = 0; db < dofs; ++db) {
+        off.push_back({a * dofs + da, b * dofs + db,
+                       da == db ? kSame : kCross});
+      }
+    }
+  };
+  for (index_t z = 0; z < nz; ++z) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t j = node(x, y, z);
+        // Within-node cross-dof coupling (strictly lower part).
+        for (index_t da = 0; da < dofs; ++da) {
+          for (index_t db = 0; db < da; ++db) {
+            off.push_back({j * dofs + da, j * dofs + db, kCross});
+          }
+        }
+        if (x + 1 < nx) couple(node(x + 1, y, z), j);
+        if (y + 1 < ny) couple(node(x, y + 1, z), j);
+        if (z + 1 < nz) couple(node(x, y, z + 1), j);
+      }
+    }
+  }
+  return assemble_spd(n, off, shift);
+}
+
+CscMatrix random_spd(index_t n, index_t extra_per_col, std::uint64_t seed,
+                     double shift) {
+  SPCHOL_CHECK(n > 0, "dimension must be positive");
+  Rng rng(seed);
+  std::vector<Triplet> off;
+  off.reserve(static_cast<std::size_t>(n) * extra_per_col);
+  for (index_t j = 0; j + 1 < n; ++j) {
+    for (index_t k = 0; k < extra_per_col; ++k) {
+      const index_t i = j + 1 + rng.next_index(n - j - 1);
+      off.push_back({i, j, rng.uniform(-1.0, 1.0)});
+    }
+  }
+  // Duplicates merge in to_csc via assemble_spd's CooMatrix; dominance is
+  // computed per triplet so the merged diagonal is still >= row sum.
+  return assemble_spd(n, off, shift);
+}
+
+CscMatrix dense_spd(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triplet> off;
+  off.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j + 1; i < n; ++i) {
+      off.push_back({i, j, rng.uniform(-1.0, 1.0)});
+    }
+  }
+  return assemble_spd(n, off, 0.0);
+}
+
+}  // namespace spchol

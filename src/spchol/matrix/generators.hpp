@@ -1,0 +1,45 @@
+// Synthetic SPD matrix generators. Every generator returns the LOWER
+// triangle of a symmetric matrix whose diagonal is
+//   diag(j) = 1 + shift + sum_i |offdiag(i,j)|
+// (strict diagonal dominance), so the result is guaranteed SPD regardless
+// of the stencil.
+//
+// These stand in for the paper's SuiteSparse test set (see dataset.hpp for
+// the per-matrix mapping).
+#pragma once
+
+#include "spchol/matrix/csc.hpp"
+
+namespace spchol {
+
+/// 2D nx×ny grid, 5-point stencil (off-diagonal value -1).
+CscMatrix grid2d_5pt(index_t nx, index_t ny, double shift = 0.0);
+
+/// 3D nx×ny×nz grid, 7-point stencil.
+CscMatrix grid3d_7pt(index_t nx, index_t ny, index_t nz, double shift = 0.0);
+
+/// 3D grid, 27-point stencil (all neighbours within Chebyshev distance 1).
+CscMatrix grid3d_27pt(index_t nx, index_t ny, index_t nz, double shift = 0.0);
+
+/// 3D grid, wide stencil: all neighbours within Chebyshev distance `range`
+/// ((2*range+1)^3-point). range=2 gives the dense-factor "KKT-like" class
+/// used as the nlpkkt80/nlpkkt120 analog.
+CscMatrix grid3d_wide(index_t nx, index_t ny, index_t nz, index_t range,
+                      double shift = 0.0);
+
+/// 3D grid with `dofs` unknowns per node; all dofs of a node couple with
+/// all dofs of the 7-point neighbours (same-dof coupling -1, cross-dof
+/// coupling -0.25). Emulates vector-valued mechanical/geophysical problems
+/// (audikw_1, Flan_1565, Serena, ... class).
+CscMatrix grid3d_vector(index_t nx, index_t ny, index_t nz, index_t dofs,
+                        double shift = 0.0);
+
+/// Random sparse SPD matrix: `extra_per_col` strictly-lower entries per
+/// column at random rows, values in [-1,1], then the dominant diagonal.
+CscMatrix random_spd(index_t n, index_t extra_per_col, std::uint64_t seed,
+                     double shift = 0.0);
+
+/// Dense SPD matrix in lower-CSC form (for small cross-checks).
+CscMatrix dense_spd(index_t n, std::uint64_t seed);
+
+}  // namespace spchol

@@ -1,0 +1,29 @@
+// Minimal MatrixMarket coordinate reader/writer (real/integer/pattern,
+// general/symmetric). Symmetric matrices are returned as lower triangles.
+#pragma once
+
+#include <string>
+
+#include "spchol/matrix/csc.hpp"
+
+namespace spchol {
+
+struct MatrixMarketData {
+  CscMatrix matrix;  // symmetric inputs: lower triangle
+  bool symmetric = false;
+};
+
+/// Parses a MatrixMarket coordinate file. Throws InvalidArgument on malformed
+/// input. Pattern files get value 1.0 (off-diagonal) entries.
+MatrixMarketData read_matrix_market(const std::string& path);
+
+/// Convenience: read a symmetric MatrixMarket file as a lower-triangle CSC.
+/// Throws if the file is not declared symmetric.
+CscMatrix read_matrix_market_sym_lower(const std::string& path);
+
+/// Writes the lower triangle of a symmetric matrix in MatrixMarket
+/// coordinate real symmetric format.
+void write_matrix_market_sym_lower(const std::string& path,
+                                   const CscMatrix& lower);
+
+}  // namespace spchol

@@ -1,0 +1,18 @@
+// Umbrella header: GPU-accelerated right-looking supernodal sparse
+// Cholesky factorization (reproduction of Karsavuran, Ng & Peyton,
+// SC 2024, arXiv:2409.14009).
+//
+// Quickstart:
+//   spchol::CscMatrix a = spchol::grid3d_7pt(20, 20, 20);
+//   std::vector<double> b(a.cols(), 1.0);
+//   auto x = spchol::CholeskySolver::solve(a, b);
+#pragma once
+
+#include "spchol/core/factor.hpp"
+#include "spchol/core/perf_profile.hpp"
+#include "spchol/core/solver.hpp"
+#include "spchol/graph/ordering.hpp"
+#include "spchol/matrix/dataset.hpp"
+#include "spchol/matrix/generators.hpp"
+#include "spchol/matrix/matrix_market.hpp"
+#include "spchol/symbolic/symbolic_factor.hpp"

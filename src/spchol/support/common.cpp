@@ -1,0 +1,15 @@
+#include "spchol/support/common.hpp"
+
+#include <sstream>
+
+namespace spchol::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+  std::ostringstream os;
+  os << "SPCHOL_CHECK failed: (" << expr << ") at " << file << ":" << line
+     << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace spchol::detail

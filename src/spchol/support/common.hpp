@@ -1,0 +1,58 @@
+// Core type aliases and error handling used throughout spchol.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace spchol {
+
+/// Row/column index type. 32-bit: the library targets matrices with
+/// n < 2^31 and per-supernode dimensions well below that.
+using index_t = std::int32_t;
+
+/// Offset / count type for nonzero positions (can exceed 2^31 for factors).
+using offset_t = std::int64_t;
+
+/// Base class for all spchol errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an input matrix violates a precondition (not square,
+/// not symmetric, indices out of range, ...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown by the numeric factorization when a diagonal pivot is not
+/// positive, i.e. the matrix is not positive definite.
+class NotPositiveDefinite : public Error {
+ public:
+  explicit NotPositiveDefinite(index_t column)
+      : Error("matrix is not positive definite (detected at column " +
+              std::to_string(column) + ")"),
+        column_(column) {}
+  index_t column() const noexcept { return column_; }
+
+ private:
+  index_t column_;
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+}  // namespace detail
+
+/// Precondition check that is always on (factorization correctness depends
+/// on symbolic invariants; the cost is negligible next to the numerics).
+#define SPCHOL_CHECK(expr, msg)                                        \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::spchol::detail::check_failed(#expr, __FILE__, __LINE__, msg);  \
+    }                                                                  \
+  } while (0)
+
+}  // namespace spchol

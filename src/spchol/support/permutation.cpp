@@ -1,0 +1,40 @@
+#include "spchol/support/permutation.hpp"
+
+#include <numeric>
+
+namespace spchol {
+
+Permutation::Permutation(std::vector<index_t> new_to_old)
+    : new_to_old_(std::move(new_to_old)) {
+  const index_t n = static_cast<index_t>(new_to_old_.size());
+  old_to_new_.assign(new_to_old_.size(), -1);
+  for (index_t k = 0; k < n; ++k) {
+    const index_t o = new_to_old_[k];
+    SPCHOL_CHECK(o >= 0 && o < n, "permutation entry out of range");
+    SPCHOL_CHECK(old_to_new_[o] == -1, "duplicate permutation entry");
+    old_to_new_[o] = k;
+  }
+}
+
+Permutation Permutation::identity(index_t n) {
+  std::vector<index_t> p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), index_t{0});
+  return Permutation(std::move(p));
+}
+
+Permutation Permutation::inverse() const {
+  return Permutation(old_to_new_);
+}
+
+Permutation Permutation::compose(const Permutation& first,
+                                 const Permutation& second) {
+  SPCHOL_CHECK(first.size() == second.size(),
+               "composing permutations of different sizes");
+  std::vector<index_t> r(static_cast<std::size_t>(first.size()));
+  for (index_t k = 0; k < first.size(); ++k) {
+    r[static_cast<std::size_t>(k)] = first.new_to_old(second.new_to_old(k));
+  }
+  return Permutation(std::move(r));
+}
+
+}  // namespace spchol

@@ -1,0 +1,40 @@
+// Symmetric permutations. Convention: perm[k] = OLD index that becomes NEW
+// index k (the METIS/CHOLMOD "perm" convention), i.e. B = PAPᵀ has
+// B[k,l] = A[perm[k], perm[l]].
+#pragma once
+
+#include <vector>
+
+#include "spchol/support/common.hpp"
+
+namespace spchol {
+
+class Permutation {
+ public:
+  Permutation() = default;
+
+  /// Takes a new→old map; validates it is a permutation of 0..n-1.
+  explicit Permutation(std::vector<index_t> new_to_old);
+
+  static Permutation identity(index_t n);
+
+  index_t size() const noexcept { return static_cast<index_t>(new_to_old_.size()); }
+  index_t new_to_old(index_t k) const { return new_to_old_[k]; }
+  index_t old_to_new(index_t k) const { return old_to_new_[k]; }
+  const std::vector<index_t>& new_to_old() const noexcept { return new_to_old_; }
+  const std::vector<index_t>& old_to_new() const noexcept { return old_to_new_; }
+
+  Permutation inverse() const;
+
+  /// Returns the permutation equivalent to applying `first`, then `second`
+  /// on the already-permuted matrix: result.new_to_old[k] =
+  /// first.new_to_old[second.new_to_old[k]].
+  static Permutation compose(const Permutation& first,
+                             const Permutation& second);
+
+ private:
+  std::vector<index_t> new_to_old_;
+  std::vector<index_t> old_to_new_;
+};
+
+}  // namespace spchol

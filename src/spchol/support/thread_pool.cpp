@@ -1,0 +1,132 @@
+#include "spchol/support/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace spchol {
+
+struct ThreadPool::Batch {
+  std::size_t tasks = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::exception_ptr error;  // first exception, guarded by err_mu
+  std::mutex err_mu;
+  std::condition_variable done_cv;
+  std::mutex done_mu;
+
+  void work() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= tasks) break;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(err_mu);
+        if (!error) error = std::current_exception();
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == tasks) {
+        std::lock_guard<std::mutex> lk(done_mu);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Batch> b;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk,
+               [&] { return stop_ || (batch_ != nullptr && epoch_ != seen); });
+      if (stop_) return;
+      seen = epoch_;
+      b = batch_;  // shared ownership keeps the batch alive past run()
+    }
+    b->work();
+  }
+}
+
+void ThreadPool::run(std::size_t tasks,
+                     const std::function<void(std::size_t)>& fn) {
+  if (tasks == 0) return;
+  if (tasks == 1 || threads_.empty()) {
+    for (std::size_t i = 0; i < tasks; ++i) fn(i);
+    return;
+  }
+  auto b = std::make_shared<Batch>();
+  b->tasks = tasks;
+  b->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    batch_ = b;
+    ++epoch_;
+  }
+  cv_.notify_all();
+  b->work();  // calling thread participates
+  {
+    std::unique_lock<std::mutex> lk(b->done_mu);
+    b->done_cv.wait(lk, [&] {
+      return b->done.load(std::memory_order_acquire) == b->tasks;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (batch_ == b) batch_ = nullptr;
+  }
+  if (b->error) std::rethrow_exception(b->error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(ThreadPool& pool, index_t begin, index_t end,
+                  std::size_t threads,
+                  const std::function<void(index_t, index_t)>& body,
+                  index_t grain) {
+  const index_t n = end - begin;
+  if (n <= 0) return;
+  threads = std::max<std::size_t>(1, std::min(threads, pool.size() + 1));
+  const index_t max_chunks =
+      std::max<index_t>(1, n / std::max<index_t>(1, grain));
+  const std::size_t chunks =
+      std::min<std::size_t>(threads, static_cast<std::size_t>(max_chunks));
+  if (chunks == 1) {
+    body(begin, end);
+    return;
+  }
+  const index_t step = (n + static_cast<index_t>(chunks) - 1) /
+                       static_cast<index_t>(chunks);
+  pool.run(chunks, [&](std::size_t c) {
+    const index_t lo = begin + static_cast<index_t>(c) * step;
+    const index_t hi = std::min<index_t>(lo + step, end);
+    if (lo < hi) body(lo, hi);
+  });
+}
+
+}  // namespace spchol

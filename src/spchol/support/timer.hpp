@@ -1,0 +1,22 @@
+// Wall-clock timer for measured (as opposed to modeled) times.
+#pragma once
+
+#include <chrono>
+
+namespace spchol {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace spchol

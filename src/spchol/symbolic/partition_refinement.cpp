@@ -1,0 +1,72 @@
+#include "spchol/symbolic/partition_refinement.hpp"
+
+#include <algorithm>
+
+namespace spchol {
+
+PartitionRefiner::PartitionRefiner(index_t n) {
+  elems_.resize(static_cast<std::size_t>(n));
+  pos_.resize(static_cast<std::size_t>(n));
+  cell_of_.assign(static_cast<std::size_t>(n), 0);
+  stamp_.assign(static_cast<std::size_t>(n), 0);
+  for (index_t i = 0; i < n; ++i) {
+    elems_[i] = i;
+    pos_[i] = i;
+  }
+  if (n > 0) {
+    cell_begin_.push_back(0);
+    cell_end_.push_back(n);
+  }
+}
+
+void PartitionRefiner::refine(std::span<const index_t> set) {
+  if (set.empty()) return;
+  ++gen_;
+  touched_.clear();
+  moved_count_.resize(cell_begin_.size());
+  for (const index_t e : set) {
+    SPCHOL_CHECK(e >= 0 && e < static_cast<index_t>(pos_.size()),
+                 "refine element out of range");
+    const index_t c = cell_of_[e];
+    if (stamp_[e] == gen_) continue;  // duplicate in set
+    stamp_[e] = gen_;
+    bool first_in_cell = true;
+    for (const index_t t : touched_) {
+      if (t == c) {
+        first_in_cell = false;
+        break;
+      }
+    }
+    if (first_in_cell) {
+      touched_.push_back(c);
+      moved_count_[c] = 0;
+    }
+    moved_count_[c]++;
+  }
+  for (const index_t c : touched_) {
+    const index_t b = cell_begin_[c], e = cell_end_[c];
+    const index_t k = moved_count_[c];
+    if (k == e - b) continue;  // whole cell marked: no split
+    // Stable split of elems_[b:e): stamped elements first.
+    scratch_.clear();
+    scratch_.reserve(static_cast<std::size_t>(e - b));
+    for (index_t i = b; i < e; ++i) {
+      if (stamp_[elems_[i]] == gen_) scratch_.push_back(elems_[i]);
+    }
+    for (index_t i = b; i < e; ++i) {
+      if (stamp_[elems_[i]] != gen_) scratch_.push_back(elems_[i]);
+    }
+    const index_t new_cell = static_cast<index_t>(cell_begin_.size());
+    cell_begin_.push_back(b + k);
+    cell_end_.push_back(e);
+    cell_end_[c] = b + k;
+    for (index_t i = 0; i < e - b; ++i) {
+      const index_t el = scratch_[i];
+      elems_[b + i] = el;
+      pos_[el] = b + i;
+      if (i >= k) cell_of_[el] = new_cell;
+    }
+  }
+}
+
+}  // namespace spchol

@@ -1,0 +1,44 @@
+// Generic ordered partition refinement, used to reorder columns within
+// supernodes so that descendant-update row sets become contiguous — the
+// Jacquelin–Ng–Peyton technique ([11] in the paper) that RLB's performance
+// depends on (fewer, larger blocks ⇒ fewer BLAS calls).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "spchol/support/common.hpp"
+
+namespace spchol {
+
+/// Maintains an ordered partition of {0..n-1}, initially one cell in
+/// identity order. refine(S) splits every cell X into X∩S followed by X\S,
+/// preserving relative element order within both halves.
+class PartitionRefiner {
+ public:
+  explicit PartitionRefiner(index_t n);
+
+  /// Elements of `set` must be in [0, n) and distinct.
+  void refine(std::span<const index_t> set);
+
+  /// Current element order (concatenated cells).
+  const std::vector<index_t>& order() const noexcept { return elems_; }
+
+  index_t num_cells() const noexcept {
+    return static_cast<index_t>(cell_begin_.size());
+  }
+
+ private:
+  std::vector<index_t> elems_;       // elements in current order
+  std::vector<index_t> pos_;         // pos_[e]: index of e in elems_
+  std::vector<index_t> cell_of_;     // cell id per element
+  std::vector<index_t> cell_begin_;  // per cell: range start in elems_
+  std::vector<index_t> cell_end_;    // per cell: range end
+  std::vector<std::uint32_t> stamp_; // per element: marked in this refine?
+  std::uint32_t gen_ = 0;
+  std::vector<index_t> touched_;     // scratch: cells touched by refine
+  std::vector<index_t> moved_count_; // scratch: marked count per cell
+  std::vector<index_t> scratch_;     // scratch: split buffer
+};
+
+}  // namespace spchol

@@ -1,0 +1,24 @@
+#include "spchol/symbolic/supernodes.hpp"
+
+#include "spchol/symbolic/etree.hpp"
+
+namespace spchol {
+
+std::vector<index_t> supernode_partition(const std::vector<index_t>& parent,
+                                         const std::vector<index_t>& cc,
+                                         SupernodeMode mode) {
+  const index_t n = static_cast<index_t>(parent.size());
+  const std::vector<index_t> nchild = child_counts(parent);
+  std::vector<index_t> sn_first;
+  for (index_t j = 0; j < n; ++j) {
+    bool extends = j > 0 && parent[j - 1] == j && cc[j] == cc[j - 1] - 1;
+    if (mode == SupernodeMode::kFundamental) {
+      extends = extends && nchild[j] == 1;
+    }
+    if (!extends) sn_first.push_back(j);
+  }
+  sn_first.push_back(n);
+  return sn_first;
+}
+
+}  // namespace spchol

@@ -1,0 +1,37 @@
+// Supernode partition detection.
+//
+// The paper (§I) defines a supernode as "a set of columns of the factor
+// matrix that have the same sparsity structure" — the MAXIMAL definition,
+// which the Figure 1 example requires (its J3 = {5,6,7} has an incoming
+// child at its middle column). The FUNDAMENTAL definition
+// (Liu–Ng–Peyton 1993) additionally requires each non-leading column to
+// have exactly one etree child; it yields a finer partition.
+#pragma once
+
+#include <vector>
+
+#include "spchol/support/common.hpp"
+
+namespace spchol {
+
+enum class SupernodeMode {
+  kFundamental,  ///< parent chain + single child + cc decrement
+  kMaximal,      ///< parent chain + cc decrement (same structure)
+};
+
+/// Returns supernode boundaries sn_first of size ns+1 (supernode s spans
+/// columns [sn_first[s], sn_first[s+1])). Requires a postordered etree.
+/// Column j+1 extends the supernode of j iff parent[j] == j+1,
+/// cc[j+1] == cc[j] - 1, and (fundamental mode only) j is the only child
+/// of j+1.
+std::vector<index_t> supernode_partition(const std::vector<index_t>& parent,
+                                         const std::vector<index_t>& cc,
+                                         SupernodeMode mode);
+
+/// Backward-compatible helper: fundamental partition.
+inline std::vector<index_t> fundamental_supernodes(
+    const std::vector<index_t>& parent, const std::vector<index_t>& cc) {
+  return supernode_partition(parent, cc, SupernodeMode::kFundamental);
+}
+
+}  // namespace spchol

@@ -1,0 +1,431 @@
+#include "spchol/symbolic/symbolic_factor.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "spchol/dense/kernels.hpp"
+#include "spchol/symbolic/etree.hpp"
+#include "spchol/symbolic/partition_refinement.hpp"
+#include "spchol/symbolic/supernodes.hpp"
+
+namespace spchol {
+
+namespace {
+
+/// Trapezoid entry count of a supernode: w columns over r rows (r includes
+/// the w diagonal rows).
+offset_t trapezoid(offset_t w, offset_t r) {
+  return w * r - w * (w - 1) / 2;
+}
+
+/// Mutable per-supernode state used by the merge pass.
+struct MergeState {
+  std::vector<index_t> first;                 // first column
+  std::vector<index_t> width;                 // number of columns
+  std::vector<std::vector<index_t>> rows;     // full sorted row structure
+  std::vector<index_t> parent;                // supernodal etree parent
+  std::vector<index_t> prev, next;            // alive list in column order
+  std::vector<char> alive;
+  std::vector<index_t> version;               // bumped on every change
+};
+
+/// Added storage (trapezoid metric) of merging c = prev(s) into s.
+offset_t merge_cost(const MergeState& st, index_t c, index_t s) {
+  const offset_t wc = st.width[c], ws = st.width[s];
+  const offset_t rc = static_cast<offset_t>(st.rows[c].size());
+  const offset_t rs = static_cast<offset_t>(st.rows[s].size());
+  return trapezoid(wc + ws, wc + rs) - trapezoid(wc, rc) - trapezoid(ws, rs);
+}
+
+}  // namespace
+
+SymbolicFactor SymbolicFactor::analyze(const CscMatrix& a_lower,
+                                       const Permutation& fill_perm,
+                                       const AnalyzeOptions& opts) {
+  SPCHOL_CHECK(a_lower.square(), "analyze requires a square matrix");
+  SPCHOL_CHECK(fill_perm.size() == a_lower.cols(),
+               "permutation size mismatch");
+  SymbolicFactor sf;
+  const index_t n = a_lower.cols();
+  sf.n_ = n;
+  if (n == 0) {
+    sf.perm_ = Permutation::identity(0);
+    sf.sn_first_ = {0};
+    sf.row_ptr_ = {0};
+    sf.data_ptr_ = {0};
+    sf.block_ptr_ = {0};
+    return sf;
+  }
+
+  // 1) Fill ordering, then postorder the elimination tree.
+  const CscMatrix a1 = a_lower.permuted_sym_lower(fill_perm);
+  const std::vector<index_t> parent1 = elimination_tree(a1);
+  const Permutation post = tree_postorder(parent1);
+  const CscMatrix a2 = a1.permuted_sym_lower(post);
+  std::vector<index_t> parent = relabel_tree(parent1, post);
+  SPCHOL_CHECK(is_postordered(parent), "postorder relabeling failed");
+  Permutation perm = Permutation::compose(fill_perm, post);
+
+  // 2) Column counts and fundamental supernodes.
+  sf.cc_ = column_counts(a2, parent);
+  sf.etree_ = parent;
+  std::vector<index_t> sn_first =
+      supernode_partition(parent, sf.cc_, opts.supernode_mode);
+  const index_t ns0 = static_cast<index_t>(sn_first.size()) - 1;
+
+  std::vector<index_t> col2sn(static_cast<std::size_t>(n));
+  for (index_t s = 0; s < ns0; ++s) {
+    for (index_t j = sn_first[s]; j < sn_first[s + 1]; ++j) col2sn[j] = s;
+  }
+
+  // 3) Supernodal row structures: union of the A-columns of the supernode
+  //    and the below-diagonal structures of its supernodal-etree children.
+  MergeState st;
+  st.first.resize(ns0);
+  st.width.resize(ns0);
+  st.rows.resize(ns0);
+  st.parent.assign(ns0, -1);
+  std::vector<std::vector<index_t>> children(static_cast<std::size_t>(ns0));
+  {
+    std::vector<index_t> mark(static_cast<std::size_t>(n), -1);
+    for (index_t s = 0; s < ns0; ++s) {
+      const index_t f = sn_first[s], l = sn_first[s + 1];
+      st.first[s] = f;
+      st.width[s] = l - f;
+      auto& R = st.rows[s];
+      for (index_t j = f; j < l; ++j) {
+        R.push_back(j);
+        mark[j] = s;
+      }
+      for (index_t j = f; j < l; ++j) {
+        for (const index_t i : a2.col_rows(j)) {
+          if (mark[i] != s) {
+            mark[i] = s;
+            R.push_back(i);
+          }
+        }
+      }
+      for (const index_t c : children[s]) {
+        const auto& Rc = st.rows[c];
+        for (std::size_t k = st.width[c]; k < Rc.size(); ++k) {
+          const index_t i = Rc[k];
+          if (mark[i] != s) {
+            mark[i] = s;
+            R.push_back(i);
+          }
+        }
+      }
+      std::sort(R.begin() + st.width[s], R.end());
+      SPCHOL_CHECK(static_cast<index_t>(R.size()) == sf.cc_[f],
+                   "supernode structure height disagrees with column count");
+      if (static_cast<index_t>(R.size()) > st.width[s]) {
+        const index_t p = col2sn[R[st.width[s]]];
+        st.parent[s] = p;
+        children[p].push_back(s);
+      }
+    }
+  }
+
+  // 4) Greedy supernode merging (paper §IV.A): repeatedly merge the
+  //    (child, parent) pair that adds the least storage, where the child is
+  //    the supernode immediately preceding its parent in column order, until
+  //    the cumulative growth exceeds the cap.
+  index_t num_merges = 0;
+  if (opts.merge_growth_cap > 0.0 && ns0 > 1) {
+    st.prev.resize(ns0);
+    st.next.resize(ns0);
+    st.alive.assign(ns0, 1);
+    st.version.assign(ns0, 0);
+    for (index_t s = 0; s < ns0; ++s) {
+      st.prev[s] = s - 1;
+      st.next[s] = s + 1 < ns0 ? s + 1 : -1;
+    }
+    offset_t base_storage = 0;
+    for (index_t s = 0; s < ns0; ++s) {
+      base_storage += trapezoid(st.width[s],
+                                static_cast<offset_t>(st.rows[s].size()));
+    }
+    const offset_t budget = static_cast<offset_t>(
+        opts.merge_growth_cap * static_cast<double>(base_storage));
+
+    struct Cand {
+      offset_t cost;
+      index_t s;        // parent node; child is prev(s)
+      index_t ver_s, ver_c;
+      bool operator>(const Cand& o) const { return cost > o.cost; }
+    };
+    std::priority_queue<Cand, std::vector<Cand>, std::greater<Cand>> heap;
+    auto push_candidate = [&](index_t s) {
+      if (s < 0 || !st.alive[s]) return;
+      const index_t c = st.prev[s];
+      if (c < 0 || !st.alive[c] || st.parent[c] != s) return;
+      heap.push({merge_cost(st, c, s), s, st.version[s], st.version[c]});
+    };
+    for (index_t s = 0; s < ns0; ++s) push_candidate(s);
+
+    offset_t spent = 0;
+    while (!heap.empty()) {
+      const Cand cand = heap.top();
+      heap.pop();
+      const index_t s = cand.s;
+      if (!st.alive[s]) continue;
+      const index_t c = st.prev[s];
+      if (c < 0 || !st.alive[c] || st.parent[c] != s) continue;
+      if (cand.ver_s != st.version[s] || cand.ver_c != st.version[c]) {
+        continue;  // stale: a fresher entry exists
+      }
+      if (spent + cand.cost > budget) break;
+      spent += cand.cost;
+      // Merge c into s: columns become [first[c], end of s).
+      std::vector<index_t> merged;
+      merged.reserve(st.width[c] + st.rows[s].size());
+      for (index_t j = st.first[c]; j < st.first[c] + st.width[c]; ++j) {
+        merged.push_back(j);
+      }
+      merged.insert(merged.end(), st.rows[s].begin(), st.rows[s].end());
+      st.rows[s] = std::move(merged);
+      st.first[s] = st.first[c];
+      st.width[s] += st.width[c];
+      st.alive[c] = 0;
+      st.rows[c].clear();
+      st.rows[c].shrink_to_fit();
+      // Relink the alive list.
+      const index_t pc = st.prev[c];
+      st.prev[s] = pc;
+      if (pc >= 0) st.next[pc] = s;
+      // Children of c become children of s.
+      for (const index_t x : children[c]) {
+        if (st.alive[x]) st.parent[x] = s;
+      }
+      children[s].insert(children[s].end(), children[c].begin(),
+                         children[c].end());
+      children[c].clear();
+      st.version[s]++;
+      ++num_merges;
+      // Refresh affected candidates: (prev(s), s) and (s, parent[s]).
+      push_candidate(s);
+      if (st.parent[s] >= 0 && st.alive[st.parent[s]] &&
+          st.prev[st.parent[s]] == s) {
+        push_candidate(st.parent[s]);
+      }
+    }
+
+    // Compact the partition: surviving supernodes in column order.
+    std::vector<index_t> new_id(static_cast<std::size_t>(ns0), -1);
+    std::vector<index_t> survivors;
+    for (index_t s = 0; s < ns0; ++s) {
+      if (st.alive[s]) {
+        new_id[s] = static_cast<index_t>(survivors.size());
+        survivors.push_back(s);
+      }
+    }
+    std::vector<index_t> nf;
+    std::vector<std::vector<index_t>> nrows(survivors.size());
+    std::vector<index_t> nparent(survivors.size(), -1);
+    for (std::size_t k = 0; k < survivors.size(); ++k) {
+      const index_t s = survivors[k];
+      nf.push_back(st.first[s]);
+      nrows[k] = std::move(st.rows[s]);
+      nparent[k] = st.parent[s] >= 0 ? new_id[st.parent[s]] : -1;
+    }
+    nf.push_back(n);
+    sn_first = std::move(nf);
+    st.rows = std::move(nrows);
+    st.parent = std::move(nparent);
+    const index_t ns = static_cast<index_t>(sn_first.size()) - 1;
+    for (index_t s = 0; s < ns; ++s) {
+      for (index_t j = sn_first[s]; j < sn_first[s + 1]; ++j) col2sn[j] = s;
+    }
+  }
+  sf.num_merges_ = num_merges;
+  const index_t ns = static_cast<index_t>(sn_first.size()) - 1;
+
+  // 5) Partition refinement: reorder columns within each supernode so that
+  //    the row sets that descendants update become contiguous (fewer
+  //    blocks). Fill is invariant under within-supernode reordering.
+  if (opts.partition_refinement && ns > 0) {
+    std::vector<PartitionRefiner> refiners;
+    refiners.reserve(static_cast<std::size_t>(ns));
+    for (index_t s = 0; s < ns; ++s) {
+      refiners.emplace_back(sn_first[s + 1] - sn_first[s]);
+    }
+    // Collect all restriction sets (one per descendant segment per target),
+    // then refine each target by its sets in DESCENDING size order: the
+    // large sets — whose contiguity saves the most BLAS calls — are split
+    // least by the later, smaller ones.
+    struct RSet {
+      index_t target;
+      std::vector<index_t> cols;  // target-local column ids
+    };
+    std::vector<RSet> rsets;
+    for (index_t s = 0; s < ns; ++s) {
+      const auto& R = st.rows[s];
+      const index_t w = sn_first[s + 1] - sn_first[s];
+      std::size_t k = static_cast<std::size_t>(w);
+      while (k < R.size()) {
+        const index_t target = col2sn[R[k]];
+        RSet rs;
+        rs.target = target;
+        while (k < R.size() && col2sn[R[k]] == target) {
+          rs.cols.push_back(R[k] - sn_first[target]);
+          ++k;
+        }
+        const index_t tw = sn_first[target + 1] - sn_first[target];
+        if (static_cast<index_t>(rs.cols.size()) < tw) {
+          rsets.push_back(std::move(rs));
+        }
+      }
+    }
+    std::stable_sort(rsets.begin(), rsets.end(),
+                     [](const RSet& a, const RSet& b) {
+                       return a.cols.size() > b.cols.size();
+                     });
+    std::vector<std::vector<const RSet*>> by_target(
+        static_cast<std::size_t>(ns));
+    for (const RSet& rs : rsets) {
+      refiners[rs.target].refine(rs.cols);
+      by_target[rs.target].push_back(&rs);
+    }
+    // Guard: keep the refined order only where it actually reduces the
+    // number of row runs (refinement is a heuristic; on some problems —
+    // e.g. 2D separators whose natural order is already consecutive — the
+    // identity order is better).
+    auto count_runs = [](const std::vector<index_t>& pos,
+                         const std::vector<const RSet*>& sets) {
+      offset_t runs = 0;
+      for (const RSet* rs : sets) {
+        std::vector<index_t> p;
+        p.reserve(rs->cols.size());
+        for (const index_t c : rs->cols) p.push_back(pos[c]);
+        std::sort(p.begin(), p.end());
+        for (std::size_t i = 0; i < p.size(); ++i) {
+          runs += i == 0 || p[i] != p[i - 1] + 1;
+        }
+      }
+      return runs;
+    };
+    std::vector<std::vector<index_t>> chosen_order(
+        static_cast<std::size_t>(ns));
+    for (index_t s = 0; s < ns; ++s) {
+      const index_t w = sn_first[s + 1] - sn_first[s];
+      std::vector<index_t> identity(static_cast<std::size_t>(w));
+      for (index_t k = 0; k < w; ++k) identity[k] = k;
+      if (by_target[s].empty()) {
+        chosen_order[s] = std::move(identity);
+        continue;
+      }
+      const auto& refined = refiners[s].order();
+      std::vector<index_t> pos_refined(static_cast<std::size_t>(w));
+      for (index_t k = 0; k < w; ++k) pos_refined[refined[k]] = k;
+      if (count_runs(pos_refined, by_target[s]) <
+          count_runs(identity, by_target[s])) {
+        chosen_order[s] = refined;
+      } else {
+        chosen_order[s] = std::move(identity);
+      }
+    }
+    // Global within-supernode permutation (new_to_old).
+    std::vector<index_t> pr_n2o(static_cast<std::size_t>(n));
+    for (index_t s = 0; s < ns; ++s) {
+      const auto& ord = chosen_order[s];
+      for (std::size_t k = 0; k < ord.size(); ++k) {
+        pr_n2o[sn_first[s] + static_cast<index_t>(k)] =
+            sn_first[s] + ord[k];
+      }
+    }
+    const Permutation pr(std::move(pr_n2o));
+    // Relabel all row structures; diag rows stay {first..end-1}; the below
+    // segment is re-sorted.
+    for (index_t s = 0; s < ns; ++s) {
+      auto& R = st.rows[s];
+      const index_t w = sn_first[s + 1] - sn_first[s];
+      for (index_t k = 0; k < w; ++k) R[k] = sn_first[s] + k;
+      for (std::size_t k = static_cast<std::size_t>(w); k < R.size(); ++k) {
+        R[k] = pr.old_to_new(R[k]);
+      }
+      std::sort(R.begin() + w, R.end());
+    }
+    perm = Permutation::compose(perm, pr);
+  }
+
+  // 6) Finalize arrays, blocks, and statistics.
+  sf.perm_ = std::move(perm);
+  sf.sn_first_ = std::move(sn_first);
+  sf.col_to_sn_ = std::move(col2sn);
+  sf.sn_parent_.assign(static_cast<std::size_t>(ns), -1);
+  sf.row_ptr_.assign(static_cast<std::size_t>(ns) + 1, 0);
+  sf.data_ptr_.assign(static_cast<std::size_t>(ns) + 1, 0);
+  sf.block_ptr_.assign(static_cast<std::size_t>(ns) + 1, 0);
+  for (index_t s = 0; s < ns; ++s) {
+    const auto& R = st.rows[s];
+    const offset_t w = sf.sn_first_[s + 1] - sf.sn_first_[s];
+    const offset_t r = static_cast<offset_t>(R.size());
+    sf.row_ptr_[s + 1] = sf.row_ptr_[s] + r;
+    sf.data_ptr_[s + 1] = sf.data_ptr_[s] + r * w;
+    sf.factor_nnz_ += trapezoid(w, r);
+    const offset_t below = r - w;
+    sf.max_update_entries_ =
+        std::max(sf.max_update_entries_, below * below);
+    sf.max_sn_entries_ = std::max(sf.max_sn_entries_, r * w);
+    sf.flops_ += dense::flops_potrf(static_cast<index_t>(w)) +
+                 dense::flops_trsm(static_cast<index_t>(below),
+                                   static_cast<index_t>(w)) +
+                 dense::flops_syrk(static_cast<index_t>(below),
+                                   static_cast<index_t>(w));
+    if (below > 0) {
+      sf.sn_parent_[s] = sf.col_to_sn_[R[w]];
+    }
+  }
+  sf.factor_values_ = sf.data_ptr_[ns];
+  sf.row_idx_.reserve(static_cast<std::size_t>(sf.row_ptr_[ns]));
+  for (index_t s = 0; s < ns; ++s) {
+    sf.row_idx_.insert(sf.row_idx_.end(), st.rows[s].begin(),
+                       st.rows[s].end());
+  }
+  // Blocks: maximal consecutive runs in the below-diagonal rows, split at
+  // target supernode boundaries.
+  for (index_t s = 0; s < ns; ++s) {
+    const auto R = sf.sn_rows(s);
+    const index_t w = sf.sn_width(s);
+    for (std::size_t k = static_cast<std::size_t>(w); k < R.size();) {
+      const index_t target = sf.col_to_sn_[R[k]];
+      const std::size_t start = k;
+      index_t prev_row = R[k];
+      ++k;
+      while (k < R.size() && R[k] == prev_row + 1 &&
+             sf.col_to_sn_[R[k]] == target) {
+        prev_row = R[k];
+        ++k;
+      }
+      sf.blocks_.push_back({R[start], static_cast<index_t>(k - start),
+                            target, static_cast<index_t>(start)});
+    }
+    sf.block_ptr_[s + 1] = static_cast<offset_t>(sf.blocks_.size());
+  }
+  return sf;
+}
+
+index_t SymbolicFactor::row_position(index_t s, index_t row) const {
+  const auto R = sn_rows(s);
+  const auto it = std::lower_bound(R.begin(), R.end(), row);
+  if (it == R.end() || *it != row) return -1;
+  return static_cast<index_t>(it - R.begin());
+}
+
+std::vector<index_t> SymbolicFactor::relative_indices(index_t src,
+                                                      index_t target) const {
+  const auto rs = sn_rows(src);
+  const auto rt = sn_rows(target);
+  std::vector<index_t> rel;
+  std::size_t t = 0;
+  for (const index_t r : rs) {
+    if (r < sn_begin(target)) continue;
+    while (t < rt.size() && rt[t] < r) ++t;
+    SPCHOL_CHECK(t < rt.size() && rt[t] == r,
+                 "row of src supernode missing from target structure");
+    rel.push_back(static_cast<index_t>(t));
+  }
+  return rel;
+}
+
+}  // namespace spchol

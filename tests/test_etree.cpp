@@ -1,0 +1,154 @@
+// Elimination tree, postorder, and column counts — validated against
+// brute-force dense symbolic factorization on random patterns.
+#include <gtest/gtest.h>
+
+#include "spchol/matrix/coo.hpp"
+#include "spchol/matrix/generators.hpp"
+#include "spchol/symbolic/etree.hpp"
+
+namespace spchol {
+namespace {
+
+/// Dense symbolic Cholesky: returns the full boolean factor pattern.
+std::vector<char> dense_symbolic(const CscMatrix& lower) {
+  const index_t n = lower.cols();
+  std::vector<char> f(static_cast<std::size_t>(n) * n, 0);
+  for (index_t j = 0; j < n; ++j) {
+    for (const index_t i : lower.col_rows(j)) {
+      f[i + static_cast<std::size_t>(j) * n] = 1;
+    }
+  }
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j + 1; i < n; ++i) {
+      if (!f[i + static_cast<std::size_t>(j) * n]) continue;
+      for (index_t k = i; k < n; ++k) {
+        // fill: L(k,i) gets a nonzero if L(k,j) and L(i,j) are nonzero
+        if (f[k + static_cast<std::size_t>(j) * n]) {
+          f[k + static_cast<std::size_t>(i) * n] = 1;
+        }
+      }
+    }
+  }
+  return f;
+}
+
+std::vector<index_t> brute_force_parent(const CscMatrix& lower) {
+  const index_t n = lower.cols();
+  const auto f = dense_symbolic(lower);
+  std::vector<index_t> parent(static_cast<std::size_t>(n), -1);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j + 1; i < n; ++i) {
+      if (f[i + static_cast<std::size_t>(j) * n]) {
+        parent[j] = i;
+        break;
+      }
+    }
+  }
+  return parent;
+}
+
+std::vector<index_t> brute_force_colcounts(const CscMatrix& lower) {
+  const index_t n = lower.cols();
+  const auto f = dense_symbolic(lower);
+  std::vector<index_t> cc(static_cast<std::size_t>(n), 0);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j; i < n; ++i) {
+      cc[j] += f[i + static_cast<std::size_t>(j) * n];
+    }
+  }
+  return cc;
+}
+
+class EtreeRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EtreeRandom, MatchesBruteForce) {
+  const CscMatrix a = random_spd(60, 3, GetParam());
+  EXPECT_EQ(elimination_tree(a), brute_force_parent(a));
+  EXPECT_EQ(column_counts(a, elimination_tree(a)), brute_force_colcounts(a));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EtreeRandom,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Etree, TridiagonalIsAPath) {
+  CooMatrix coo(6, 6);
+  for (index_t i = 0; i < 6; ++i) coo.add(i, i, 4.0);
+  for (index_t i = 0; i + 1 < 6; ++i) coo.add(i + 1, i, -1.0);
+  const auto parent = elimination_tree(coo.to_csc());
+  for (index_t i = 0; i + 1 < 6; ++i) EXPECT_EQ(parent[i], i + 1);
+  EXPECT_EQ(parent[5], -1);
+}
+
+TEST(Etree, DiagonalMatrixIsForestOfRoots) {
+  const CscMatrix a = CscMatrix::identity(5);
+  const auto parent = elimination_tree(a);
+  for (const index_t p : parent) EXPECT_EQ(p, -1);
+  const auto cc = column_counts(a, parent);
+  for (const index_t c : cc) EXPECT_EQ(c, 1);
+}
+
+TEST(Etree, ArrowMatrixParentIsApex) {
+  // Arrow pointing at the last column: all columns connect to n-1.
+  CooMatrix coo(7, 7);
+  for (index_t i = 0; i < 7; ++i) coo.add(i, i, 8.0);
+  for (index_t i = 0; i < 6; ++i) coo.add(6, i, -1.0);
+  const auto parent = elimination_tree(coo.to_csc());
+  for (index_t i = 0; i < 6; ++i) EXPECT_EQ(parent[i], 6);
+}
+
+TEST(Postorder, AlreadyPostorderedMapsToIdentity) {
+  // Path tree 0→1→...→5 is postordered.
+  std::vector<index_t> parent = {1, 2, 3, 4, 5, -1};
+  const Permutation p = tree_postorder(parent);
+  for (index_t i = 0; i < 6; ++i) EXPECT_EQ(p.new_to_old(i), i);
+  EXPECT_TRUE(is_postordered(parent));
+}
+
+TEST(Postorder, RelabelsToPostorderedTree) {
+  // A deliberately non-postordered forest:
+  //   5 has children {0, 3}; 0 has children {2, 4}; 1 is a separate root
+  //   with child 5.
+  std::vector<index_t> parent = {5, -1, 0, 5, 0, 1};
+  EXPECT_FALSE(is_postordered(parent));
+  const Permutation post = tree_postorder(parent);
+  const auto relabeled = relabel_tree(parent, post);
+  EXPECT_TRUE(is_postordered(relabeled));
+}
+
+TEST(Postorder, SubtreesAreContiguous) {
+  const CscMatrix a = grid2d_5pt(8, 8);
+  auto parent = elimination_tree(a);
+  const Permutation post = tree_postorder(parent);
+  const auto relabeled = relabel_tree(parent, post);
+  EXPECT_TRUE(is_postordered(relabeled));
+  // Descendant count check: each vertex's subtree occupies
+  // [v - size(v) + 1, v].
+  const index_t n = a.cols();
+  std::vector<index_t> size(static_cast<std::size_t>(n), 1);
+  for (index_t v = 0; v < n; ++v) {
+    if (relabeled[v] != -1) size[relabeled[v]] += size[v];
+  }
+  for (index_t v = 0; v < n; ++v) {
+    if (relabeled[v] != -1) {
+      EXPECT_GT(relabeled[v], v);
+      EXPECT_GE(v - size[v] + 1, relabeled[v] - size[relabeled[v]] + 1);
+    }
+  }
+}
+
+TEST(ChildCounts, Counts) {
+  const std::vector<index_t> parent = {2, 2, 4, 4, -1};
+  const auto nc = child_counts(parent);
+  EXPECT_EQ(nc[2], 2);
+  EXPECT_EQ(nc[4], 2);
+  EXPECT_EQ(nc[0], 0);
+}
+
+TEST(Etree, ColumnCountsOnGridMatchBruteForce) {
+  const CscMatrix a = grid2d_5pt(6, 5);
+  const auto parent = elimination_tree(a);
+  EXPECT_EQ(column_counts(a, parent), brute_force_colcounts(a));
+}
+
+}  // namespace
+}  // namespace spchol

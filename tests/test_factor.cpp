@@ -1,0 +1,286 @@
+// Numeric factorization correctness: every method × execution × ordering
+// combination must reproduce A = L·Lᵀ and solve linear systems accurately.
+#include <gtest/gtest.h>
+
+#include "spchol/dense/reference.hpp"
+#include "test_util.hpp"
+
+namespace spchol {
+namespace {
+
+using testing::factorization_error;
+using testing::solve_residual;
+
+struct Case {
+  const char* name;
+  CscMatrix (*make)();
+};
+
+CscMatrix small_grid2d() { return grid2d_5pt(9, 7); }
+CscMatrix small_grid3d() { return grid3d_7pt(5, 4, 6); }
+CscMatrix small_dense() { return dense_spd(40, 7); }
+CscMatrix small_random() { return random_spd(150, 5, 42); }
+CscMatrix small_vector_grid() { return grid3d_vector(4, 3, 3, 3); }
+CscMatrix small_wide() { return grid3d_wide(5, 5, 5, 2); }
+CscMatrix tiny_identityish() { return random_spd(3, 1, 9); }
+
+const Case kCases[] = {
+    {"grid2d_9x7", small_grid2d},      {"grid3d_5x4x6", small_grid3d},
+    {"dense_40", small_dense},         {"random_150", small_random},
+    {"vector_4x3x3", small_vector_grid}, {"wide_5x5x5", small_wide},
+    {"tiny_3", tiny_identityish},
+};
+
+struct Combo {
+  Method method;
+  Execution exec;
+  RlbVariant variant;
+  OrderingMethod ordering;
+};
+
+std::string combo_name(const ::testing::TestParamInfo<Combo>& info) {
+  const Combo& c = info.param;
+  std::string s = to_string(c.method);
+  s += "_";
+  s += to_string(c.exec);
+  if (c.method == Method::kRLB && (c.exec == Execution::kGpuHybrid ||
+                                   c.exec == Execution::kGpuOnly)) {
+    s += c.variant == RlbVariant::kBatched ? "_v1" : "_v2";
+  }
+  s += "_";
+  s += to_string(c.ordering);
+  for (auto& ch : s) {
+    if (ch == '-') ch = '_';
+  }
+  return s;
+}
+
+class FactorCombo : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(FactorCombo, ReconstructsAAndSolves) {
+  const Combo& combo = GetParam();
+  for (const Case& c : kCases) {
+    SCOPED_TRACE(c.name);
+    const CscMatrix a = c.make();
+    SolverOptions opts;
+    opts.ordering = combo.ordering;
+    opts.factor.method = combo.method;
+    opts.factor.exec = combo.exec;
+    opts.factor.rlb_variant = combo.variant;
+    // Force a mixed CPU/GPU split in hybrid mode on these small problems.
+    opts.factor.gpu_threshold_rl = 200;
+    opts.factor.gpu_threshold_rlb = 200;
+    CholeskySolver solver(opts);
+    solver.factorize(a);
+    EXPECT_LT(factorization_error(a, solver.factor()), 1e-9);
+    EXPECT_LT(solve_residual(a, solver.factor()), 1e-13);
+  }
+}
+
+std::vector<Combo> all_combos() {
+  std::vector<Combo> combos;
+  const OrderingMethod orders[] = {
+      OrderingMethod::kNatural, OrderingMethod::kRcm,
+      OrderingMethod::kNestedDissection, OrderingMethod::kMinimumDegree};
+  for (const auto ordering : orders) {
+    for (const auto method : {Method::kRL, Method::kRLB}) {
+      combos.push_back({method, Execution::kCpuSerial,
+                        RlbVariant::kStreamed, ordering});
+      combos.push_back({method, Execution::kCpuParallel,
+                        RlbVariant::kStreamed, ordering});
+      combos.push_back({method, Execution::kGpuHybrid,
+                        RlbVariant::kStreamed, ordering});
+      combos.push_back({method, Execution::kGpuOnly, RlbVariant::kStreamed,
+                        ordering});
+    }
+    combos.push_back({Method::kRLB, Execution::kGpuHybrid,
+                      RlbVariant::kBatched, ordering});
+    combos.push_back({Method::kRLB, Execution::kGpuOnly,
+                      RlbVariant::kBatched, ordering});
+  }
+  return combos;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, FactorCombo,
+                         ::testing::ValuesIn(all_combos()), combo_name);
+
+TEST(Factor, MatchesDenseCholeskyOnSmallMatrix) {
+  const CscMatrix a = dense_spd(25, 3);
+  SolverOptions opts;
+  opts.ordering = OrderingMethod::kNatural;
+  opts.analyze.merge_growth_cap = 0.0;
+  opts.analyze.partition_refinement = false;
+  CholeskySolver solver(opts);
+  solver.factorize(a);
+
+  auto ad = testing::dense_from_sym_lower(a);
+  dense::ref::potrf_lower(25, ad.data(), 25);
+  for (index_t j = 0; j < 25; ++j) {
+    for (index_t i = j; i < 25; ++i) {
+      EXPECT_NEAR(solver.factor().entry(i, j), ad[i + 25 * j], 1e-12)
+          << "L(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(Factor, CpuSerialAndParallelBitwiseIdentical) {
+  const CscMatrix a = grid3d_7pt(6, 6, 6);
+  SolverOptions o1, o2;
+  o1.factor.exec = Execution::kCpuSerial;
+  o2.factor.exec = Execution::kCpuParallel;
+  CholeskySolver s1(o1), s2(o2);
+  s1.factorize(a);
+  s2.factorize(a);
+  const auto v1 = s1.factor().values();
+  const auto v2 = s2.factor().values();
+  ASSERT_EQ(v1.size(), v2.size());
+  for (std::size_t i = 0; i < v1.size(); ++i) {
+    ASSERT_EQ(v1[i], v2[i]) << "value index " << i;
+  }
+}
+
+TEST(Factor, RlGpuBitwiseMatchesRlCpu) {
+  // RL-GPU runs the same kernel sequence through the update scratch as
+  // RL-CPU; the simulated device computes with the same deterministic
+  // kernels, so values must be bitwise identical.
+  const CscMatrix a = grid3d_7pt(6, 5, 7);
+  SolverOptions o1, o2;
+  o1.factor.method = Method::kRL;
+  o1.factor.exec = Execution::kCpuParallel;
+  o2.factor.method = Method::kRL;
+  o2.factor.exec = Execution::kGpuOnly;
+  CholeskySolver s1(o1), s2(o2);
+  s1.factorize(a);
+  s2.factorize(a);
+  const auto v1 = s1.factor().values();
+  const auto v2 = s2.factor().values();
+  ASSERT_EQ(v1.size(), v2.size());
+  for (std::size_t i = 0; i < v1.size(); ++i) {
+    ASSERT_EQ(v1[i], v2[i]) << "value index " << i;
+  }
+}
+
+TEST(Factor, ThrowsNotPositiveDefinite) {
+  CscMatrix a = grid2d_5pt(6, 6);
+  // Flip the sign of one diagonal entry (original index 17).
+  CscMatrix broken = a;
+  auto& vals = broken.mutable_values();
+  const auto rows = broken.col_rows(17);
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    if (rows[k] == 17) vals[broken.colptr()[17] + k] = -5.0;
+  }
+  CholeskySolver solver;
+  EXPECT_THROW(solver.factorize(broken), NotPositiveDefinite);
+}
+
+TEST(Factor, NotPositiveDefiniteReportsOriginalColumn) {
+  // Make the matrix indefinite in a way detected at the very first pivot
+  // of the permuted matrix regardless of ordering: all diagonals negative.
+  CscMatrix a = grid2d_5pt(4, 4);
+  CscMatrix broken = a;
+  auto& vals = broken.mutable_values();
+  for (index_t j = 0; j < broken.cols(); ++j) {
+    const auto rows = broken.col_rows(j);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      if (rows[k] == j) vals[broken.colptr()[j] + k] = -1.0;
+    }
+  }
+  try {
+    CholeskySolver solver;
+    solver.factorize(broken);
+    FAIL() << "expected NotPositiveDefinite";
+  } catch (const NotPositiveDefinite& e) {
+    EXPECT_GE(e.column(), 0);
+    EXPECT_LT(e.column(), broken.cols());
+  }
+}
+
+TEST(Factor, StatsArepopulated) {
+  const CscMatrix a = grid3d_7pt(6, 6, 6);
+  SolverOptions opts;
+  opts.factor.method = Method::kRL;
+  opts.factor.exec = Execution::kGpuHybrid;
+  opts.factor.gpu_threshold_rl = 500;
+  CholeskySolver solver(opts);
+  solver.factorize(a);
+  const FactorStats& st = solver.stats();
+  EXPECT_GT(st.modeled_seconds, 0.0);
+  EXPECT_GT(st.wall_seconds, 0.0);
+  EXPECT_GT(st.supernodes_on_gpu, 0);
+  EXPECT_EQ(st.total_supernodes, solver.symbolic().num_supernodes());
+  EXPECT_GT(st.gpu_kernel_seconds, 0.0);
+  EXPECT_GT(st.h2d_bytes, 0u);
+  EXPECT_GT(st.d2h_bytes, 0u);
+  EXPECT_GT(st.flops, 0.0);
+}
+
+TEST(Factor, GpuOnlyPutsEverySupernodeOnGpu) {
+  const CscMatrix a = grid2d_5pt(12, 12);
+  SolverOptions opts;
+  opts.factor.exec = Execution::kGpuOnly;
+  CholeskySolver solver(opts);
+  solver.factorize(a);
+  EXPECT_EQ(solver.stats().supernodes_on_gpu,
+            solver.stats().total_supernodes);
+}
+
+TEST(Factor, HybridThresholdSplitsWork) {
+  const CscMatrix a = grid3d_7pt(7, 7, 7);
+  SolverOptions opts;
+  opts.factor.exec = Execution::kGpuHybrid;
+  opts.factor.gpu_threshold_rl = 800;
+  CholeskySolver solver(opts);
+  solver.factorize(a);
+  EXPECT_GT(solver.stats().supernodes_on_gpu, 0);
+  EXPECT_LT(solver.stats().supernodes_on_gpu,
+            solver.stats().total_supernodes);
+}
+
+TEST(Factor, DeviceOutOfMemoryOnTinyDevice) {
+  const CscMatrix a = grid3d_7pt(8, 8, 8);
+  SolverOptions opts;
+  opts.factor.method = Method::kRL;
+  opts.factor.exec = Execution::kGpuOnly;
+  opts.factor.device.memory_bytes = 1 << 12;  // 4 KiB: nothing fits
+  CholeskySolver solver(opts);
+  EXPECT_THROW(solver.factorize(a), gpu::DeviceOutOfMemory);
+}
+
+TEST(Factor, RlbStreamedSurvivesDeviceTooSmallForRl) {
+  // The nlpkkt120 scenario in miniature: device memory fits the panel and
+  // a single block pair, but not the full update matrix. Probe both peak
+  // requirements, then size the device between them.
+  const CscMatrix a = grid2d_5pt(20, 20);
+  SolverOptions base;
+  base.factor.exec = Execution::kGpuOnly;
+
+  SolverOptions probe = base;
+  probe.factor.method = Method::kRL;
+  CholeskySolver sp(probe);
+  sp.factorize(a);
+  const std::size_t rl_peak = sp.stats().device_peak_bytes;
+
+  probe.factor.method = Method::kRLB;
+  probe.factor.rlb_variant = RlbVariant::kStreamed;
+  CholeskySolver sp2(probe);
+  sp2.factorize(a);
+  const std::size_t rlb_peak = sp2.stats().device_peak_bytes;
+  ASSERT_LT(rlb_peak, rl_peak)
+      << "RLB v2 must need less device memory than RL here";
+
+  SolverOptions small = base;
+  small.factor.device.memory_bytes = (rl_peak + rlb_peak) / 2;
+  small.factor.method = Method::kRL;
+  CholeskySolver rl(small);
+  EXPECT_THROW(rl.factorize(a), gpu::DeviceOutOfMemory);
+
+  small.factor.method = Method::kRLB;
+  small.factor.rlb_variant = RlbVariant::kStreamed;
+  CholeskySolver rlb(small);
+  rlb.factorize(a);  // must succeed
+  EXPECT_LT(solve_residual(a, rlb.factor()), 1e-13);
+  EXPECT_LE(rlb.stats().device_peak_bytes, small.factor.device.memory_bytes);
+}
+
+}  // namespace
+}  // namespace spchol

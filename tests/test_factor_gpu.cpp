@@ -1,0 +1,158 @@
+// GPU-specific factorization behaviour: modeled-time orderings, overlap,
+// variant trade-offs, threshold effects — the qualitative results of
+// §III/§IV reproduced at unit-test scale.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace spchol {
+namespace {
+
+FactorStats run(const CscMatrix& a, Method m, Execution e,
+                RlbVariant v = RlbVariant::kStreamed,
+                offset_t threshold = 60'000) {
+  SolverOptions opts;
+  opts.factor.method = m;
+  opts.factor.exec = e;
+  opts.factor.rlb_variant = v;
+  opts.factor.gpu_threshold_rl = threshold;
+  opts.factor.gpu_threshold_rlb = threshold;
+  CholeskySolver solver(opts);
+  solver.factorize(a);
+  return solver.stats();
+}
+
+/// A matrix big enough that large supernodes favour the device: the
+/// bone010 analog class (3 dofs/node vector grid — few, large supernodes).
+CscMatrix test_matrix() { return grid3d_vector(16, 16, 16, 3); }
+
+TEST(GpuFactor, HybridBeatsGpuOnlyOnSupernodeRichMatrices) {
+  // §IV.B: "GPU only versions did not achieve reasonable speedup" because
+  // small supernodes pay transfer+launch without enough work.
+  const CscMatrix a = grid2d_5pt(60, 60);  // many tiny supernodes
+  const auto hybrid = run(a, Method::kRL, Execution::kGpuHybrid);
+  const auto gpu_only = run(a, Method::kRL, Execution::kGpuOnly);
+  EXPECT_LT(hybrid.modeled_seconds, gpu_only.modeled_seconds);
+}
+
+TEST(GpuFactor, GpuOnlySlowerThanCpuOnSmallMatrices) {
+  const CscMatrix a = grid2d_5pt(40, 40);
+  const auto cpu = run(a, Method::kRL, Execution::kCpuParallel);
+  const auto gpu_only = run(a, Method::kRL, Execution::kGpuOnly);
+  EXPECT_GT(gpu_only.modeled_seconds, cpu.modeled_seconds);
+}
+
+TEST(GpuFactor, HybridAcceleratesLargeMatrix) {
+  const CscMatrix a = test_matrix();
+  const auto cpu = run(a, Method::kRL, Execution::kCpuParallel);
+  const auto gpu = run(a, Method::kRL, Execution::kGpuHybrid);
+  EXPECT_LT(gpu.modeled_seconds, cpu.modeled_seconds)
+      << "hybrid GPU should beat the CPU baseline on a 3D problem";
+}
+
+TEST(GpuFactor, RlFasterThanRlbOnGpu) {
+  // §IV.B: "the GPU accelerated version of RLB is slower than RL but it
+  // can factorize larger matrices".
+  const CscMatrix a = test_matrix();
+  const auto rl = run(a, Method::kRL, Execution::kGpuHybrid);
+  const auto rlb =
+      run(a, Method::kRLB, Execution::kGpuHybrid, RlbVariant::kStreamed);
+  EXPECT_LT(rl.modeled_seconds, rlb.modeled_seconds);
+}
+
+TEST(GpuFactor, RlbStreamedUsesLessDeviceMemoryThanRl) {
+  const CscMatrix a = test_matrix();
+  const auto rl = run(a, Method::kRL, Execution::kGpuOnly);
+  const auto rlb =
+      run(a, Method::kRLB, Execution::kGpuOnly, RlbVariant::kStreamed);
+  EXPECT_LT(rlb.device_peak_bytes, rl.device_peak_bytes);
+}
+
+TEST(GpuFactor, RlbBatchedMatchesRlMemoryFootprint) {
+  // §III: v1 "keeps small update matrices on the GPU" — same footprint
+  // class as RL (full update matrix on the device).
+  const CscMatrix a = test_matrix();
+  const auto rl = run(a, Method::kRL, Execution::kGpuOnly);
+  const auto v1 =
+      run(a, Method::kRLB, Execution::kGpuOnly, RlbVariant::kBatched);
+  EXPECT_EQ(v1.device_peak_bytes, rl.device_peak_bytes);
+}
+
+TEST(GpuFactor, BatchedFewerTransfersThanStreamed) {
+  // v1 transfers once per supernode; v2 once per block product.
+  const CscMatrix a = test_matrix();
+  SolverOptions o;
+  o.factor.method = Method::kRLB;
+  o.factor.exec = Execution::kGpuOnly;
+  o.factor.rlb_variant = RlbVariant::kBatched;
+  CholeskySolver s1(o);
+  s1.factorize(a);
+  o.factor.rlb_variant = RlbVariant::kStreamed;
+  CholeskySolver s2(o);
+  s2.factorize(a);
+  const auto& d1 = s1.factor().stats();
+  const auto& d2 = s2.factor().stats();
+  // Same bytes class, many more transfer operations for v2.
+  EXPECT_GT(d2.d2h_bytes + 1, d1.d2h_bytes / 2);  // same order of magnitude
+  EXPECT_GT(d2.num_gpu_kernels, d1.num_gpu_kernels / 2);
+  EXPECT_GT(static_cast<double>(d2.num_cpu_blas_calls + 1), 0.0);
+}
+
+TEST(GpuFactor, AsyncPanelCopyOverlapsUpdateKernel) {
+  // The modeled makespan with the async D2H of the factored panel must be
+  // smaller than the serialized sum of all modeled operation durations.
+  const CscMatrix a = test_matrix();
+  const auto st = run(a, Method::kRL, Execution::kGpuOnly);
+  const double serialized = st.cpu_blas_seconds + st.gpu_kernel_seconds +
+                            st.h2d_seconds + st.d2h_seconds +
+                            st.assembly_seconds;
+  EXPECT_LT(st.modeled_seconds, serialized);
+}
+
+TEST(GpuFactor, ThresholdSweepHasInteriorOptimum) {
+  // §III: "for each supernode we check its size and if it is below a
+  // threshold we keep it on CPU" — the best threshold is neither 0 (all
+  // GPU) nor infinity (all CPU) for a 3D problem.
+  const CscMatrix a = test_matrix();
+  const double t0 = run(a, Method::kRL, Execution::kGpuHybrid,
+                        RlbVariant::kStreamed, 0)
+                        .modeled_seconds;
+  const double tmid = run(a, Method::kRL, Execution::kGpuHybrid,
+                          RlbVariant::kStreamed, 60'000)
+                          .modeled_seconds;
+  const double tinf = run(a, Method::kRL, Execution::kGpuHybrid,
+                          RlbVariant::kStreamed,
+                          std::numeric_limits<offset_t>::max())
+                          .modeled_seconds;
+  EXPECT_LT(tmid, t0);
+  EXPECT_LT(tmid, tinf);
+}
+
+TEST(GpuFactor, AllVariantsProduceAccurateFactors) {
+  const CscMatrix a = grid3d_7pt(9, 9, 9);
+  for (const auto v : {RlbVariant::kBatched, RlbVariant::kStreamed}) {
+    SolverOptions o;
+    o.factor.method = Method::kRLB;
+    o.factor.exec = Execution::kGpuHybrid;
+    o.factor.rlb_variant = v;
+    o.factor.gpu_threshold_rlb = 10'000;
+    CholeskySolver s(o);
+    s.factorize(a);
+    EXPECT_LT(testing::solve_residual(a, s.factor()), 1e-13);
+  }
+}
+
+TEST(GpuFactor, DevicePeakScalesWithThreshold) {
+  // A higher threshold sends fewer supernodes to the device, so the
+  // preallocated buffers can only shrink.
+  const CscMatrix a = test_matrix();
+  const auto low = run(a, Method::kRL, Execution::kGpuHybrid,
+                       RlbVariant::kStreamed, 1'000);
+  const auto high = run(a, Method::kRL, Execution::kGpuHybrid,
+                        RlbVariant::kStreamed, 500'000);
+  EXPECT_GE(low.supernodes_on_gpu, high.supernodes_on_gpu);
+  EXPECT_GE(low.device_peak_bytes, high.device_peak_bytes);
+}
+
+}  // namespace
+}  // namespace spchol

@@ -1,0 +1,157 @@
+// Generator properties: dimensions, stencil counts, symmetry, and strict
+// diagonal dominance (⇒ SPD) for every family; dataset registry sanity.
+#include <gtest/gtest.h>
+
+#include "spchol/matrix/dataset.hpp"
+#include "spchol/matrix/generators.hpp"
+
+namespace spchol {
+namespace {
+
+/// Strict diagonal dominance with positive diagonal implies SPD.
+void expect_spd_by_dominance(const CscMatrix& a) {
+  const index_t n = a.cols();
+  std::vector<double> offsum(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> diag(static_cast<std::size_t>(n), 0.0);
+  for (index_t j = 0; j < n; ++j) {
+    const auto rows = a.col_rows(j);
+    const auto vals = a.col_values(j);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      ASSERT_GE(rows[k], j) << "not lower triangular";
+      if (rows[k] == j) {
+        diag[j] = vals[k];
+      } else {
+        offsum[j] += std::abs(vals[k]);
+        offsum[rows[k]] += std::abs(vals[k]);
+      }
+    }
+  }
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_GT(diag[i], offsum[i]) << "row " << i << " not dominant";
+  }
+}
+
+TEST(Generators, Grid2dShape) {
+  const CscMatrix a = grid2d_5pt(4, 3);
+  EXPECT_EQ(a.cols(), 12);
+  // Lower nnz: n diagonal + horizontal (nx-1)*ny + vertical nx*(ny-1).
+  EXPECT_EQ(a.nnz(), 12 + 3 * 3 + 4 * 2);
+  expect_spd_by_dominance(a);
+}
+
+TEST(Generators, Grid3dShape) {
+  const CscMatrix a = grid3d_7pt(3, 4, 5);
+  EXPECT_EQ(a.cols(), 60);
+  const offset_t edges = 2 * 4 * 5 + 3 * 3 * 5 + 3 * 4 * 4;
+  EXPECT_EQ(a.nnz(), 60 + edges);
+  expect_spd_by_dominance(a);
+}
+
+TEST(Generators, Grid27ptInteriorDegree) {
+  const CscMatrix a = grid3d_27pt(5, 5, 5);
+  const CscMatrix full = a.full_from_lower();
+  // Interior node (2,2,2) has 26 neighbours + diagonal.
+  const index_t center = 2 + 5 * (2 + 5 * 2);
+  EXPECT_EQ(full.col_rows(center).size(), 27u);
+  expect_spd_by_dominance(a);
+}
+
+TEST(Generators, WideStencilDegree) {
+  const CscMatrix a = grid3d_wide(7, 7, 7, 2);
+  const CscMatrix full = a.full_from_lower();
+  const index_t center = 3 + 7 * (3 + 7 * 3);
+  EXPECT_EQ(full.col_rows(center).size(), 125u);
+  expect_spd_by_dominance(a);
+}
+
+TEST(Generators, VectorGridShape) {
+  const CscMatrix a = grid3d_vector(3, 3, 3, 3);
+  EXPECT_EQ(a.cols(), 81);
+  const CscMatrix full = a.full_from_lower();
+  // Interior node: (6 neighbours + self) × 3 dofs coupled to each dof.
+  const index_t center_dof = (1 + 3 * (1 + 3 * 1)) * 3;
+  EXPECT_EQ(full.col_rows(center_dof).size(), 21u);
+  expect_spd_by_dominance(a);
+}
+
+TEST(Generators, VectorGridCrossCouplingValue) {
+  const CscMatrix a = grid3d_vector(2, 1, 1, 2);
+  // dofs: node0 {0,1}, node1 {2,3}; cross-dof coupling -0.25, same -1.
+  const CscMatrix full = a.full_from_lower();
+  bool found_same = false, found_cross = false;
+  const auto rows = full.col_rows(0);
+  const auto vals = full.col_values(0);
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    if (rows[k] == 2) {
+      EXPECT_DOUBLE_EQ(vals[k], -1.0);
+      found_same = true;
+    }
+    if (rows[k] == 3) {
+      EXPECT_DOUBLE_EQ(vals[k], -0.25);
+      found_cross = true;
+    }
+  }
+  EXPECT_TRUE(found_same);
+  EXPECT_TRUE(found_cross);
+}
+
+TEST(Generators, RandomSpdDeterministicAndDominant) {
+  const CscMatrix a = random_spd(200, 5, 77);
+  const CscMatrix b = random_spd(200, 5, 77);
+  EXPECT_EQ(a.rowind(), b.rowind());
+  EXPECT_EQ(a.values(), b.values());
+  expect_spd_by_dominance(a);
+  const CscMatrix c = random_spd(200, 5, 78);
+  EXPECT_NE(a.rowind(), c.rowind());
+}
+
+TEST(Generators, DenseSpd) {
+  const CscMatrix a = dense_spd(20, 3);
+  EXPECT_EQ(a.nnz(), 20 * 21 / 2);
+  expect_spd_by_dominance(a);
+}
+
+TEST(Generators, ShiftIncreasesDiagonal) {
+  const CscMatrix a = grid2d_5pt(4, 4, 0.0);
+  const CscMatrix b = grid2d_5pt(4, 4, 2.5);
+  for (index_t j = 0; j < a.cols(); ++j) {
+    EXPECT_NEAR(b.col_values(j)[0] - a.col_values(j)[0], 2.5, 1e-15);
+  }
+}
+
+TEST(Dataset, HasAll21PaperMatrices) {
+  EXPECT_EQ(dataset().size(), 21u);
+  EXPECT_EQ(dataset().front().name, "CurlCurl_2");
+  EXPECT_EQ(dataset().back().name, "Queen_4147");
+}
+
+TEST(Dataset, PaperNumbersMatchTableExtremes) {
+  // Table I extremes: min speedup 1.31 (Flan_1565), max 4.47 (Bump_2911).
+  EXPECT_DOUBLE_EQ(dataset_entry("Flan_1565").paper_rl.speedup, 1.31);
+  EXPECT_DOUBLE_EQ(dataset_entry("Bump_2911").paper_rl.speedup, 4.47);
+  // Table II extremes: 1.09 (dielFilterV2real), 3.15 (Queen_4147).
+  EXPECT_DOUBLE_EQ(dataset_entry("dielFilterV2real").paper_rlb.speedup, 1.09);
+  EXPECT_DOUBLE_EQ(dataset_entry("Queen_4147").paper_rlb.speedup, 3.15);
+  // nlpkkt120 fails under RL but runs under RLB in the paper.
+  EXPECT_TRUE(dataset_entry("nlpkkt120").paper_rl.out_of_memory);
+  EXPECT_FALSE(dataset_entry("nlpkkt120").paper_rlb.out_of_memory);
+  EXPECT_DOUBLE_EQ(dataset_entry("nlpkkt120").paper_rlb.time_s, 114.658);
+}
+
+TEST(Dataset, GeneratorsProduceSpdMatrices) {
+  // Generate the three smallest analogs and check dominance; the full set
+  // is exercised by the benches.
+  for (const char* name : {"bone010", "Fault_639", "nlpkkt80"}) {
+    SCOPED_TRACE(name);
+    const CscMatrix a = dataset_entry(name).make();
+    EXPECT_GT(a.cols(), 1000);
+    expect_spd_by_dominance(a);
+  }
+}
+
+TEST(Dataset, UnknownNameThrows) {
+  EXPECT_THROW(dataset_entry("not_a_matrix"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace spchol

@@ -1,0 +1,155 @@
+// Graph construction, BFS, pseudo-peripheral, components, subgraphs,
+// and nested-dissection separator validity.
+#include <gtest/gtest.h>
+
+#include "spchol/graph/nested_dissection.hpp"
+#include "spchol/graph/rcm.hpp"
+#include "spchol/matrix/coo.hpp"
+#include "spchol/matrix/generators.hpp"
+
+namespace spchol {
+namespace {
+
+TEST(Graph, FromSymLowerBuildsBothDirections) {
+  const CscMatrix a = grid2d_5pt(3, 3);
+  const Graph g = Graph::from_sym_lower(a);
+  EXPECT_EQ(g.num_vertices(), 9);
+  // 2*(#edges) directed entries: edges = 2*3 + 3*2 = 12.
+  EXPECT_EQ(g.num_directed_edges(), 24);
+  // Corner vertex 0 has neighbours 1 and 3.
+  const auto nb = g.neighbors(0);
+  ASSERT_EQ(nb.size(), 2u);
+  EXPECT_EQ(nb[0], 1);
+  EXPECT_EQ(nb[1], 3);
+  // Center vertex 4 has degree 4.
+  EXPECT_EQ(g.degree(4), 4);
+}
+
+TEST(Graph, BfsLevelsOnPath) {
+  // Path graph 0-1-2-3-4 via a tridiagonal matrix.
+  CooMatrix coo(5, 5);
+  for (index_t i = 0; i < 5; ++i) coo.add(i, i, 4.0);
+  for (index_t i = 0; i + 1 < 5; ++i) coo.add(i + 1, i, -1.0);
+  const Graph g = Graph::from_sym_lower(coo.to_csc());
+  const BfsResult r = bfs_levels(g, 0);
+  EXPECT_EQ(r.eccentricity, 4);
+  for (index_t i = 0; i < 5; ++i) EXPECT_EQ(r.level[i], i);
+  const index_t pp = pseudo_peripheral(g, 2);
+  EXPECT_TRUE(pp == 0 || pp == 4);
+}
+
+TEST(Graph, ConnectedComponents) {
+  // Two disjoint triangles.
+  CooMatrix coo(6, 6);
+  for (index_t i = 0; i < 6; ++i) coo.add(i, i, 3.0);
+  coo.add(1, 0, -1.0);
+  coo.add(2, 0, -1.0);
+  coo.add(2, 1, -1.0);
+  coo.add(4, 3, -1.0);
+  coo.add(5, 3, -1.0);
+  coo.add(5, 4, -1.0);
+  const Graph g = Graph::from_sym_lower(coo.to_csc());
+  const auto [comp, ncomp] = g.connected_components();
+  EXPECT_EQ(ncomp, 2);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[0], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+}
+
+TEST(Graph, InducedSubgraph) {
+  const CscMatrix a = grid2d_5pt(3, 3);
+  const Graph g = Graph::from_sym_lower(a);
+  const std::vector<index_t> verts = {0, 1, 3, 4};  // 2x2 corner block
+  const Graph sub = g.induced_subgraph(verts);
+  EXPECT_EQ(sub.num_vertices(), 4);
+  EXPECT_EQ(sub.num_directed_edges(), 8);  // 4 undirected edges
+  EXPECT_EQ(sub.degree(0), 2);
+}
+
+void expect_valid_separator(const Graph& g, const std::vector<int>& part) {
+  index_t na = 0, nb = 0;
+  for (index_t v = 0; v < g.num_vertices(); ++v) {
+    if (part[v] == 0) ++na;
+    if (part[v] == 1) ++nb;
+    if (part[v] == 0 || part[v] == 1) {
+      for (const index_t w : g.neighbors(v)) {
+        EXPECT_NE(part[w], 1 - part[v])
+            << "edge between the two sides: " << v << "-" << w;
+      }
+    }
+  }
+  EXPECT_GT(na, 0);
+  EXPECT_GT(nb, 0);
+}
+
+TEST(NestedDissection, SeparatorSeparates) {
+  const CscMatrix a = grid2d_5pt(15, 15);
+  const Graph g = Graph::from_sym_lower(a);
+  const std::vector<int> part = nd_vertex_separator(g, NdOptions{});
+  expect_valid_separator(g, part);
+  // A 15x15 grid separator should be about one grid line.
+  index_t sep = 0;
+  for (const int p : part) sep += p == 2;
+  EXPECT_LE(sep, 30);
+}
+
+TEST(NestedDissection, SeparatorOn3d) {
+  const Graph g = Graph::from_sym_lower(grid3d_7pt(7, 7, 7));
+  expect_valid_separator(g, nd_vertex_separator(g, NdOptions{}));
+}
+
+TEST(NestedDissection, OrderingIsPermutation) {
+  const CscMatrix a = grid3d_7pt(6, 6, 6);
+  const Graph g = Graph::from_sym_lower(a);
+  const Permutation p = nested_dissection(g);
+  EXPECT_EQ(p.size(), a.cols());  // Permutation ctor validates bijectivity
+}
+
+TEST(NestedDissection, HandlesDisconnectedGraph) {
+  CooMatrix coo(200, 200);
+  for (index_t i = 0; i < 200; ++i) coo.add(i, i, 4.0);
+  // Two disjoint paths of length 100.
+  for (index_t i = 0; i + 1 < 100; ++i) {
+    coo.add(i + 1, i, -1.0);
+    coo.add(100 + i + 1, 100 + i, -1.0);
+  }
+  const Graph g = Graph::from_sym_lower(coo.to_csc());
+  const Permutation p = nested_dissection(g);
+  EXPECT_EQ(p.size(), 200);
+}
+
+TEST(NestedDissection, TinyGraphsGoToLeafOrdering) {
+  const CscMatrix a = grid2d_5pt(3, 2);
+  const Graph g = Graph::from_sym_lower(a);
+  NdOptions opts;
+  opts.leaf_size = 64;
+  const Permutation p = nested_dissection(g, opts);
+  EXPECT_EQ(p.size(), 6);
+}
+
+TEST(Rcm, ReducesBandwidthOnGrid) {
+  const CscMatrix a = grid2d_5pt(20, 20);
+  const Graph g = Graph::from_sym_lower(a);
+  // A "bad" ordering: interleave rows to wreck locality first.
+  std::vector<index_t> bad(400);
+  index_t k = 0;
+  for (index_t i = 0; i < 400; i += 2) bad[k++] = i;
+  for (index_t i = 1; i < 400; i += 2) bad[k++] = i;
+  const index_t bw_bad = bandwidth(a, Permutation(std::move(bad)));
+  const index_t bw_rcm = bandwidth(a, rcm_ordering(g));
+  EXPECT_LT(bw_rcm, bw_bad);
+  EXPECT_LE(bw_rcm, 40);  // ~grid width
+}
+
+TEST(Rcm, CoversDisconnectedGraphs) {
+  CooMatrix coo(10, 10);
+  for (index_t i = 0; i < 10; ++i) coo.add(i, i, 2.0);
+  coo.add(1, 0, -1.0);
+  coo.add(9, 8, -1.0);
+  const Graph g = Graph::from_sym_lower(coo.to_csc());
+  EXPECT_EQ(rcm_ordering(g).size(), 10);
+}
+
+}  // namespace
+}  // namespace spchol

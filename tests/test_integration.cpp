@@ -1,0 +1,161 @@
+// End-to-end integration: the full pipeline on mid-size problems, option
+// interactions, the dataset registry, and the paper's qualitative
+// findings at reduced scale.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace spchol {
+namespace {
+
+TEST(Integration, Poisson3dFullPipeline) {
+  const CscMatrix a = grid3d_7pt(12, 12, 12);
+  std::vector<double> x_true(a.cols());
+  for (index_t i = 0; i < a.cols(); ++i) {
+    x_true[i] = 1.0 + 0.001 * static_cast<double>(i % 97);
+  }
+  std::vector<double> b(a.cols());
+  a.sym_lower_matvec(x_true, b);
+
+  for (const auto method : {Method::kRL, Method::kRLB}) {
+    for (const auto exec : {Execution::kCpuParallel, Execution::kGpuHybrid}) {
+      SCOPED_TRACE(std::string(to_string(method)) + "/" + to_string(exec));
+      SolverOptions opts;
+      opts.factor.method = method;
+      opts.factor.exec = exec;
+      opts.factor.gpu_threshold_rl = 100'000;
+      opts.factor.gpu_threshold_rlb = 100'000;
+      CholeskySolver solver(opts);
+      solver.factorize(a);
+      const auto x = solver.solve(b);
+      EXPECT_LT(relative_residual(a, x, b), 1e-13);
+    }
+  }
+}
+
+TEST(Integration, MergeAndPrImproveModeledRlbTime) {
+  // §IV.A: supernode merging and partition refinement exist to make the
+  // supernodes larger and the blocks fewer; both should help (or at least
+  // not hurt) RLB's modeled time.
+  const CscMatrix a = grid3d_7pt(10, 10, 10);
+  auto modeled = [&](double cap, bool pr) {
+    SolverOptions opts;
+    opts.analyze.merge_growth_cap = cap;
+    opts.analyze.partition_refinement = pr;
+    opts.factor.method = Method::kRLB;
+    opts.factor.exec = Execution::kCpuParallel;
+    CholeskySolver solver(opts);
+    solver.factorize(a);
+    return solver.stats().modeled_seconds;
+  };
+  const double plain = modeled(0.0, false);
+  const double merged = modeled(0.25, false);
+  const double merged_pr = modeled(0.25, true);
+  EXPECT_LT(merged, plain);
+  EXPECT_LE(merged_pr, merged * 1.05);  // PR must not regress materially
+}
+
+TEST(Integration, PrReducesRlbBlasCalls) {
+  const CscMatrix a = grid3d_7pt(10, 10, 10);
+  auto calls = [&](bool pr) {
+    SolverOptions opts;
+    opts.analyze.partition_refinement = pr;
+    opts.factor.method = Method::kRLB;
+    opts.factor.exec = Execution::kCpuSerial;
+    CholeskySolver solver(opts);
+    solver.factorize(a);
+    return solver.stats().num_cpu_blas_calls;
+  };
+  EXPECT_LT(calls(true), calls(false));
+}
+
+TEST(Integration, DatasetSmallestEntriesEndToEnd) {
+  // Factor the three smallest dataset analogs with both methods and check
+  // accuracy. (The full 21-matrix sweep is the benches' job.)
+  for (const char* name : {"bone010", "Fault_639", "nlpkkt80"}) {
+    SCOPED_TRACE(name);
+    const CscMatrix a = dataset_entry(name).make();
+    std::vector<double> b(a.cols(), 1.0);
+    SolverOptions opts;
+    opts.factor.exec = Execution::kGpuHybrid;
+    CholeskySolver solver(opts);
+    solver.factorize(a);
+    const auto x = solver.solve(b);
+    EXPECT_LT(relative_residual(a, x, b), 1e-12);
+  }
+}
+
+TEST(Integration, ModeledSpeedupGrowsWithProblemSize) {
+  // Table I's pattern: larger matrices see larger GPU speedups.
+  auto speedup = [&](index_t k) {
+    const CscMatrix a = grid3d_vector(k, k, k, 3);
+    SolverOptions opts;
+    opts.factor.method = Method::kRL;
+    opts.factor.exec = Execution::kCpuParallel;
+    CholeskySolver cpu(opts);
+    cpu.factorize(a);
+    opts.factor.exec = Execution::kGpuHybrid;
+    CholeskySolver gpu(opts);
+    gpu.factorize(a);
+    return cpu.stats().modeled_seconds / gpu.stats().modeled_seconds;
+  };
+  const double s_small = speedup(10);
+  const double s_large = speedup(18);
+  EXPECT_GT(s_large, 1.0) << "the larger problem must see a GPU speedup";
+  EXPECT_GT(s_large, s_small);
+}
+
+TEST(Integration, FactorValuesIdenticalAcrossExecutionsRl) {
+  // RL's kernel sequence is identical on CPU and simulated GPU.
+  const CscMatrix a = dataset_entry("bone010").make();
+  SolverOptions o1, o2;
+  o1.factor.method = Method::kRL;
+  o1.factor.exec = Execution::kCpuParallel;
+  o2.factor.method = Method::kRL;
+  o2.factor.exec = Execution::kGpuHybrid;
+  o2.factor.gpu_threshold_rl = 50'000;
+  CholeskySolver s1(o1), s2(o2);
+  s1.factorize(a);
+  s2.factorize(a);
+  ASSERT_GT(s2.stats().supernodes_on_gpu, 0);
+  const auto v1 = s1.factor().values();
+  const auto v2 = s2.factor().values();
+  ASSERT_EQ(v1.size(), v2.size());
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < v1.size(); ++i) {
+    mismatches += v1[i] != v2[i];
+  }
+  EXPECT_EQ(mismatches, 0u);
+}
+
+TEST(Integration, RlAndRlbAgreeNumerically) {
+  const CscMatrix a = grid3d_vector(5, 5, 5, 3);
+  SolverOptions o1, o2;
+  o1.factor.method = Method::kRL;
+  o2.factor.method = Method::kRLB;
+  CholeskySolver s1(o1), s2(o2);
+  s1.factorize(a);
+  s2.factorize(a);
+  const CscMatrix l1 = s1.factor().to_csc_lower();
+  const CscMatrix l2 = s2.factor().to_csc_lower();
+  EXPECT_LT(CscMatrix::max_abs_diff(l1, l2), 1e-10);
+}
+
+TEST(Integration, ManyRepeatedFactorizationsAreStable) {
+  // Exercise thread-pool reuse and device construction across many runs.
+  const CscMatrix a = grid2d_5pt(20, 20);
+  std::vector<double> b(a.cols(), 1.0);
+  for (int rep = 0; rep < 10; ++rep) {
+    SolverOptions opts;
+    opts.factor.method = rep % 2 == 0 ? Method::kRL : Method::kRLB;
+    opts.factor.exec =
+        rep % 3 == 0 ? Execution::kGpuOnly : Execution::kCpuParallel;
+    CholeskySolver solver(opts);
+    solver.factorize(a);
+    const auto x = solver.solve(b);
+    ASSERT_LT(relative_residual(a, x, b), 1e-13) << "rep " << rep;
+  }
+}
+
+}  // namespace
+}  // namespace spchol

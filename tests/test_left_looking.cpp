@@ -1,0 +1,120 @@
+// Left-looking baseline: correctness across orderings and matrices,
+// agreement with RL, and the CPU-only restriction.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace spchol {
+namespace {
+
+using testing::factorization_error;
+using testing::solve_residual;
+
+class LeftLookingOrderings
+    : public ::testing::TestWithParam<OrderingMethod> {};
+
+TEST_P(LeftLookingOrderings, ReconstructsAAndSolves) {
+  struct Case {
+    const char* name;
+    CscMatrix a;
+  };
+  const Case cases[] = {
+      {"grid2d", grid2d_5pt(11, 9)},
+      {"grid3d", grid3d_7pt(5, 6, 4)},
+      {"dense", dense_spd(35, 3)},
+      {"random", random_spd(120, 5, 17)},
+      {"vector", grid3d_vector(3, 4, 3, 3)},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    SolverOptions opts;
+    opts.ordering = GetParam();
+    opts.factor.method = Method::kLeftLooking;
+    CholeskySolver solver(opts);
+    solver.factorize(c.a);
+    EXPECT_LT(factorization_error(c.a, solver.factor()), 1e-9);
+    EXPECT_LT(solve_residual(c.a, solver.factor()), 1e-13);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Orderings, LeftLookingOrderings,
+    ::testing::Values(OrderingMethod::kNatural, OrderingMethod::kRcm,
+                      OrderingMethod::kNestedDissection,
+                      OrderingMethod::kMinimumDegree),
+    [](const auto& info) {
+      std::string s = to_string(info.param);
+      for (auto& ch : s) {
+        if (ch == '-') ch = '_';
+      }
+      return s;
+    });
+
+TEST(LeftLooking, AgreesWithRlNumerically) {
+  const CscMatrix a = grid3d_7pt(7, 7, 7);
+  SolverOptions o1, o2;
+  o1.factor.method = Method::kLeftLooking;
+  o2.factor.method = Method::kRL;
+  CholeskySolver s1(o1), s2(o2);
+  s1.factorize(a);
+  s2.factorize(a);
+  EXPECT_LT(CscMatrix::max_abs_diff(s1.factor().to_csc_lower(),
+                                    s2.factor().to_csc_lower()),
+            1e-10);
+}
+
+TEST(LeftLooking, RejectsGpuExecution) {
+  const CscMatrix a = grid2d_5pt(5, 5);
+  SolverOptions opts;
+  opts.factor.method = Method::kLeftLooking;
+  opts.factor.exec = Execution::kGpuHybrid;
+  CholeskySolver solver(opts);
+  EXPECT_THROW(solver.factorize(a), Error);
+}
+
+TEST(LeftLooking, WorksWithMergedAndRefinedSupernodes) {
+  const CscMatrix a = grid3d_7pt(6, 6, 6);
+  for (const double cap : {0.0, 0.25}) {
+    for (const bool pr : {false, true}) {
+      SCOPED_TRACE(cap);
+      SCOPED_TRACE(pr);
+      SolverOptions opts;
+      opts.analyze.merge_growth_cap = cap;
+      opts.analyze.partition_refinement = pr;
+      opts.factor.method = Method::kLeftLooking;
+      CholeskySolver solver(opts);
+      solver.factorize(a);
+      EXPECT_LT(solve_residual(a, solver.factor()), 1e-13);
+    }
+  }
+}
+
+TEST(LeftLooking, ThrowsNotPositiveDefinite) {
+  CscMatrix broken = grid2d_5pt(6, 6);
+  auto& vals = broken.mutable_values();
+  for (index_t j = 0; j < broken.cols(); ++j) {
+    const auto rows = broken.col_rows(j);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      if (rows[k] == j) vals[broken.colptr()[j] + k] = -1.0;
+    }
+  }
+  SolverOptions opts;
+  opts.factor.method = Method::kLeftLooking;
+  CholeskySolver solver(opts);
+  EXPECT_THROW(solver.factorize(broken), NotPositiveDefinite);
+}
+
+TEST(LeftLooking, ModeledStatsPopulated) {
+  const CscMatrix a = grid3d_7pt(6, 6, 6);
+  SolverOptions opts;
+  opts.factor.method = Method::kLeftLooking;
+  CholeskySolver solver(opts);
+  solver.factorize(a);
+  EXPECT_GT(solver.stats().modeled_seconds, 0.0);
+  EXPECT_GT(solver.stats().cpu_blas_seconds, 0.0);
+  EXPECT_EQ(solver.stats().supernodes_on_gpu, 0);
+  EXPECT_EQ(solver.stats().num_gpu_kernels, 0u);
+}
+
+}  // namespace
+}  // namespace spchol

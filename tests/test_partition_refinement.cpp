@@ -1,0 +1,135 @@
+// PartitionRefiner unit tests + the block-reduction property the paper's
+// §IV.A relies on ("this reordering is essential to attain high
+// performance using RLB").
+#include <gtest/gtest.h>
+
+#include "spchol/graph/ordering.hpp"
+#include "spchol/matrix/generators.hpp"
+#include "spchol/symbolic/partition_refinement.hpp"
+#include "spchol/symbolic/symbolic_factor.hpp"
+
+namespace spchol {
+namespace {
+
+/// Number of maximal runs the elements of `set` form in `order`.
+index_t run_count(const std::vector<index_t>& order,
+                  const std::vector<index_t>& set) {
+  std::vector<char> is_member(order.size(), 0);
+  for (const index_t e : set) is_member[e] = 1;
+  index_t runs = 0;
+  bool in_run = false;
+  for (const index_t e : order) {
+    if (is_member[e] && !in_run) ++runs;
+    in_run = is_member[e];
+  }
+  return runs;
+}
+
+TEST(PartitionRefiner, InitialStateIsIdentity) {
+  PartitionRefiner r(5);
+  EXPECT_EQ(r.order(), (std::vector<index_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(r.num_cells(), 1);
+}
+
+TEST(PartitionRefiner, SingleRefineMakesSetContiguousAndFirst) {
+  PartitionRefiner r(6);
+  const std::vector<index_t> set = {1, 4, 5};
+  r.refine(set);
+  EXPECT_EQ(r.num_cells(), 2);
+  EXPECT_EQ(run_count(r.order(), set), 1);
+  // Marked elements come first, preserving relative order.
+  EXPECT_EQ(r.order(), (std::vector<index_t>{1, 4, 5, 0, 2, 3}));
+}
+
+TEST(PartitionRefiner, OrderWithinCellsIsStable) {
+  PartitionRefiner r(8);
+  r.refine(std::vector<index_t>{6, 2, 4});  // {2,4,6} first, stable
+  EXPECT_EQ(r.order(), (std::vector<index_t>{2, 4, 6, 0, 1, 3, 5, 7}));
+  r.refine(std::vector<index_t>{4, 6, 1});
+  // Cell {2,4,6} splits into {4,6} then {2}; cell {0,1,3,5,7} splits into
+  // {1} then {0,3,5,7}.
+  EXPECT_EQ(r.order(), (std::vector<index_t>{4, 6, 2, 1, 0, 3, 5, 7}));
+  EXPECT_EQ(r.num_cells(), 4);
+}
+
+TEST(PartitionRefiner, BothSetsContiguousAfterTwoRefines) {
+  PartitionRefiner r(10);
+  const std::vector<index_t> s1 = {0, 2, 4, 6, 8};
+  const std::vector<index_t> s2 = {4, 6, 8, 9};
+  r.refine(s1);
+  r.refine(s2);
+  EXPECT_EQ(run_count(r.order(), s1), 1);
+  // s2 = (s1 ∩ s2) ∪ {9}: the laminar-violating part may split; at most 2
+  // runs.
+  EXPECT_LE(run_count(r.order(), s2), 2);
+}
+
+TEST(PartitionRefiner, EmptyAndFullSetsAreNoOps) {
+  PartitionRefiner r(4);
+  r.refine(std::vector<index_t>{});
+  EXPECT_EQ(r.num_cells(), 1);
+  r.refine(std::vector<index_t>{0, 1, 2, 3});
+  EXPECT_EQ(r.num_cells(), 1);
+  EXPECT_EQ(r.order(), (std::vector<index_t>{0, 1, 2, 3}));
+}
+
+TEST(PartitionRefiner, DuplicatesInSetIgnored) {
+  PartitionRefiner r(4);
+  r.refine(std::vector<index_t>{2, 2, 0});
+  EXPECT_EQ(r.order(), (std::vector<index_t>{0, 2, 1, 3}));
+  EXPECT_EQ(r.num_cells(), 2);
+}
+
+TEST(PartitionRefiner, OutOfRangeThrows) {
+  PartitionRefiner r(3);
+  EXPECT_THROW(r.refine(std::vector<index_t>{3}), Error);
+}
+
+TEST(PartitionRefiner, LaminarFamilyAllContiguous) {
+  // Nested sets stay contiguous under refinement in any order.
+  PartitionRefiner r(12);
+  const std::vector<index_t> a = {0, 1, 2, 3, 4, 5};
+  const std::vector<index_t> b = {2, 3, 4};
+  const std::vector<index_t> c = {3};
+  r.refine(b);
+  r.refine(a);
+  r.refine(c);
+  for (const auto& s : {a, b, c}) EXPECT_EQ(run_count(r.order(), s), 1);
+}
+
+// ---- End-to-end: PR reduces total block counts -----------------------------
+
+offset_t total_blocks(const CscMatrix& a, bool pr) {
+  AnalyzeOptions opts;
+  opts.partition_refinement = pr;
+  const Permutation fill =
+      compute_ordering(a, OrderingMethod::kNestedDissection);
+  return SymbolicFactor::analyze(a, fill, opts).total_blocks();
+}
+
+TEST(PartitionRefinementEndToEnd, ReducesBlocksOnGrids) {
+  const CscMatrix g3 = grid3d_7pt(8, 8, 8);
+  EXPECT_LE(total_blocks(g3, true), total_blocks(g3, false));
+  const CscMatrix g2 = grid2d_5pt(24, 24);
+  EXPECT_LE(total_blocks(g2, true), total_blocks(g2, false));
+  // On at least the 3D case the reduction should be strict.
+  EXPECT_LT(total_blocks(g3, true), total_blocks(g3, false));
+}
+
+TEST(PartitionRefinementEndToEnd, FactorSizeInvariant) {
+  // Within-supernode reordering must not change the factor size.
+  const CscMatrix a = grid3d_7pt(6, 6, 6);
+  const Permutation fill =
+      compute_ordering(a, OrderingMethod::kNestedDissection);
+  AnalyzeOptions on, off;
+  on.partition_refinement = true;
+  off.partition_refinement = false;
+  const auto son = SymbolicFactor::analyze(a, fill, on);
+  const auto soff = SymbolicFactor::analyze(a, fill, off);
+  EXPECT_EQ(son.factor_nnz(), soff.factor_nnz());
+  EXPECT_EQ(son.factor_values(), soff.factor_values());
+  EXPECT_EQ(son.num_supernodes(), soff.num_supernodes());
+}
+
+}  // namespace
+}  // namespace spchol

@@ -1,0 +1,155 @@
+// Performance-model properties: monotonicity, asymptotics, and the
+// qualitative behaviours the paper's results rest on (small kernels are
+// GPU-hostile; large kernels favour the device; transfer time is
+// bandwidth-dominated for large payloads).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spchol/gpu/perf_model.hpp"
+
+namespace spchol::gpu {
+namespace {
+
+TEST(PerfModel, CpuTimeMonotoneInFlops) {
+  PerfModel m;
+  double prev = 0.0;
+  for (double f = 1e3; f < 1e12; f *= 10) {
+    const double t = m.cpu_kernel_seconds(f, 16);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(PerfModel, MoreThreadsHelpLargeKernelsOnly) {
+  PerfModel m;
+  // Large kernel: 8 threads beat 1.
+  EXPECT_LT(m.cpu_kernel_seconds(1e11, 8), m.cpu_kernel_seconds(1e11, 1));
+  // Beyond the useful-thread ceiling extra threads cannot help.
+  EXPECT_GE(m.cpu_kernel_seconds(1e11, 128),
+            m.cpu_kernel_seconds(1e11, 8) - 1e-15);
+  // Tiny kernel: thread overhead makes 128 threads no better than 1.
+  EXPECT_GE(m.cpu_kernel_seconds(1e4, 128), m.cpu_kernel_seconds(1e4, 1));
+  // The nominal (uncapped) model does reward 128 threads on huge kernels.
+  const PerfModel nominal = PerfModel::a100_nominal();
+  EXPECT_LT(nominal.cpu_kernel_seconds(1e11, 128),
+            nominal.cpu_kernel_seconds(1e11, 8));
+}
+
+TEST(PerfModel, BestOfSweepIsNoWorseThanAnyCandidate) {
+  PerfModel m;
+  for (const double f : {1e5, 1e7, 1e9, 1e11}) {
+    const double best = m.cpu_kernel_seconds_best(f);
+    for (const int t : m.cpu_thread_candidates) {
+      EXPECT_LE(best, m.cpu_kernel_seconds(f, t) + 1e-15);
+    }
+  }
+}
+
+TEST(PerfModel, GpuBeatsCpuOnLargeKernels) {
+  PerfModel m;
+  const double f = 1e11;
+  EXPECT_LT(m.gpu_kernel_seconds(f), m.cpu_kernel_seconds_best(f));
+}
+
+TEST(PerfModel, CpuBeatsGpuPlusTransferOnSmallKernels) {
+  // The §III rationale for the hybrid threshold: for a small supernode,
+  // CPU compute beats GPU compute + two transfers.
+  PerfModel m;
+  const double flops = 1e5;
+  const double bytes = 8.0 * 2000;
+  const double gpu_total = m.h2d_seconds(bytes) + m.gpu_kernel_seconds(flops) +
+                           m.d2h_seconds(bytes);
+  EXPECT_LT(m.cpu_kernel_seconds_best(flops), gpu_total);
+}
+
+TEST(PerfModel, GpuRateApproachesPeakFromBelow) {
+  PerfModel m;
+  const double huge = 1e13;
+  const double t = m.gpu_kernel_seconds(huge);
+  const double rate = huge / t / 1e9;
+  EXPECT_LT(rate, m.gpu_peak_gflops);
+  EXPECT_GT(rate, 0.9 * m.gpu_peak_gflops);
+  // At the half-performance size the effective rate is half the peak.
+  const double half = m.gpu_half_flops;
+  const double t_half = m.gpu_kernel_seconds(half) - m.gpu_kernel_launch;
+  EXPECT_NEAR(half / t_half / 1e9, m.gpu_peak_gflops / 2, 1.0);
+}
+
+TEST(PerfModel, TransferTimeLinearInBytes) {
+  PerfModel m;
+  const double t1 = m.h2d_seconds(1e6) - m.transfer_latency;
+  const double t2 = m.h2d_seconds(2e6) - m.transfer_latency;
+  EXPECT_NEAR(t2 / t1, 2.0, 1e-9);
+}
+
+TEST(PerfModel, LatencyNegligibleBandwidthDominantForLargeTransfers) {
+  // §IV.B conclusion: "for data transfer between CPU and GPU the latency
+  // is negligible but the bandwidth is important". The paper quantifies
+  // this as RLB-v1 (one transfer) being at most ~9% better than RLB-v2
+  // (many transfers): splitting a large payload into ten transfers must
+  // cost under 10%, while cutting the bandwidth 10x costs ~10x.
+  PerfModel m;
+  const double one = m.d2h_seconds(1e8);
+  const double ten = 10.0 * m.d2h_seconds(1e7);
+  EXPECT_LT((ten - one) / one, 0.10);
+  PerfModel slow = m;
+  slow.d2h_gbytes_per_s /= 10.0;
+  EXPECT_GT(slow.d2h_seconds(1e8) / one, 5.0);
+}
+
+TEST(PerfModel, ZeroFlopsZeroTime) {
+  PerfModel m;
+  EXPECT_EQ(m.cpu_kernel_seconds(0.0, 8), 0.0);
+  EXPECT_EQ(m.gpu_kernel_seconds(0.0), 0.0);
+  EXPECT_EQ(m.assembly_seconds(0.0, 16), 0.0);
+}
+
+TEST(PerfModel, AssemblyParallelismHelps) {
+  PerfModel m;
+  EXPECT_LT(m.assembly_seconds(1e8, 16), m.assembly_seconds(1e8, 1));
+}
+
+double supernode_crossover(const PerfModel& m) {
+  // Crossover supernode size (entries) at which offloading an RL supernode
+  // step starts beating the CPU, modeling w ≈ sqrt(entries/4), rows ≈ 4w.
+  auto gpu_beats_cpu = [&](double entries) {
+    const double w = std::sqrt(entries / 4.0);
+    const double below = 3.0 * w;
+    const double flops_syrk = below * below * w;
+    const double bytes_panel = 8.0 * entries;
+    const double bytes_update = 8.0 * below * below;
+    const double gpu = m.h2d_seconds(bytes_panel) +
+                       m.gpu_kernel_seconds(flops_syrk) +
+                       m.d2h_seconds(bytes_update);
+    return gpu < m.cpu_kernel_seconds_best(flops_syrk);
+  };
+  if (gpu_beats_cpu(1e3)) return 1e3;
+  double lo = 1e3, hi = 1e9;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = std::sqrt(lo * hi);
+    (gpu_beats_cpu(mid) ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+TEST(PerfModel, NominalCrossoverNearPaperThreshold) {
+  // On the nominal (full-size A100/EPYC) constants the CPU/GPU crossover
+  // must land within an order of magnitude of the paper's empirically
+  // chosen 600k-entry threshold.
+  const double cross = supernode_crossover(PerfModel::a100_nominal());
+  EXPECT_GT(cross, 6e4);
+  EXPECT_LT(cross, 6e6);
+}
+
+TEST(PerfModel, ScaledCrossoverNearScaledDefaultThreshold) {
+  // The scaled default model moves the crossover to roughly 1/10 of the
+  // paper's value — consistent with the library's 60k/75k default
+  // thresholds for the ~30x-smaller analog dataset.
+  const double cross = supernode_crossover(PerfModel{});
+  EXPECT_GT(cross, 6e3);
+  EXPECT_LT(cross, 6e5);
+}
+
+}  // namespace
+}  // namespace spchol::gpu

@@ -1,0 +1,86 @@
+// Dolan–Moré performance profile unit tests (Figure 3 machinery).
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "spchol/core/perf_profile.hpp"
+
+namespace spchol {
+namespace {
+
+TEST(PerfProfile, TauGrid) {
+  const auto taus = tau_grid(2.0, 5);
+  ASSERT_EQ(taus.size(), 5u);
+  EXPECT_DOUBLE_EQ(taus.front(), 0.0);
+  EXPECT_DOUBLE_EQ(taus.back(), 2.0);
+  EXPECT_DOUBLE_EQ(taus[1], 0.5);
+  EXPECT_THROW(tau_grid(0.0, 5), Error);
+  EXPECT_THROW(tau_grid(1.0, 1), Error);
+}
+
+TEST(PerfProfile, SingleMethodIsAlwaysBest) {
+  const auto p = performance_profile({{1.0, 2.0, 3.0}}, tau_grid(1.0, 3));
+  for (const double f : p.fraction[0]) EXPECT_DOUBLE_EQ(f, 1.0);
+}
+
+TEST(PerfProfile, DominatedMethodNeedsLargerTau) {
+  // Method 0 is best everywhere; method 1 is exactly 2x slower: it reaches
+  // fraction 1 only at tau >= log2(2) = 1.
+  const std::vector<std::vector<double>> times = {{1.0, 2.0}, {2.0, 4.0}};
+  const auto p = performance_profile(times, {0.0, 0.5, 1.0, 1.5});
+  EXPECT_DOUBLE_EQ(p.fraction[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(p.fraction[1][0], 0.0);
+  EXPECT_DOUBLE_EQ(p.fraction[1][1], 0.0);
+  EXPECT_DOUBLE_EQ(p.fraction[1][2], 1.0);
+  EXPECT_DOUBLE_EQ(p.fraction[1][3], 1.0);
+}
+
+TEST(PerfProfile, MixedWinners) {
+  // Each method wins one case; at tau=0 both have fraction 0.5.
+  const std::vector<std::vector<double>> times = {{1.0, 3.0}, {2.0, 1.5}};
+  const auto p = performance_profile(times, {0.0, 10.0});
+  EXPECT_DOUBLE_EQ(p.fraction[0][0], 0.5);
+  EXPECT_DOUBLE_EQ(p.fraction[1][0], 0.5);
+  EXPECT_DOUBLE_EQ(p.fraction[0][1], 1.0);
+  EXPECT_DOUBLE_EQ(p.fraction[1][1], 1.0);
+}
+
+TEST(PerfProfile, FailuresNeverCount) {
+  // The paper's RL/nlpkkt120 case: a failed run (NaN) caps the method's
+  // fraction below 1 for every tau.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<std::vector<double>> times = {{1.0, nan, 1.0},
+                                                  {1.5, 2.0, 3.0}};
+  const auto p = performance_profile(times, {0.0, 100.0});
+  EXPECT_DOUBLE_EQ(p.fraction[0].back(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(p.fraction[1].back(), 1.0);
+  // The failing method still wins where it runs.
+  EXPECT_DOUBLE_EQ(p.fraction[0][0], 2.0 / 3.0);
+}
+
+TEST(PerfProfile, NonIncreasingInMethodDominance) {
+  // Fractions are non-decreasing in tau.
+  const std::vector<std::vector<double>> times = {{1, 5, 2, 8, 3},
+                                                  {2, 4, 2, 9, 1}};
+  const auto p = performance_profile(times, tau_grid(4.0, 9));
+  for (const auto& row : p.fraction) {
+    for (std::size_t t = 1; t < row.size(); ++t) {
+      EXPECT_GE(row[t], row[t - 1]);
+    }
+  }
+}
+
+TEST(PerfProfile, RaggedInputThrows) {
+  EXPECT_THROW(performance_profile({{1.0}, {1.0, 2.0}}, {0.0}), Error);
+}
+
+TEST(PerfProfile, AllFailedCaseContributesNothing) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<std::vector<double>> times = {{inf, 1.0}, {inf, 2.0}};
+  const auto p = performance_profile(times, {0.0, 10.0});
+  EXPECT_DOUBLE_EQ(p.fraction[0].back(), 0.5);
+  EXPECT_DOUBLE_EQ(p.fraction[1].back(), 0.5);
+}
+
+}  // namespace
+}  // namespace spchol

@@ -1,0 +1,113 @@
+// CholeskySolver facade + triangular solve accuracy + residual helper.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace spchol {
+namespace {
+
+TEST(Solver, OneShotSolve) {
+  const CscMatrix a = grid2d_5pt(15, 15);
+  std::vector<double> x_true(a.cols());
+  for (index_t i = 0; i < a.cols(); ++i) x_true[i] = std::sin(0.1 * i);
+  std::vector<double> b(a.cols());
+  a.sym_lower_matvec(x_true, b);
+  const auto x = CholeskySolver::solve(a, b);
+  for (index_t i = 0; i < a.cols(); ++i) {
+    EXPECT_NEAR(x[i], x_true[i], 1e-10);
+  }
+}
+
+TEST(Solver, AnalyzeOnceFactorizeTwice) {
+  CscMatrix a = grid3d_7pt(6, 6, 6);
+  CholeskySolver solver;
+  solver.analyze(a);
+  EXPECT_TRUE(solver.analyzed());
+  EXPECT_FALSE(solver.factorized());
+  solver.factorize(a);
+  const double nnz1 = static_cast<double>(solver.symbolic().factor_nnz());
+
+  // Same pattern, different values: reuse the symbolic analysis.
+  for (auto& v : a.mutable_values()) v *= 2.0;
+  solver.factorize(a);
+  EXPECT_EQ(static_cast<double>(solver.symbolic().factor_nnz()), nnz1);
+  std::vector<double> b(a.cols(), 1.0);
+  const auto x = solver.solve(b);
+  EXPECT_LT(relative_residual(a, x, b), 1e-14);
+}
+
+TEST(Solver, SolveBeforeFactorizeThrows) {
+  CholeskySolver solver;
+  std::vector<double> b(5, 1.0);
+  EXPECT_THROW(solver.solve(b), Error);
+  EXPECT_THROW(solver.symbolic(), Error);
+  EXPECT_THROW(solver.factor(), Error);
+}
+
+TEST(Solver, EveryOrderingSolvesAccurately) {
+  const CscMatrix a = grid3d_7pt(7, 6, 5);
+  std::vector<double> b(a.cols());
+  for (index_t i = 0; i < a.cols(); ++i) b[i] = std::cos(0.3 * i);
+  for (const auto om :
+       {OrderingMethod::kNatural, OrderingMethod::kRcm,
+        OrderingMethod::kNestedDissection, OrderingMethod::kMinimumDegree}) {
+    SCOPED_TRACE(to_string(om));
+    SolverOptions opts;
+    opts.ordering = om;
+    CholeskySolver solver(opts);
+    solver.factorize(a);
+    const auto x = solver.solve(b);
+    EXPECT_LT(relative_residual(a, x, b), 1e-14);
+  }
+}
+
+TEST(Solver, SolveIsExactOnIdentity) {
+  const CscMatrix a = CscMatrix::identity(10);
+  std::vector<double> b(10);
+  for (index_t i = 0; i < 10; ++i) b[i] = i * 1.5;
+  const auto x = CholeskySolver::solve(a, b);
+  for (index_t i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(x[i], b[i]);
+}
+
+TEST(Solver, RelativeResidualOfExactSolutionIsTiny) {
+  const CscMatrix a = random_spd(100, 4, 3);
+  std::vector<double> x(100, 1.0), b(100);
+  a.sym_lower_matvec(x, b);
+  EXPECT_LT(relative_residual(a, x, b), 1e-16);
+  // And a wrong solution has a large residual.
+  x[50] += 100.0;
+  EXPECT_GT(relative_residual(a, x, b), 1e-3);
+}
+
+TEST(Solver, FactorEntryAccessor) {
+  const CscMatrix a = dense_spd(10, 1);
+  SolverOptions opts;
+  opts.ordering = OrderingMethod::kNatural;
+  CholeskySolver solver(opts);
+  solver.factorize(a);
+  // L(0,0) = sqrt(A(0,0)); strict upper queries return 0.
+  EXPECT_NEAR(solver.factor().entry(0, 0), std::sqrt(a.col_values(0)[0]),
+              1e-13);
+  EXPECT_EQ(solver.factor().entry(0, 5), 0.0);
+}
+
+TEST(Solver, MismatchedDimensionsThrow) {
+  const CscMatrix a = grid2d_5pt(4, 4);
+  CholeskySolver solver;
+  solver.factorize(a);
+  std::vector<double> b(7, 1.0);
+  EXPECT_THROW(solver.solve(b), Error);
+}
+
+TEST(Solver, SolveSupportsAliasedInput) {
+  const CscMatrix a = grid2d_5pt(8, 8);
+  std::vector<double> x_true(a.cols(), 2.0), bx(a.cols());
+  a.sym_lower_matvec(x_true, bx);
+  CholeskySolver solver;
+  solver.factorize(a);
+  solver.factor().solve(bx, bx);  // in-place
+  for (index_t i = 0; i < a.cols(); ++i) EXPECT_NEAR(bx[i], 2.0, 1e-11);
+}
+
+}  // namespace
+}  // namespace spchol

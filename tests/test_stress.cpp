@@ -1,0 +1,194 @@
+// Randomized stress sweep and pathological-structure tests: the full
+// pipeline must hold its invariants on adversarial shapes (arrow, band,
+// block-diagonal, star, chains) and across a randomized matrix family.
+#include <gtest/gtest.h>
+
+#include "spchol/matrix/coo.hpp"
+#include "spchol/support/rng.hpp"
+#include "test_util.hpp"
+
+namespace spchol {
+namespace {
+
+using testing::solve_residual;
+
+void expect_pipeline_ok(const CscMatrix& a, const SolverOptions& opts,
+                        double tol = 1e-12) {
+  CholeskySolver solver(opts);
+  solver.factorize(a);
+  EXPECT_LT(solve_residual(a, solver.factor()), tol);
+  // Structural invariants that must hold for ANY input.
+  const SymbolicFactor& sf = solver.symbolic();
+  EXPECT_EQ(sf.n(), a.cols());
+  offset_t cols = 0;
+  for (index_t s = 0; s < sf.num_supernodes(); ++s) {
+    cols += sf.sn_width(s);
+    EXPECT_GE(sf.sn_nrows(s), sf.sn_width(s));
+  }
+  EXPECT_EQ(cols, a.cols());
+}
+
+// ---- pathological structures ----------------------------------------------
+
+TEST(Pathological, ArrowMatrixDenseLastColumn) {
+  // Arrow pointing at the last column: one giant supernode at the end.
+  CooMatrix coo(200, 200);
+  for (index_t i = 0; i < 200; ++i) coo.add(i, i, 300.0);
+  for (index_t i = 0; i < 199; ++i) coo.add(199, i, -1.0);
+  expect_pipeline_ok(coo.to_csc(), SolverOptions{});
+}
+
+TEST(Pathological, ArrowMatrixDenseFirstColumn) {
+  // Arrow pointing at the FIRST column: natural ordering fills the whole
+  // factor; fill-reducing orderings must avoid that.
+  CooMatrix coo(200, 200);
+  for (index_t i = 0; i < 200; ++i) coo.add(i, i, 300.0);
+  for (index_t i = 1; i < 200; ++i) coo.add(i, 0, -1.0);
+  const CscMatrix a = coo.to_csc();
+  SolverOptions nd;
+  nd.ordering = OrderingMethod::kNestedDissection;
+  CholeskySolver s_nd(nd);
+  s_nd.factorize(a);
+  SolverOptions nat;
+  nat.ordering = OrderingMethod::kNatural;
+  CholeskySolver s_nat(nat);
+  s_nat.factorize(a);
+  EXPECT_LT(s_nd.symbolic().factor_nnz(), s_nat.symbolic().factor_nnz());
+  EXPECT_LT(solve_residual(a, s_nd.factor()), 1e-13);
+}
+
+TEST(Pathological, NarrowBandMatrix) {
+  // Pentadiagonal: every supernode is tiny; exercises the many-small-
+  // supernode paths (and the RL scratch of width ≤ 2).
+  const index_t n = 500;
+  CooMatrix coo(n, n);
+  for (index_t i = 0; i < n; ++i) coo.add(i, i, 5.0);
+  for (index_t i = 0; i + 1 < n; ++i) coo.add(i + 1, i, -1.0);
+  for (index_t i = 0; i + 2 < n; ++i) coo.add(i + 2, i, -1.0);
+  for (const auto method :
+       {Method::kRL, Method::kRLB, Method::kLeftLooking}) {
+    SolverOptions opts;
+    opts.factor.method = method;
+    expect_pipeline_ok(coo.to_csc(), opts, 1e-13);
+  }
+}
+
+TEST(Pathological, BlockDiagonalDisconnected) {
+  // Five disconnected dense blobs: components must be handled by the
+  // ordering and the forest etree (multiple roots).
+  const index_t blocks = 5, bs = 24;
+  CooMatrix coo(blocks * bs, blocks * bs);
+  Rng rng(3);
+  for (index_t blk = 0; blk < blocks; ++blk) {
+    const index_t base = blk * bs;
+    for (index_t j = 0; j < bs; ++j) {
+      coo.add(base + j, base + j, 2.0 * bs);
+      for (index_t i = j + 1; i < bs; ++i) {
+        coo.add(base + i, base + j, rng.uniform(-1.0, 1.0));
+      }
+    }
+  }
+  for (const auto om :
+       {OrderingMethod::kNatural, OrderingMethod::kNestedDissection,
+        OrderingMethod::kMinimumDegree}) {
+    SolverOptions opts;
+    opts.ordering = om;
+    expect_pipeline_ok(coo.to_csc(), opts);
+  }
+}
+
+TEST(Pathological, StarGraphHub) {
+  // One hub connected to everything: the hub column must be eliminated
+  // last by fill-reducing orderings; the factor stays sparse.
+  const index_t n = 300;
+  CooMatrix coo(n, n);
+  for (index_t i = 0; i < n; ++i) coo.add(i, i, static_cast<double>(n));
+  for (index_t i = 1; i < n; ++i) coo.add(i, 0, -1.0);
+  SolverOptions opts;
+  opts.ordering = OrderingMethod::kMinimumDegree;
+  opts.analyze.merge_growth_cap = 0.0;  // measure the raw fill
+  CholeskySolver solver(opts);
+  solver.factorize(coo.to_csc());
+  EXPECT_EQ(solver.symbolic().factor_nnz(), 2 * n - 1);
+}
+
+TEST(Pathological, LongChainDeepEtree) {
+  // A pure path: etree is a chain of depth n; recursion-free postorder
+  // and deep ancestor walks must survive.
+  const index_t n = 20000;
+  CooMatrix coo(n, n);
+  for (index_t i = 0; i < n; ++i) coo.add(i, i, 4.0);
+  for (index_t i = 0; i + 1 < n; ++i) coo.add(i + 1, i, -1.0);
+  SolverOptions opts;
+  opts.ordering = OrderingMethod::kNatural;
+  expect_pipeline_ok(coo.to_csc(), opts, 1e-13);
+}
+
+TEST(Pathological, AlreadyDiagonalMatrix) {
+  CscMatrix a = CscMatrix::identity(64);
+  for (auto& v : a.mutable_values()) v = 9.0;
+  expect_pipeline_ok(a, SolverOptions{}, 1e-15);
+}
+
+TEST(Pathological, SingleColumn) {
+  const CscMatrix a(1, 1, {0, 1}, {0}, {16.0});
+  CholeskySolver solver;
+  solver.factorize(a);
+  EXPECT_DOUBLE_EQ(solver.factor().entry(0, 0), 4.0);
+  std::vector<double> b = {8.0};
+  EXPECT_DOUBLE_EQ(solver.solve(b)[0], 0.5);
+}
+
+// ---- randomized sweep ------------------------------------------------------
+
+struct StressConfig {
+  std::uint64_t seed;
+  Method method;
+  Execution exec;
+  OrderingMethod ordering;
+};
+
+class RandomizedStress : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomizedStress, FullPipelineInvariants) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(seed * 7919 + 13);
+  // Random shape: size, density, generator family.
+  const index_t n = 60 + rng.next_index(300);
+  const index_t extra = 2 + rng.next_index(6);
+  const CscMatrix a = rng.next_index(2) == 0
+                          ? random_spd(n, extra, seed)
+                          : grid2d_5pt(6 + rng.next_index(14),
+                                       6 + rng.next_index(14));
+  const Method methods[] = {Method::kRL, Method::kRLB,
+                            Method::kLeftLooking};
+  const Execution execs[] = {Execution::kCpuSerial, Execution::kCpuParallel,
+                             Execution::kGpuHybrid, Execution::kGpuOnly};
+  const OrderingMethod orders[] = {
+      OrderingMethod::kNatural, OrderingMethod::kRcm,
+      OrderingMethod::kNestedDissection, OrderingMethod::kMinimumDegree};
+  SolverOptions opts;
+  opts.factor.method = methods[rng.next_index(3)];
+  Execution exec = execs[rng.next_index(4)];
+  if (opts.factor.method == Method::kLeftLooking) {
+    exec = rng.next_index(2) == 0 ? Execution::kCpuSerial
+                                  : Execution::kCpuParallel;
+  }
+  opts.factor.exec = exec;
+  opts.ordering = orders[rng.next_index(4)];
+  opts.analyze.merge_growth_cap = rng.next_index(2) == 0 ? 0.0 : 0.25;
+  opts.analyze.partition_refinement = rng.next_index(2) == 0;
+  opts.factor.gpu_threshold_rl = 100 + rng.next_index(5000);
+  opts.factor.gpu_threshold_rlb = 100 + rng.next_index(5000);
+  SCOPED_TRACE(::testing::Message()
+               << "n=" << a.cols() << " method="
+               << to_string(opts.factor.method) << " exec="
+               << to_string(opts.factor.exec) << " ordering="
+               << to_string(opts.ordering));
+  expect_pipeline_ok(a, opts);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedStress, ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace spchol

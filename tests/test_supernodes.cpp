@@ -1,0 +1,87 @@
+// Fundamental supernode partition properties.
+#include <gtest/gtest.h>
+
+#include "spchol/matrix/coo.hpp"
+#include "spchol/matrix/generators.hpp"
+#include "spchol/symbolic/etree.hpp"
+#include "spchol/symbolic/supernodes.hpp"
+
+namespace spchol {
+namespace {
+
+struct Prepared {
+  CscMatrix a;
+  std::vector<index_t> parent;
+  std::vector<index_t> cc;
+  std::vector<index_t> sn_first;
+};
+
+Prepared prepare(const CscMatrix& lower) {
+  const auto parent0 = elimination_tree(lower);
+  const Permutation post = tree_postorder(parent0);
+  CscMatrix a = lower.permuted_sym_lower(post);
+  auto parent = relabel_tree(parent0, post);
+  auto cc = column_counts(a, parent);
+  auto sn = fundamental_supernodes(parent, cc);
+  return {std::move(a), std::move(parent), std::move(cc), std::move(sn)};
+}
+
+TEST(Supernodes, PartitionCoversAllColumns) {
+  const auto p = prepare(grid2d_5pt(10, 10));
+  EXPECT_EQ(p.sn_first.front(), 0);
+  EXPECT_EQ(p.sn_first.back(), 100);
+  for (std::size_t s = 0; s + 1 < p.sn_first.size(); ++s) {
+    EXPECT_LT(p.sn_first[s], p.sn_first[s + 1]);
+  }
+}
+
+TEST(Supernodes, WithinSupernodeInvariants) {
+  const auto p = prepare(grid3d_7pt(5, 5, 5));
+  for (std::size_t s = 0; s + 1 < p.sn_first.size(); ++s) {
+    for (index_t j = p.sn_first[s]; j + 1 < p.sn_first[s + 1]; ++j) {
+      // Within a supernode: parent chain is the next column and column
+      // counts drop by exactly one.
+      EXPECT_EQ(p.parent[j], j + 1);
+      EXPECT_EQ(p.cc[j + 1], p.cc[j] - 1);
+    }
+  }
+}
+
+TEST(Supernodes, PartitionIsMaximal) {
+  // No boundary could be removed: at each supernode start j (except the
+  // first), merging with the previous column must violate a fundamental
+  // supernode condition.
+  const auto p = prepare(grid3d_7pt(4, 5, 6));
+  const auto nchild = child_counts(p.parent);
+  for (std::size_t s = 1; s + 1 < p.sn_first.size(); ++s) {
+    const index_t j = p.sn_first[s];
+    const bool could_extend = p.parent[j - 1] == j && nchild[j] == 1 &&
+                              p.cc[j] == p.cc[j - 1] - 1;
+    EXPECT_FALSE(could_extend) << "boundary at " << j << " not needed";
+  }
+}
+
+TEST(Supernodes, DenseMatrixIsOneSupernode) {
+  const auto p = prepare(dense_spd(30, 3));
+  EXPECT_EQ(p.sn_first.size(), 2u);
+}
+
+TEST(Supernodes, DiagonalMatrixIsAllSingletons) {
+  const auto p = prepare(CscMatrix::identity(8));
+  EXPECT_EQ(p.sn_first.size(), 9u);
+}
+
+TEST(Supernodes, TridiagonalGivesExpectedPartition) {
+  // Tridiagonal: cc[j] = 2 except the last; every column starts a new
+  // supernode except runs where cc decreases by 1 — only the final pair
+  // {n-2, n-1} can merge.
+  CooMatrix coo(6, 6);
+  for (index_t i = 0; i < 6; ++i) coo.add(i, i, 4.0);
+  for (index_t i = 0; i + 1 < 6; ++i) coo.add(i + 1, i, -1.0);
+  const auto p = prepare(coo.to_csc());
+  // Expect supernodes {0},{1},{2},{3},{4,5}.
+  EXPECT_EQ(p.sn_first, (std::vector<index_t>{0, 1, 2, 3, 4, 6}));
+}
+
+}  // namespace
+}  // namespace spchol

@@ -1,0 +1,74 @@
+// Shared helpers for the spchol test suite.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "spchol/spchol.hpp"
+
+namespace spchol::testing {
+
+/// Dense column-major copy of a symmetric matrix given its lower triangle.
+inline std::vector<double> dense_from_sym_lower(const CscMatrix& a) {
+  const index_t n = a.cols();
+  std::vector<double> d(static_cast<std::size_t>(n) * n, 0.0);
+  for (index_t j = 0; j < n; ++j) {
+    const auto rows = a.col_rows(j);
+    const auto vals = a.col_values(j);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      d[rows[k] + static_cast<std::size_t>(j) * n] = vals[k];
+      d[j + static_cast<std::size_t>(rows[k]) * n] = vals[k];
+    }
+  }
+  return d;
+}
+
+/// max |A - L·Lᵀ| where L is the factor in PERMUTED space and A is in the
+/// ORIGINAL space (the factor's permutation is applied to A).
+inline double factorization_error(const CscMatrix& a_lower,
+                                  const CholeskyFactor& f) {
+  const index_t n = a_lower.cols();
+  const CscMatrix ap = a_lower.permuted_sym_lower(f.symbolic().permutation());
+  const std::vector<double> ad = dense_from_sym_lower(ap);
+  const CscMatrix l = f.to_csc_lower();
+  // Dense L.
+  std::vector<double> ld(static_cast<std::size_t>(n) * n, 0.0);
+  for (index_t j = 0; j < n; ++j) {
+    const auto rows = l.col_rows(j);
+    const auto vals = l.col_values(j);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      ld[rows[k] + static_cast<std::size_t>(j) * n] = vals[k];
+    }
+  }
+  double err = 0.0;
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j; i < n; ++i) {
+      double s = 0.0;
+      for (index_t k = 0; k <= j; ++k) {
+        s += ld[i + static_cast<std::size_t>(k) * n] *
+             ld[j + static_cast<std::size_t>(k) * n];
+      }
+      err = std::max(err,
+                     std::abs(s - ad[i + static_cast<std::size_t>(j) * n]));
+    }
+  }
+  return err;
+}
+
+/// Solve-based end-to-end check: returns the relative residual of
+/// A x = b with b = A·(1,2,3,...)/n.
+inline double solve_residual(const CscMatrix& a_lower,
+                             const CholeskyFactor& f) {
+  const index_t n = a_lower.cols();
+  std::vector<double> x_true(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    x_true[i] = static_cast<double>(i + 1) / static_cast<double>(n);
+  }
+  std::vector<double> b(static_cast<std::size_t>(n));
+  a_lower.sym_lower_matvec(x_true, b);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  f.solve(b, x);
+  return relative_residual(a_lower, x, b);
+}
+
+}  // namespace spchol::testing
