@@ -43,7 +43,7 @@ void cpu_factor_panel(FactorContext& ctx, index_t s) {
   const index_t r = ctx.symb.sn_nrows(s);
   double* panel = ctx.sn_values(s);
   try {
-    dense::potrf_lower_parallel(ctx.pool, ctx.real_threads, w, panel, r);
+    dense::potrf_lower_parallel(ctx.pool, ctx.kernel_threads(), w, panel, r);
   } catch (const NotPositiveDefinite& e) {
     throw NotPositiveDefinite(ctx.symb.sn_begin(s) + e.column());
   }
@@ -51,6 +51,18 @@ void cpu_factor_panel(FactorContext& ctx, index_t s) {
   if (r > w) {
     ctx.cpu_trsm(r - w, w, panel, r, panel + w, r);
   }
+}
+
+std::vector<std::vector<index_t>> update_contributors(
+    const SymbolicFactor& symb) {
+  const index_t ns = symb.num_supernodes();
+  std::vector<std::vector<index_t>> contrib(static_cast<std::size_t>(ns));
+  for (index_t s = 0; s < ns; ++s) {
+    for (const index_t t : symb.sn_update_targets(s)) {
+      contrib[t].push_back(s);  // ascending: s is the outer loop
+    }
+  }
+  return contrib;
 }
 
 double rl_assemble(FactorContext& ctx, index_t s, const double* u) {
@@ -88,7 +100,7 @@ double rl_assemble(FactorContext& ctx, index_t s, const double* u) {
     // Columns b in [b0, b1) of the update matrix target supernode `target`;
     // each column is written by exactly one task (safe to parallelize).
     parallel_for(
-        ctx.pool, b0, b1, ctx.real_threads,
+        ctx.pool, b0, b1, ctx.kernel_threads(),
         [&](index_t lo, index_t hi) {
           for (index_t b = lo; b < hi; ++b) {
             const index_t tcol = rows[w + b] - tfirst;
@@ -175,6 +187,10 @@ CholeskyFactor CholeskyFactor::factorize(const CscMatrix& a_lower,
   st.num_gpu_kernels = ctx.dev.stats().num_kernels;
   st.num_cpu_blas_calls = ctx.num_cpu_blas_calls;
   st.flops = symb.flops();
+  st.scheduler_tasks = ctx.sched_stats.tasks_run;
+  st.scheduler_max_ready = ctx.sched_stats.max_ready_depth;
+  st.scheduler_threads_used = ctx.sched_stats.threads_used;
+  st.scheduler_workers = ctx.sched_stats.workers;
   return f;
 }
 

@@ -36,10 +36,18 @@ enum class Method {
 };
 
 enum class Execution {
-  kCpuSerial,    ///< single-threaded CPU BLAS model
-  kCpuParallel,  ///< best-of-{8..128}-thread CPU BLAS model (paper baseline)
-  kGpuHybrid,    ///< threshold split: small supernodes CPU, large GPU
-  kGpuOnly,      ///< every BLAS call on the device (paper's first experiment)
+  /// Single-threaded CPU execution (and the 1-thread BLAS time model).
+  kCpuSerial,
+  /// Real multithreaded CPU execution: an elimination-tree task scheduler
+  /// dispatches supernode compute/scatter tasks onto `cpu_workers` worker
+  /// threads (results bitwise identical to kCpuSerial); modeled time uses
+  /// the paper's best-of-{8..128}-thread MKL sweep.
+  kCpuParallel,
+  /// Threshold split: large supernodes run the sequential GPU pipeline,
+  /// small supernodes execute concurrently on CPU worker threads so the
+  /// host no longer idles during device kernels.
+  kGpuHybrid,
+  kGpuOnly,  ///< every BLAS call on the device (paper's first experiment)
 };
 
 enum class RlbVariant {
@@ -66,6 +74,10 @@ struct FactorOptions {
   gpu::DeviceConfig device{};
   /// Modeled CPU threads for the OpenMP-style parallel assembly loops.
   int assembly_threads = 16;
+  /// Real worker threads for the etree task scheduler (kCpuParallel, and
+  /// the CPU side of kGpuHybrid). 0 = hardware concurrency. A value of 1
+  /// keeps the sequential driver (still bitwise identical).
+  int cpu_workers = 0;
 };
 
 /// Modeled + measured execution statistics of one factorization.
@@ -85,6 +97,11 @@ struct FactorStats {
   std::size_t num_gpu_kernels = 0;
   std::size_t num_cpu_blas_calls = 0;
   double flops = 0.0;
+  // --- etree task scheduler counters (zero on the sequential drivers) ---
+  std::size_t scheduler_tasks = 0;        ///< tasks executed
+  std::size_t scheduler_max_ready = 0;    ///< peak ready-queue depth
+  std::size_t scheduler_threads_used = 0; ///< workers that ran ≥ 1 task
+  std::size_t scheduler_workers = 0;      ///< worker threads launched
 };
 
 class CholeskyFactor {

@@ -2,29 +2,47 @@
 // Not part of the public API.
 #pragma once
 
+#include <atomic>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "spchol/core/factor.hpp"
 #include "spchol/dense/kernels.hpp"
 #include "spchol/gpu/blas.hpp"
+#include "spchol/support/task_scheduler.hpp"
 
 namespace spchol::detail {
 
 /// Everything the RL/RLB kernels need: symbolic data, factor values,
 /// the simulated device (whose host clock is the modeled CPU timeline),
 /// and accumulators for the stats breakdown.
+///
+/// Threading model. In kCpuSerial every kernel runs on one thread. In the
+/// scheduled modes (kCpuParallel, and the CPU side of kGpuHybrid, with
+/// cpu_workers > 1) supernode tasks execute concurrently on dedicated
+/// scheduler workers; each task's dense kernels additionally fork onto
+/// ThreadPool::global(), with a width that shrinks as more tasks are in
+/// flight (near the etree root one big panel gets the whole machine; deep
+/// in the tree each task stays serial). The dense kernels partition their
+/// OUTPUT with a fixed accumulation order, so the width never changes the
+/// bits — determinism only depends on the scatter ordering, which the
+/// task graph serializes per target supernode in ascending source order.
 struct FactorContext {
   const SymbolicFactor& symb;
   std::vector<double>& values;
   const FactorOptions& opts;
   gpu::Device dev;
-  ThreadPool& pool;
-  std::size_t real_threads;
+  ThreadPool& pool;            ///< backend for nested parallel kernels
+  std::size_t blas_capacity;   ///< pool workers + calling thread
+  std::size_t workers;         ///< resolved scheduler worker count
+  bool scheduled;              ///< task scheduler drives this run
 
   double cpu_blas_seconds = 0.0;
   double assembly_seconds = 0.0;
   std::size_t num_cpu_blas_calls = 0;
   index_t supernodes_on_gpu = 0;
+  SchedulerStats sched_stats{};
 
   FactorContext(const SymbolicFactor& s, std::vector<double>& v,
                 const FactorOptions& o)
@@ -33,7 +51,14 @@ struct FactorContext {
         opts(o),
         dev(o.device),
         pool(ThreadPool::global()),
-        real_threads(ThreadPool::global().size() + 1) {}
+        blas_capacity(ThreadPool::global().size() + 1),
+        workers(o.cpu_workers > 0
+                    ? static_cast<std::size_t>(o.cpu_workers)
+                    : std::max<std::size_t>(
+                          1, std::thread::hardware_concurrency())),
+        scheduled((o.exec == Execution::kCpuParallel ||
+                   o.exec == Execution::kGpuHybrid) &&
+                  workers > 1) {}
 
   double* sn_values(index_t s) {
     return values.data() + symb.sn_values_offset(s);
@@ -52,34 +77,75 @@ struct FactorContext {
     return symb.sn_entries(s) >= threshold;
   }
 
+  /// Real fork width for one dense kernel / assembly loop.
+  std::size_t kernel_threads() const {
+    if (opts.exec == Execution::kCpuSerial) return 1;
+    if (!scheduled) return blas_capacity;
+    const std::size_t act =
+        std::max<std::size_t>(1, active_tasks_.load(std::memory_order_relaxed));
+    return std::max<std::size_t>(1, blas_capacity / act);
+  }
+
+  /// RAII marker for a task in flight (feeds the dynamic kernel width).
+  class TaskScope {
+   public:
+    explicit TaskScope(FactorContext& ctx) : ctx_(ctx) {
+      ctx_.active_tasks_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ~TaskScope() {
+      ctx_.active_tasks_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    TaskScope(const TaskScope&) = delete;
+    TaskScope& operator=(const TaskScope&) = delete;
+
+   private:
+    FactorContext& ctx_;
+  };
+
   // --- CPU BLAS: execute for real, advance the modeled host clock --------
+  //
+  // Sequential drivers advance the device host clock inline (exactly the
+  // pre-scheduler behaviour). Scheduled runs must not touch the device
+  // from concurrent tasks, so they accumulate under a mutex and
+  // flush_deferred() folds the total into the host clock once the graph
+  // has drained — the sum is order-independent, and in kGpuHybrid this is
+  // precisely the overlap win: CPU supernode work no longer delays the
+  // issue of device operations.
   void account_cpu(double flops) {
     const double t = opts.exec == Execution::kCpuSerial
                          ? dev.model().cpu_kernel_seconds(flops, 1)
                          : dev.model().cpu_kernel_seconds_best(flops);
-    dev.advance_host(t);
-    cpu_blas_seconds += t;
-    num_cpu_blas_calls++;
+    if (scheduled) {
+      std::lock_guard<std::mutex> lk(account_mu_);
+      deferred_host_seconds_ += t;
+      cpu_blas_seconds += t;
+      num_cpu_blas_calls++;
+    } else {
+      dev.advance_host(t);
+      cpu_blas_seconds += t;
+      num_cpu_blas_calls++;
+    }
   }
   void cpu_potrf(index_t n, double* a, index_t lda) {
-    dense::potrf_lower_parallel(pool, real_threads, n, a, lda);
+    dense::potrf_lower_parallel(pool, kernel_threads(), n, a, lda);
     account_cpu(dense::flops_potrf(n));
   }
   void cpu_trsm(index_t m, index_t n, const double* l, index_t ldl, double* b,
                 index_t ldb) {
-    dense::trsm_right_lower_trans_parallel(pool, real_threads, m, n, l, ldl,
-                                           b, ldb);
+    dense::trsm_right_lower_trans_parallel(pool, kernel_threads(), m, n, l,
+                                           ldl, b, ldb);
     account_cpu(dense::flops_trsm(m, n));
   }
   void cpu_syrk(index_t n, index_t k, const double* a, index_t lda, double* c,
                 index_t ldc) {
-    dense::syrk_lower_nt_parallel(pool, real_threads, n, k, a, lda, c, ldc);
+    dense::syrk_lower_nt_parallel(pool, kernel_threads(), n, k, a, lda, c,
+                                  ldc);
     account_cpu(dense::flops_syrk(n, k));
   }
   void cpu_gemm(index_t m, index_t n, index_t k, const double* a, index_t lda,
                 const double* b, index_t ldb, double* c, index_t ldc) {
-    dense::gemm_nt_minus_parallel(pool, real_threads, m, n, k, a, lda, b, ldb,
-                                  c, ldc);
+    dense::gemm_nt_minus_parallel(pool, kernel_threads(), m, n, k, a, lda, b,
+                                  ldb, c, ldc);
     account_cpu(dense::flops_gemm(m, n, k));
   }
 
@@ -87,9 +153,32 @@ struct FactorContext {
   void account_assembly(double entries) {
     const double t = dev.model().assembly_seconds(
         entries, opts.assembly_threads);
-    dev.advance_host(t);
-    assembly_seconds += t;
+    if (scheduled) {
+      std::lock_guard<std::mutex> lk(account_mu_);
+      deferred_host_seconds_ += t;
+      assembly_seconds += t;
+    } else {
+      dev.advance_host(t);
+      assembly_seconds += t;
+    }
   }
+
+  void count_gpu_supernode() {
+    std::lock_guard<std::mutex> lk(account_mu_);
+    supernodes_on_gpu++;
+  }
+
+  /// Folds the modeled time of scheduler-executed CPU work into the
+  /// device host clock. Call after the task graph has drained.
+  void flush_deferred() {
+    dev.advance_host(deferred_host_seconds_);
+    deferred_host_seconds_ = 0.0;
+  }
+
+ private:
+  std::mutex account_mu_;
+  double deferred_host_seconds_ = 0.0;
+  std::atomic<std::size_t> active_tasks_{0};
 };
 
 /// Factors the supernode panel on the CPU (DPOTRF on the diagonal block,
@@ -102,7 +191,15 @@ void cpu_factor_panel(FactorContext& ctx, index_t s);
 /// Returns the number of entries scattered (for the assembly model).
 double rl_assemble(FactorContext& ctx, index_t s, const double* u);
 
+/// Per-target contributor lists of the update DAG: dag[t] holds, in
+/// ascending order, every supernode whose row structure reaches t (i.e.
+/// that scatters an update into t). Inverse of sn_update_targets().
+std::vector<std::vector<index_t>> update_contributors(
+    const SymbolicFactor& symb);
+
 /// RL / RLB / left-looking drivers (rl.cpp, rlb.cpp, left_looking.cpp).
+/// Each dispatches to a sequential loop (kCpuSerial, kGpuOnly, or a
+/// single worker) or the etree task scheduler (ctx.scheduled).
 void run_rl(FactorContext& ctx);
 void run_rlb(FactorContext& ctx);
 void run_left_looking(FactorContext& ctx);

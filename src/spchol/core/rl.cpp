@@ -8,6 +8,18 @@
 // D2H(factored J) on the copy stream, overlapped with the device SYRK on
 // the compute stream → synchronous D2H(update matrix) → parallel CPU
 // assembly. Small supernodes (entries < threshold) stay on the CPU.
+//
+// Parallel path (ctx.scheduled): every CPU supernode becomes two tasks —
+// COMPUTE (panel factorization + SYRK into a per-supernode update buffer)
+// and SCATTER (assembly into the ancestors). Dependencies come from the
+// supernodal elimination tree: COMPUTE(t) waits for the scatter of t's
+// last contributor, and the scatters of a shared target are chained in
+// ascending source order, which simultaneously (a) makes every target's
+// storage single-writer without locks and (b) reproduces the sequential
+// accumulation order, so results are bitwise identical to kCpuSerial. In
+// kGpuHybrid the above-threshold supernodes form one fused task each,
+// chained in ascending order so the device pipeline stays sequential
+// while CPU supernodes execute concurrently on the worker threads.
 #include <cstring>
 #include <vector>
 
@@ -15,7 +27,77 @@
 
 namespace spchol::detail {
 
-void run_rl(FactorContext& ctx) {
+namespace {
+
+/// Buffer requirements, computed in std::size_t so a wide supernode's
+/// below² can never wrap a narrower intermediate type.
+struct RlSizes {
+  std::size_t host_update_max = 0;  // CPU-side update scratch (entries)
+  std::size_t gpu_panel_max = 0;    // device panel buffer (entries)
+  std::size_t gpu_update_max = 0;   // device update buffer (entries)
+};
+
+RlSizes rl_sizes(FactorContext& ctx, bool gpu_enabled) {
+  const SymbolicFactor& symb = ctx.symb;
+  RlSizes sz;
+  for (index_t s = 0; s < symb.num_supernodes(); ++s) {
+    const std::size_t below = static_cast<std::size_t>(symb.sn_below(s));
+    sz.host_update_max = std::max(sz.host_update_max, below * below);
+    if (gpu_enabled && ctx.on_gpu(s)) {
+      sz.gpu_panel_max = std::max(
+          sz.gpu_panel_max, static_cast<std::size_t>(symb.sn_entries(s)));
+      sz.gpu_update_max = std::max(sz.gpu_update_max, below * below);
+    }
+  }
+  return sz;
+}
+
+/// The paper-§III device pipeline for one supernode, including the final
+/// CPU assembly. Callers guarantee exclusivity (sequential loop, or the
+/// ascending GPU task chain in the scheduled driver).
+void rl_gpu_supernode(FactorContext& ctx, index_t s, gpu::Stream& compute,
+                      gpu::Stream& copy, gpu::DeviceBuffer& panel_dev,
+                      gpu::DeviceBuffer& update_dev, double* u_host) {
+  const SymbolicFactor& symb = ctx.symb;
+  const index_t w = symb.sn_width(s);
+  const index_t r = symb.sn_nrows(s);
+  const index_t below = r - w;
+  double* panel = ctx.sn_values(s);
+  // Element COUNT of the update matrix (not bytes; transfers and memsets
+  // below scale by sizeof(double) where needed).
+  const std::size_t ucount =
+      static_cast<std::size_t>(below) * static_cast<std::size_t>(below);
+
+  ctx.count_gpu_supernode();
+  // The panel buffer is reused: wait out the previous async D2H.
+  copy.synchronize();
+  const std::size_t entries = static_cast<std::size_t>(r) * w;
+  gpu::copy_h2d(ctx.dev, compute, panel_dev, 0, panel, entries,
+                /*async=*/true);
+  try {
+    gpu::potrf_lower(ctx.dev, compute, w, panel_dev, 0, r);
+  } catch (const NotPositiveDefinite& e) {
+    throw NotPositiveDefinite(symb.sn_begin(s) + e.column());
+  }
+  if (below > 0) {
+    gpu::trsm_right_lower_trans(ctx.dev, compute, below, w, panel_dev, 0,
+                                r, w, r);
+  }
+  // Asynchronous D2H of the factored supernode: the CPU does not need it
+  // yet, so it overlaps the update SYRK (paper §III).
+  copy.wait(compute.record());
+  gpu::copy_d2h(ctx.dev, copy, panel, panel_dev, 0, entries,
+                /*async=*/true);
+  if (below > 0) {
+    gpu::syrk_lower_nt_beta0(ctx.dev, compute, below, w, panel_dev, w, r,
+                             update_dev, 0, below);
+    gpu::copy_d2h(ctx.dev, compute, u_host, update_dev, 0, ucount,
+                  /*async=*/false);
+    ctx.account_assembly(rl_assemble(ctx, s, u_host));
+  }
+}
+
+void run_rl_sequential(FactorContext& ctx) {
   const SymbolicFactor& symb = ctx.symb;
   const index_t ns = symb.num_supernodes();
   const FactorOptions& opts = ctx.opts;
@@ -25,18 +107,8 @@ void run_rl(FactorContext& ctx) {
   // Host scratch for the update matrix, preallocated at the largest size
   // (the paper preallocates "so that it can store the largest update
   // matrix during the factorization").
-  offset_t host_update_max = 0;
-  offset_t gpu_panel_max = 0;
-  offset_t gpu_update_max = 0;
-  for (index_t s = 0; s < ns; ++s) {
-    const offset_t below = symb.sn_below(s);
-    host_update_max = std::max(host_update_max, below * below);
-    if (gpu_enabled && ctx.on_gpu(s)) {
-      gpu_panel_max = std::max(gpu_panel_max, symb.sn_entries(s));
-      gpu_update_max = std::max(gpu_update_max, below * below);
-    }
-  }
-  std::vector<double> u_host(static_cast<std::size_t>(host_update_max));
+  const RlSizes sz = rl_sizes(ctx, gpu_enabled);
+  std::vector<double> u_host(sz.host_update_max);
 
   // Device buffers are preallocated once; this is where RL fails on the
   // nlpkkt120 class (update matrix larger than device memory).
@@ -44,62 +116,150 @@ void run_rl(FactorContext& ctx) {
   gpu::Stream copy(ctx.dev);
   gpu::DeviceBuffer panel_dev;
   gpu::DeviceBuffer update_dev;
-  if (gpu_panel_max > 0) {
-    panel_dev = gpu::DeviceBuffer(ctx.dev,
-                                  static_cast<std::size_t>(gpu_panel_max));
+  if (sz.gpu_panel_max > 0) {
+    panel_dev = gpu::DeviceBuffer(ctx.dev, sz.gpu_panel_max);
   }
-  if (gpu_update_max > 0) {
-    update_dev = gpu::DeviceBuffer(ctx.dev,
-                                   static_cast<std::size_t>(gpu_update_max));
+  if (sz.gpu_update_max > 0) {
+    update_dev = gpu::DeviceBuffer(ctx.dev, sz.gpu_update_max);
   }
 
   for (index_t s = 0; s < ns; ++s) {
-    const index_t w = symb.sn_width(s);
-    const index_t r = symb.sn_nrows(s);
-    const index_t below = r - w;
-    double* panel = ctx.sn_values(s);
-    const std::size_t ubytes =
-        static_cast<std::size_t>(below) * static_cast<std::size_t>(below);
-
     if (!ctx.on_gpu(s)) {
+      const index_t w = symb.sn_width(s);
+      const index_t r = symb.sn_nrows(s);
+      const index_t below = r - w;
+      const std::size_t ucount =
+          static_cast<std::size_t>(below) * static_cast<std::size_t>(below);
       cpu_factor_panel(ctx, s);
       if (below > 0) {
-        std::memset(u_host.data(), 0, ubytes * sizeof(double));
-        ctx.cpu_syrk(below, w, panel + w, r, u_host.data(), below);
+        std::memset(u_host.data(), 0, ucount * sizeof(double));
+        ctx.cpu_syrk(below, w, ctx.sn_values(s) + w, r, u_host.data(),
+                     below);
         ctx.account_assembly(rl_assemble(ctx, s, u_host.data()));
       }
       continue;
     }
-
-    ctx.supernodes_on_gpu++;
-    // The panel buffer is reused: wait out the previous async D2H.
-    copy.synchronize();
-    const std::size_t entries = static_cast<std::size_t>(r) * w;
-    gpu::copy_h2d(ctx.dev, compute, panel_dev, 0, panel, entries,
-                  /*async=*/true);
-    try {
-      gpu::potrf_lower(ctx.dev, compute, w, panel_dev, 0, r);
-    } catch (const NotPositiveDefinite& e) {
-      throw NotPositiveDefinite(symb.sn_begin(s) + e.column());
-    }
-    if (below > 0) {
-      gpu::trsm_right_lower_trans(ctx.dev, compute, below, w, panel_dev, 0,
-                                  r, w, r);
-    }
-    // Asynchronous D2H of the factored supernode: the CPU does not need it
-    // yet, so it overlaps the update SYRK (paper §III).
-    copy.wait(compute.record());
-    gpu::copy_d2h(ctx.dev, copy, panel, panel_dev, 0, entries,
-                  /*async=*/true);
-    if (below > 0) {
-      gpu::syrk_lower_nt_beta0(ctx.dev, compute, below, w, panel_dev, w, r,
-                               update_dev, 0, below);
-      gpu::copy_d2h(ctx.dev, compute, u_host.data(), update_dev, 0, ubytes,
-                    /*async=*/false);
-      ctx.account_assembly(rl_assemble(ctx, s, u_host.data()));
-    }
+    rl_gpu_supernode(ctx, s, compute, copy, panel_dev, update_dev,
+                     u_host.data());
   }
   ctx.dev.synchronize();
+}
+
+void run_rl_scheduled(FactorContext& ctx) {
+  const SymbolicFactor& symb = ctx.symb;
+  const index_t ns = symb.num_supernodes();
+  const bool hybrid = ctx.opts.exec == Execution::kGpuHybrid;
+
+  const RlSizes sz = rl_sizes(ctx, hybrid);
+  gpu::Stream compute(ctx.dev);
+  gpu::Stream copy(ctx.dev);
+  gpu::DeviceBuffer panel_dev;
+  gpu::DeviceBuffer update_dev;
+  std::vector<double> u_host;
+  if (sz.gpu_panel_max > 0) {
+    panel_dev = gpu::DeviceBuffer(ctx.dev, sz.gpu_panel_max);
+  }
+  if (sz.gpu_update_max > 0) {
+    update_dev = gpu::DeviceBuffer(ctx.dev, sz.gpu_update_max);
+    u_host.resize(sz.gpu_update_max);
+  }
+
+  // Per-supernode update buffers for CPU supernodes: allocated by
+  // COMPUTE, consumed and released by SCATTER.
+  std::vector<std::vector<double>> ubuf(static_cast<std::size_t>(ns));
+
+  TaskScheduler sched;
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> t_compute(static_cast<std::size_t>(ns), kNone);
+  std::vector<std::size_t> t_scatter(static_cast<std::size_t>(ns), kNone);
+  const std::size_t prio_scatter_base = 0;   // drain scatters first
+  const std::size_t prio_compute_base = static_cast<std::size_t>(ns);
+
+  std::vector<index_t> gpu_sns;
+  std::vector<index_t> cpu_scatter_sns;
+  for (index_t s = 0; s < ns; ++s) {
+    const index_t w = symb.sn_width(s);
+    const index_t r = symb.sn_nrows(s);
+    const index_t below = r - w;
+    if (hybrid && ctx.on_gpu(s)) {
+      const std::size_t id = sched.add_task(
+          prio_scatter_base + static_cast<std::size_t>(s),
+          [&ctx, s, &compute, &copy, &panel_dev, &update_dev,
+           &u_host](std::size_t) {
+            FactorContext::TaskScope scope(ctx);
+            rl_gpu_supernode(ctx, s, compute, copy, panel_dev, update_dev,
+                             u_host.data());
+          });
+      t_compute[s] = id;
+      t_scatter[s] = id;  // the fused task performs its own assembly
+      gpu_sns.push_back(s);
+      continue;
+    }
+    t_compute[s] = sched.add_task(
+        prio_compute_base + static_cast<std::size_t>(s),
+        [&ctx, &ubuf, s, w, r, below](std::size_t) {
+          FactorContext::TaskScope scope(ctx);
+          cpu_factor_panel(ctx, s);
+          if (below > 0) {
+            const std::size_t ucount = static_cast<std::size_t>(below) *
+                                       static_cast<std::size_t>(below);
+            ubuf[s].assign(ucount, 0.0);
+            ctx.cpu_syrk(below, w, ctx.sn_values(s) + w, r, ubuf[s].data(),
+                         below);
+          }
+        });
+    if (below > 0) {
+      t_scatter[s] = sched.add_task(
+          prio_scatter_base + static_cast<std::size_t>(s),
+          [&ctx, &ubuf, s](std::size_t) {
+            FactorContext::TaskScope scope(ctx);
+            ctx.account_assembly(rl_assemble(ctx, s, ubuf[s].data()));
+            std::vector<double>().swap(ubuf[s]);  // free eagerly
+          });
+      sched.add_edge(t_compute[s], t_scatter[s]);
+      cpu_scatter_sns.push_back(s);
+    }
+  }
+
+  // Readiness + write-order edges from the supernodal etree update DAG.
+  const auto contrib = update_contributors(symb);
+  for (index_t t = 0; t < ns; ++t) {
+    const auto& cs = contrib[t];
+    if (cs.empty()) continue;
+    for (std::size_t i = 1; i < cs.size(); ++i) {
+      sched.add_edge(t_scatter[cs[i - 1]], t_scatter[cs[i]]);
+    }
+    // The chain makes the last contributor's scatter imply all earlier
+    // ones: one edge is the whole atomic-decrement ready count of t.
+    sched.add_edge(t_scatter[cs.back()], t_compute[t]);
+  }
+  // Keep the sequential device pipeline: one GPU supernode at a time, in
+  // ascending order (also serializes the shared device buffers/streams).
+  for (std::size_t i = 1; i < gpu_sns.size(); ++i) {
+    sched.add_edge(t_compute[gpu_sns[i - 1]], t_compute[gpu_sns[i]]);
+  }
+  // Memory throttle: at most ~K CPU update buffers in flight. The edge
+  // target's compute may not start until the K-back scatter has freed
+  // its buffer; all edges go forward in supernode order, so no cycles.
+  const std::size_t kWindow = 2 * ctx.workers + 2;
+  for (std::size_t j = kWindow; j < cpu_scatter_sns.size(); ++j) {
+    sched.add_edge(t_scatter[cpu_scatter_sns[j - kWindow]],
+                   t_compute[cpu_scatter_sns[j]]);
+  }
+
+  ctx.sched_stats = sched.run(ctx.workers);
+  ctx.flush_deferred();
+  ctx.dev.synchronize();
+}
+
+}  // namespace
+
+void run_rl(FactorContext& ctx) {
+  if (ctx.scheduled) {
+    run_rl_scheduled(ctx);
+  } else {
+    run_rl_sequential(ctx);
+  }
 }
 
 }  // namespace spchol::detail

@@ -15,6 +15,15 @@
 // GPU v2 (kStreamed): every product is transferred and assembled as soon
 // as it completes; device scratch is a single block pair — the low-memory
 // variant that survives nlpkkt120.
+//
+// Parallel path (ctx.scheduled): COMPUTE(s) = panel factorization,
+// SCATTER(s) = the direct block updates. Because RLB writes straight into
+// ancestor storage, the per-target contributor chains are what makes the
+// writes safe: a target's storage has exactly one writer at a time, in
+// ascending source order — the sequential accumulation order, so results
+// stay bitwise identical to kCpuSerial. GPU supernodes are fused tasks on
+// an ascending chain (sequential device pipeline), overlapped by the CPU
+// workers.
 #include <cstring>
 #include <vector>
 
@@ -54,9 +63,241 @@ index_t rows_position_in(FactorContext& ctx, const SupernodeBlock& b,
   return pos;
 }
 
-}  // namespace
+/// CPU RLB updates of supernode s: one DSYRK per diagonal target and one
+/// DGEMM per off-diagonal pair, applied directly in factor storage.
+void rlb_cpu_updates(FactorContext& ctx, index_t s) {
+  const SymbolicFactor& symb = ctx.symb;
+  const index_t w = symb.sn_width(s);
+  const index_t r = symb.sn_nrows(s);
+  const double* panel = ctx.sn_values(s);
+  const auto blocks = symb.sn_blocks(s);
+  const index_t m = static_cast<index_t>(blocks.size());
+  for (index_t i = 0; i < m; ++i) {
+    const auto& bi = blocks[i];
+    const BlockTarget t = resolve(ctx, bi);
+    ctx.cpu_syrk(bi.nrows, w, panel + bi.src_offset, r,
+                 t.tvals + t.rpos +
+                     static_cast<offset_t>(t.tcol0) * t.ldt,
+                 t.ldt);
+    for (index_t k = i + 1; k < m; ++k) {
+      const auto& bk = blocks[k];
+      const index_t rposk = rows_position_in(ctx, bk, bi);
+      ctx.cpu_gemm(bk.nrows, bi.nrows, w, panel + bk.src_offset, r,
+                   panel + bi.src_offset, r,
+                   t.tvals + rposk +
+                       static_cast<offset_t>(t.tcol0) * t.ldt,
+                   t.ldt);
+    }
+  }
+}
 
-void run_rlb(FactorContext& ctx) {
+/// Buffer requirements of the GPU variants, in std::size_t (entries).
+struct RlbSizes {
+  std::size_t gpu_panel_max = 0;
+  std::size_t gpu_update_max = 0;   // v1: below²; v2: largest block pair
+  std::size_t host_update_max = 0;  // staging area element count
+};
+
+RlbSizes rlb_sizes(FactorContext& ctx, bool gpu_enabled, bool batched) {
+  const SymbolicFactor& symb = ctx.symb;
+  RlbSizes sz;
+  for (index_t s = 0; s < symb.num_supernodes(); ++s) {
+    if (!gpu_enabled || !ctx.on_gpu(s)) continue;
+    const std::size_t below = static_cast<std::size_t>(symb.sn_below(s));
+    sz.gpu_panel_max = std::max(
+        sz.gpu_panel_max, static_cast<std::size_t>(symb.sn_entries(s)));
+    if (batched) {
+      sz.gpu_update_max = std::max(sz.gpu_update_max, below * below);
+      sz.host_update_max = std::max(sz.host_update_max, below * below);
+    } else {
+      std::size_t max_block = 0;
+      for (const auto& b : symb.sn_blocks(s)) {
+        max_block = std::max(max_block, static_cast<std::size_t>(b.nrows));
+      }
+      sz.gpu_update_max = std::max(sz.gpu_update_max, max_block * max_block);
+      sz.host_update_max =
+          std::max(sz.host_update_max, max_block * max_block);
+    }
+  }
+  return sz;
+}
+
+/// Shared device-pipeline state of the GPU variants. Exclusivity is the
+/// caller's job (sequential loop, or the ascending GPU task chain).
+struct RlbGpuState {
+  gpu::Stream compute;
+  gpu::Stream copy;
+  gpu::DeviceBuffer panel_dev;
+  gpu::DeviceBuffer update_dev;
+  // The streamed variant double-buffers its host staging area so the
+  // assembly of product p-1 can read while product p's copy lands.
+  std::vector<double> u_host;
+  std::size_t host_update_max = 0;
+
+  RlbGpuState(FactorContext& ctx, const RlbSizes& sz, bool batched)
+      : compute(ctx.dev),
+        copy(ctx.dev),
+        u_host(sz.host_update_max * (batched ? 1 : 2)),
+        host_update_max(sz.host_update_max) {
+    if (sz.gpu_panel_max > 0) {
+      panel_dev = gpu::DeviceBuffer(ctx.dev, sz.gpu_panel_max);
+    }
+    if (sz.gpu_update_max > 0) {
+      update_dev = gpu::DeviceBuffer(ctx.dev, sz.gpu_update_max);
+    }
+  }
+};
+
+void rlb_gpu_supernode(FactorContext& ctx, index_t s, RlbGpuState& st,
+                       bool batched) {
+  const SymbolicFactor& symb = ctx.symb;
+  const index_t w = symb.sn_width(s);
+  const index_t r = symb.sn_nrows(s);
+  const index_t below = r - w;
+  double* panel = ctx.sn_values(s);
+  const auto blocks = symb.sn_blocks(s);
+  const index_t m = static_cast<index_t>(blocks.size());
+  gpu::Stream& compute = st.compute;
+  gpu::Stream& copy = st.copy;
+  gpu::DeviceBuffer& panel_dev = st.panel_dev;
+  gpu::DeviceBuffer& update_dev = st.update_dev;
+  std::vector<double>& u_host = st.u_host;
+
+  // --- factor the panel on the device ---
+  ctx.count_gpu_supernode();
+  copy.synchronize();  // panel buffer reuse hazard
+  const std::size_t entries = static_cast<std::size_t>(r) * w;
+  gpu::copy_h2d(ctx.dev, compute, panel_dev, 0, panel, entries,
+                /*async=*/true);
+  try {
+    gpu::potrf_lower(ctx.dev, compute, w, panel_dev, 0, r);
+  } catch (const NotPositiveDefinite& e) {
+    throw NotPositiveDefinite(symb.sn_begin(s) + e.column());
+  }
+  if (below > 0) {
+    gpu::trsm_right_lower_trans(ctx.dev, compute, below, w, panel_dev, 0,
+                                r, w, r);
+  }
+  copy.wait(compute.record());
+  gpu::copy_d2h(ctx.dev, copy, panel, panel_dev, 0, entries,
+                /*async=*/true);
+  if (below == 0) return;
+
+  if (batched) {
+    // --- v1: all block products into a device update matrix, one D2H.
+    // Every product overwrites its own disjoint tile (beta = 0), so no
+    // zeroing pass is needed; the assembly reads only the lower
+    // block-triangle the products cover.
+    const std::size_t ucount =
+        static_cast<std::size_t>(below) * static_cast<std::size_t>(below);
+    for (index_t i = 0; i < m; ++i) {
+      const auto& bi = blocks[i];
+      const offset_t bi_off = bi.src_offset - w;  // below-space offset
+      gpu::syrk_lower_nt_beta0(ctx.dev, compute, bi.nrows, w, panel_dev,
+                               bi.src_offset, r, update_dev,
+                               static_cast<std::size_t>(bi_off) +
+                                   static_cast<std::size_t>(bi_off) *
+                                       below,
+                               below);
+      for (index_t k = i + 1; k < m; ++k) {
+        const auto& bk = blocks[k];
+        const offset_t bk_off = bk.src_offset - w;
+        gpu::gemm_nt_minus_beta0(ctx.dev, compute, bk.nrows, bi.nrows, w,
+                                 panel_dev, bk.src_offset, r,
+                                 bi.src_offset, r, update_dev,
+                                 static_cast<std::size_t>(bk_off) +
+                                     static_cast<std::size_t>(bi_off) *
+                                         below,
+                                 below);
+      }
+    }
+    gpu::copy_d2h(ctx.dev, compute, u_host.data(), update_dev, 0, ucount,
+                  /*async=*/false);
+    ctx.account_assembly(rl_assemble(ctx, s, u_host.data()));
+    return;
+  }
+
+  // --- v2: one product at a time, transferred back as soon as it is
+  // computed ("one transfer and assembly operation for each individual
+  // DSYRK or DGEMM call"). The device pipeline is kept busy: the next
+  // product waits only for the previous copy-out of the scratch (stream
+  // event, no host block), and the host assembles product p-1 while the
+  // device computes product p. Device scratch stays a single block pair
+  // — the low-memory property that survives nlpkkt120.
+  struct Pending {
+    bool is_syrk;
+    index_t rows, cols;  // product dimensions (rows x cols, ld = rows)
+    double* tbase;
+    index_t ldt;
+    int staging;
+    gpu::Event copy_done;
+  };
+  Pending pending{};
+  bool has_pending = false;
+  int staging = 0;
+  auto flush_pending = [&]() {
+    if (!has_pending) return;
+    ctx.dev.wait_event(pending.copy_done);
+    const double* u = u_host.data() +
+                      static_cast<std::size_t>(pending.staging) *
+                          st.host_update_max;
+    double entries_assembled = 0.0;
+    for (index_t c = 0; c < pending.cols; ++c) {
+      const index_t v0 = pending.is_syrk ? c : 0;
+      double* tcol = pending.tbase + static_cast<offset_t>(c) * pending.ldt;
+      const double* ucol = u + static_cast<std::size_t>(c) * pending.rows;
+      for (index_t v = v0; v < pending.rows; ++v) tcol[v] += ucol[v];
+      entries_assembled += static_cast<double>(pending.rows - v0);
+    }
+    ctx.account_assembly(entries_assembled);
+    has_pending = false;
+  };
+  gpu::Event scratch_free{};  // completion of the last copy out of scratch
+  auto stream_product = [&](bool is_syrk, index_t rows, index_t cols,
+                            offset_t src_rows_off, offset_t src_cols_off,
+                            double* tbase, index_t ldt) {
+    const std::size_t cnt =
+        static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+    compute.wait(scratch_free);  // scratch reuse hazard (device-side)
+    if (is_syrk) {
+      gpu::syrk_lower_nt_beta0(ctx.dev, compute, rows, w, panel_dev,
+                               src_rows_off, r, update_dev, 0, rows);
+    } else {
+      gpu::gemm_nt_minus_beta0(ctx.dev, compute, rows, cols, w, panel_dev,
+                               src_rows_off, r, src_cols_off, r,
+                               update_dev, 0, rows);
+    }
+    copy.wait(compute.record());
+    double* stage = u_host.data() +
+                    static_cast<std::size_t>(staging) * st.host_update_max;
+    gpu::copy_d2h(ctx.dev, copy, stage, update_dev, 0, cnt,
+                  /*async=*/true);
+    scratch_free = copy.record();
+    // Assemble the previous product while this one is in flight.
+    flush_pending();
+    pending = {is_syrk, rows, cols, tbase, ldt, staging, scratch_free};
+    has_pending = true;
+    staging ^= 1;
+  };
+  for (index_t i = 0; i < m; ++i) {
+    const auto& bi = blocks[i];
+    const BlockTarget t = resolve(ctx, bi);
+    stream_product(
+        /*is_syrk=*/true, bi.nrows, bi.nrows, bi.src_offset, bi.src_offset,
+        t.tvals + t.rpos + static_cast<offset_t>(t.tcol0) * t.ldt, t.ldt);
+    for (index_t k = i + 1; k < m; ++k) {
+      const auto& bk = blocks[k];
+      const index_t rposk = rows_position_in(ctx, bk, bi);
+      stream_product(
+          /*is_syrk=*/false, bk.nrows, bi.nrows, bk.src_offset,
+          bi.src_offset,
+          t.tvals + rposk + static_cast<offset_t>(t.tcol0) * t.ldt, t.ldt);
+    }
+  }
+  flush_pending();
+}
+
+void run_rlb_sequential(FactorContext& ctx) {
   const SymbolicFactor& symb = ctx.symb;
   const index_t ns = symb.num_supernodes();
   const FactorOptions& opts = ctx.opts;
@@ -64,210 +305,89 @@ void run_rlb(FactorContext& ctx) {
                            opts.exec == Execution::kGpuOnly;
   const bool batched = opts.rlb_variant == RlbVariant::kBatched;
 
-  // Pre-size the device buffers over the supernodes that will use them.
-  offset_t gpu_panel_max = 0;
-  offset_t gpu_update_max = 0;  // v1: below²; v2: largest single block pair
-  offset_t host_update_max = 0;
+  RlbGpuState st(ctx, rlb_sizes(ctx, gpu_enabled, batched), batched);
   for (index_t s = 0; s < ns; ++s) {
-    if (!gpu_enabled || !ctx.on_gpu(s)) continue;
-    const offset_t below = symb.sn_below(s);
-    gpu_panel_max = std::max(gpu_panel_max, symb.sn_entries(s));
-    if (batched) {
-      gpu_update_max = std::max(gpu_update_max, below * below);
-      host_update_max = std::max(host_update_max, below * below);
-    } else {
-      offset_t max_block = 0;
-      for (const auto& b : symb.sn_blocks(s)) {
-        max_block = std::max<offset_t>(max_block, b.nrows);
-      }
-      gpu_update_max = std::max(gpu_update_max, max_block * max_block);
-      host_update_max = std::max(host_update_max, max_block * max_block);
-    }
-  }
-  // The streamed variant double-buffers its host staging area so the
-  // assembly of product p-1 can read while product p's copy lands.
-  std::vector<double> u_host(static_cast<std::size_t>(host_update_max) *
-                             (batched ? 1 : 2));
-
-  gpu::Stream compute(ctx.dev);
-  gpu::Stream copy(ctx.dev);
-  gpu::DeviceBuffer panel_dev;
-  gpu::DeviceBuffer update_dev;
-  if (gpu_panel_max > 0) {
-    panel_dev = gpu::DeviceBuffer(ctx.dev,
-                                  static_cast<std::size_t>(gpu_panel_max));
-  }
-  if (gpu_update_max > 0) {
-    update_dev = gpu::DeviceBuffer(ctx.dev,
-                                   static_cast<std::size_t>(gpu_update_max));
-  }
-
-  for (index_t s = 0; s < ns; ++s) {
-    const index_t w = symb.sn_width(s);
-    const index_t r = symb.sn_nrows(s);
-    const index_t below = r - w;
-    double* panel = ctx.sn_values(s);
-    const auto blocks = symb.sn_blocks(s);
-    const index_t m = static_cast<index_t>(blocks.size());
-
     if (!ctx.on_gpu(s)) {
-      // --- pure CPU RLB: updates applied directly in factor storage ---
       cpu_factor_panel(ctx, s);
-      for (index_t i = 0; i < m; ++i) {
-        const auto& bi = blocks[i];
-        const BlockTarget t = resolve(ctx, bi);
-        ctx.cpu_syrk(bi.nrows, w, panel + bi.src_offset, r,
-                     t.tvals + t.rpos +
-                         static_cast<offset_t>(t.tcol0) * t.ldt,
-                     t.ldt);
-        for (index_t k = i + 1; k < m; ++k) {
-          const auto& bk = blocks[k];
-          const index_t rposk = rows_position_in(ctx, bk, bi);
-          ctx.cpu_gemm(bk.nrows, bi.nrows, w, panel + bk.src_offset, r,
-                       panel + bi.src_offset, r,
-                       t.tvals + rposk +
-                           static_cast<offset_t>(t.tcol0) * t.ldt,
-                       t.ldt);
-        }
-      }
-      continue;
+      rlb_cpu_updates(ctx, s);
+    } else {
+      rlb_gpu_supernode(ctx, s, st, batched);
     }
-
-    // --- GPU path: factor the panel on the device ---
-    ctx.supernodes_on_gpu++;
-    copy.synchronize();  // panel buffer reuse hazard
-    const std::size_t entries = static_cast<std::size_t>(r) * w;
-    gpu::copy_h2d(ctx.dev, compute, panel_dev, 0, panel, entries,
-                  /*async=*/true);
-    try {
-      gpu::potrf_lower(ctx.dev, compute, w, panel_dev, 0, r);
-    } catch (const NotPositiveDefinite& e) {
-      throw NotPositiveDefinite(symb.sn_begin(s) + e.column());
-    }
-    if (below > 0) {
-      gpu::trsm_right_lower_trans(ctx.dev, compute, below, w, panel_dev, 0,
-                                  r, w, r);
-    }
-    copy.wait(compute.record());
-    gpu::copy_d2h(ctx.dev, copy, panel, panel_dev, 0, entries,
-                  /*async=*/true);
-    if (below == 0) continue;
-
-    if (batched) {
-      // --- v1: all block products into a device update matrix, one D2H.
-      // Every product overwrites its own disjoint tile (beta = 0), so no
-      // zeroing pass is needed; the assembly reads only the lower
-      // block-triangle the products cover.
-      const std::size_t ubytes = static_cast<std::size_t>(below) *
-                                 static_cast<std::size_t>(below);
-      for (index_t i = 0; i < m; ++i) {
-        const auto& bi = blocks[i];
-        const offset_t bi_off = bi.src_offset - w;  // below-space offset
-        gpu::syrk_lower_nt_beta0(ctx.dev, compute, bi.nrows, w, panel_dev,
-                                 bi.src_offset, r, update_dev,
-                                 static_cast<std::size_t>(bi_off) +
-                                     static_cast<std::size_t>(bi_off) *
-                                         below,
-                                 below);
-        for (index_t k = i + 1; k < m; ++k) {
-          const auto& bk = blocks[k];
-          const offset_t bk_off = bk.src_offset - w;
-          gpu::gemm_nt_minus_beta0(ctx.dev, compute, bk.nrows, bi.nrows, w,
-                                   panel_dev, bk.src_offset, r,
-                                   bi.src_offset, r, update_dev,
-                                   static_cast<std::size_t>(bk_off) +
-                                       static_cast<std::size_t>(bi_off) *
-                                           below,
-                                   below);
-        }
-      }
-      gpu::copy_d2h(ctx.dev, compute, u_host.data(), update_dev, 0, ubytes,
-                    /*async=*/false);
-      ctx.account_assembly(rl_assemble(ctx, s, u_host.data()));
-      continue;
-    }
-
-    // --- v2: one product at a time, transferred back as soon as it is
-    // computed ("one transfer and assembly operation for each individual
-    // DSYRK or DGEMM call"). The device pipeline is kept busy: the next
-    // product waits only for the previous copy-out of the scratch (stream
-    // event, no host block), and the host assembles product p-1 while the
-    // device computes product p. Device scratch stays a single block pair
-    // — the low-memory property that survives nlpkkt120.
-    struct Pending {
-      bool is_syrk;
-      index_t rows, cols;  // product dimensions (rows x cols, ld = rows)
-      double* tbase;
-      index_t ldt;
-      int staging;
-      gpu::Event copy_done;
-    };
-    Pending pending{};
-    bool has_pending = false;
-    int staging = 0;
-    auto flush_pending = [&]() {
-      if (!has_pending) return;
-      ctx.dev.wait_event(pending.copy_done);
-      const double* u = u_host.data() +
-                        static_cast<std::size_t>(pending.staging) *
-                            static_cast<std::size_t>(host_update_max);
-      double entries = 0.0;
-      for (index_t c = 0; c < pending.cols; ++c) {
-        const index_t v0 = pending.is_syrk ? c : 0;
-        double* tcol = pending.tbase + static_cast<offset_t>(c) * pending.ldt;
-        const double* ucol = u + static_cast<std::size_t>(c) * pending.rows;
-        for (index_t v = v0; v < pending.rows; ++v) tcol[v] += ucol[v];
-        entries += static_cast<double>(pending.rows - v0);
-      }
-      ctx.account_assembly(entries);
-      has_pending = false;
-    };
-    gpu::Event scratch_free{};  // completion of the last copy out of scratch
-    auto stream_product = [&](bool is_syrk, index_t rows, index_t cols,
-                              offset_t src_rows_off, offset_t src_cols_off,
-                              double* tbase, index_t ldt) {
-      const std::size_t cnt =
-          static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
-      compute.wait(scratch_free);  // scratch reuse hazard (device-side)
-      if (is_syrk) {
-        gpu::syrk_lower_nt_beta0(ctx.dev, compute, rows, w, panel_dev,
-                                 src_rows_off, r, update_dev, 0, rows);
-      } else {
-        gpu::gemm_nt_minus_beta0(ctx.dev, compute, rows, cols, w, panel_dev,
-                                 src_rows_off, r, src_cols_off, r,
-                                 update_dev, 0, rows);
-      }
-      copy.wait(compute.record());
-      double* stage = u_host.data() +
-                      static_cast<std::size_t>(staging) *
-                          static_cast<std::size_t>(host_update_max);
-      gpu::copy_d2h(ctx.dev, copy, stage, update_dev, 0, cnt,
-                    /*async=*/true);
-      scratch_free = copy.record();
-      // Assemble the previous product while this one is in flight.
-      flush_pending();
-      pending = {is_syrk, rows, cols, tbase, ldt, staging, scratch_free};
-      has_pending = true;
-      staging ^= 1;
-    };
-    for (index_t i = 0; i < m; ++i) {
-      const auto& bi = blocks[i];
-      const BlockTarget t = resolve(ctx, bi);
-      stream_product(
-          /*is_syrk=*/true, bi.nrows, bi.nrows, bi.src_offset, bi.src_offset,
-          t.tvals + t.rpos + static_cast<offset_t>(t.tcol0) * t.ldt, t.ldt);
-      for (index_t k = i + 1; k < m; ++k) {
-        const auto& bk = blocks[k];
-        const index_t rposk = rows_position_in(ctx, bk, bi);
-        stream_product(
-            /*is_syrk=*/false, bk.nrows, bi.nrows, bk.src_offset,
-            bi.src_offset,
-            t.tvals + rposk + static_cast<offset_t>(t.tcol0) * t.ldt, t.ldt);
-      }
-    }
-    flush_pending();
   }
   ctx.dev.synchronize();
+}
+
+void run_rlb_scheduled(FactorContext& ctx) {
+  const SymbolicFactor& symb = ctx.symb;
+  const index_t ns = symb.num_supernodes();
+  const bool hybrid = ctx.opts.exec == Execution::kGpuHybrid;
+  const bool batched = ctx.opts.rlb_variant == RlbVariant::kBatched;
+
+  RlbGpuState st(ctx, rlb_sizes(ctx, hybrid, batched), batched);
+
+  TaskScheduler sched;
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> t_compute(static_cast<std::size_t>(ns), kNone);
+  std::vector<std::size_t> t_scatter(static_cast<std::size_t>(ns), kNone);
+  const std::size_t prio_compute_base = static_cast<std::size_t>(ns);
+
+  std::vector<index_t> gpu_sns;
+  for (index_t s = 0; s < ns; ++s) {
+    if (hybrid && ctx.on_gpu(s)) {
+      const std::size_t id =
+          sched.add_task(static_cast<std::size_t>(s),
+                         [&ctx, s, &st, batched](std::size_t) {
+                           FactorContext::TaskScope scope(ctx);
+                           rlb_gpu_supernode(ctx, s, st, batched);
+                         });
+      t_compute[s] = id;
+      t_scatter[s] = id;
+      gpu_sns.push_back(s);
+      continue;
+    }
+    t_compute[s] = sched.add_task(
+        prio_compute_base + static_cast<std::size_t>(s),
+        [&ctx, s](std::size_t) {
+          FactorContext::TaskScope scope(ctx);
+          cpu_factor_panel(ctx, s);
+        });
+    if (symb.sn_below(s) > 0) {
+      t_scatter[s] =
+          sched.add_task(static_cast<std::size_t>(s),
+                         [&ctx, s](std::size_t) {
+                           FactorContext::TaskScope scope(ctx);
+                           rlb_cpu_updates(ctx, s);
+                         });
+      sched.add_edge(t_compute[s], t_scatter[s]);
+    }
+  }
+
+  const auto contrib = update_contributors(symb);
+  for (index_t t = 0; t < ns; ++t) {
+    const auto& cs = contrib[t];
+    if (cs.empty()) continue;
+    for (std::size_t i = 1; i < cs.size(); ++i) {
+      sched.add_edge(t_scatter[cs[i - 1]], t_scatter[cs[i]]);
+    }
+    sched.add_edge(t_scatter[cs.back()], t_compute[t]);
+  }
+  for (std::size_t i = 1; i < gpu_sns.size(); ++i) {
+    sched.add_edge(t_compute[gpu_sns[i - 1]], t_compute[gpu_sns[i]]);
+  }
+
+  ctx.sched_stats = sched.run(ctx.workers);
+  ctx.flush_deferred();
+  ctx.dev.synchronize();
+}
+
+}  // namespace
+
+void run_rlb(FactorContext& ctx) {
+  if (ctx.scheduled) {
+    run_rlb_scheduled(ctx);
+  } else {
+    run_rlb_sequential(ctx);
+  }
 }
 
 }  // namespace spchol::detail

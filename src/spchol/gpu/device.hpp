@@ -29,14 +29,17 @@ class DeviceOutOfMemory : public Error {
   DeviceOutOfMemory(std::size_t requested, std::size_t in_use,
                     std::size_t capacity)
       : Error("device out of memory: requested " + std::to_string(requested) +
-              " B with " + std::to_string(in_use) + " B in use of " +
-              std::to_string(capacity) + " B capacity"),
+              " B but only " + std::to_string(capacity - in_use) +
+              " B are available (" + std::to_string(in_use) +
+              " B in use of " + std::to_string(capacity) + " B capacity)"),
         requested_(requested),
         in_use_(in_use),
         capacity_(capacity) {}
   std::size_t requested() const noexcept { return requested_; }
   std::size_t in_use() const noexcept { return in_use_; }
   std::size_t capacity() const noexcept { return capacity_; }
+  /// Bytes that were free at the failing allocation.
+  std::size_t available() const noexcept { return capacity_ - in_use_; }
 
  private:
   std::size_t requested_, in_use_, capacity_;

@@ -1,0 +1,112 @@
+#include "spchol/support/task_scheduler.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <utility>
+
+namespace spchol {
+
+std::size_t TaskScheduler::add_task(std::size_t priority, TaskFn fn) {
+  tasks_.push_back(Task{std::move(fn), priority, 0, {}});
+  return tasks_.size() - 1;
+}
+
+void TaskScheduler::add_edge(std::size_t from, std::size_t to) {
+  SPCHOL_CHECK(from < tasks_.size() && to < tasks_.size() && from != to,
+               "task edge out of range");
+  tasks_[from].out.push_back(to);
+}
+
+SchedulerStats TaskScheduler::run(std::size_t workers) {
+  workers = std::max<std::size_t>(1, workers);
+
+  // Dedup out-edges and seed the pending counters.
+  for (auto& t : tasks_) {
+    std::sort(t.out.begin(), t.out.end());
+    t.out.erase(std::unique(t.out.begin(), t.out.end()), t.out.end());
+  }
+  for (const auto& t : tasks_) {
+    for (const std::size_t succ : t.out) tasks_[succ].pending++;
+  }
+
+  struct Shared {
+    std::mutex mu;
+    std::condition_variable cv;
+    // (priority, id) min-heap of ready tasks.
+    std::priority_queue<std::pair<std::size_t, std::size_t>,
+                        std::vector<std::pair<std::size_t, std::size_t>>,
+                        std::greater<>>
+        ready;
+    std::size_t remaining = 0;
+    bool cancelled = false;
+    std::exception_ptr error;
+    SchedulerStats stats;
+  } sh;
+  sh.remaining = tasks_.size();
+  sh.stats.workers = workers;
+
+  {
+    std::lock_guard<std::mutex> lk(sh.mu);
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+      if (tasks_[i].pending == 0) sh.ready.emplace(tasks_[i].priority, i);
+    }
+    sh.stats.max_ready_depth = sh.ready.size();
+  }
+
+  auto worker_loop = [&](std::size_t worker) {
+    bool ran_any = false;
+    std::unique_lock<std::mutex> lk(sh.mu);
+    for (;;) {
+      sh.cv.wait(lk, [&] {
+        return sh.cancelled || sh.remaining == 0 || !sh.ready.empty();
+      });
+      if (sh.cancelled || sh.remaining == 0) break;
+      const std::size_t id = sh.ready.top().second;
+      sh.ready.pop();
+      lk.unlock();
+      try {
+        tasks_[id].fn(worker);
+      } catch (...) {
+        lk.lock();
+        if (!sh.cancelled) {
+          sh.cancelled = true;
+          sh.error = std::current_exception();
+        }
+        sh.cv.notify_all();
+        break;
+      }
+      ran_any = true;
+      lk.lock();
+      sh.stats.tasks_run++;
+      sh.remaining--;
+      std::size_t readied = 0;
+      for (const std::size_t succ : tasks_[id].out) {
+        if (--tasks_[succ].pending == 0) {
+          sh.ready.emplace(tasks_[succ].priority, succ);
+          readied++;
+        }
+      }
+      sh.stats.max_ready_depth =
+          std::max(sh.stats.max_ready_depth, sh.ready.size());
+      if (sh.remaining == 0 || readied > 0) sh.cv.notify_all();
+    }
+    if (ran_any) sh.stats.threads_used++;  // lk held on every exit path
+  };
+
+  std::vector<std::thread> crew;
+  crew.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    crew.emplace_back(worker_loop, w);
+  }
+  for (auto& t : crew) t.join();
+
+  if (sh.error) std::rethrow_exception(sh.error);
+  SPCHOL_CHECK(sh.remaining == 0, "task graph did not complete (cycle?)");
+  return sh.stats;
+}
+
+}  // namespace spchol

@@ -1,0 +1,68 @@
+// Dependency-driven task scheduler for the numeric factorization phase.
+//
+// A TaskScheduler holds a DAG of tasks (build phase, single-threaded),
+// then executes it on a crew of worker threads: every task carries an
+// atomic-decrement ready count seeded from its in-edges, a finished task
+// decrements its successors, and tasks whose count reaches zero enter a
+// priority queue (lowest priority value first). The numeric drivers use
+// the edges both for readiness (a supernode is ready when all its
+// descendants' updates have been applied) and for write protection:
+// chaining the scatter tasks of a shared ancestor's contributors in
+// ascending supernode order makes the ancestor's storage single-writer
+// AND reproduces the serial accumulation order bit for bit.
+//
+// The worker threads are dedicated std::threads, deliberately NOT taken
+// from ThreadPool::global(): the pool stays free to serve the nested
+// parallel dense kernels that tasks issue (see FactorContext), so a lone
+// ready task near the etree root can still use every core.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "spchol/support/common.hpp"
+
+namespace spchol {
+
+/// Execution counters surfaced through FactorStats.
+struct SchedulerStats {
+  std::size_t tasks_run = 0;        ///< tasks executed
+  std::size_t max_ready_depth = 0;  ///< peak size of the ready queue
+  std::size_t threads_used = 0;     ///< workers that ran at least one task
+  std::size_t workers = 0;          ///< workers launched
+};
+
+class TaskScheduler {
+ public:
+  /// Task body; receives the index of the worker executing it.
+  using TaskFn = std::function<void(std::size_t worker)>;
+
+  /// Registers a task and returns its id. Lower `priority` runs first
+  /// among simultaneously-ready tasks (ties broken by id).
+  std::size_t add_task(std::size_t priority, TaskFn fn);
+
+  /// Declares that `from` must complete before `to` may start.
+  /// Duplicate edges are deduplicated at run(); the graph must be acyclic
+  /// (the factorization drivers only ever add ascending-index edges).
+  void add_edge(std::size_t from, std::size_t to);
+
+  std::size_t num_tasks() const noexcept { return tasks_.size(); }
+
+  /// Executes the whole graph on `workers` threads and blocks until every
+  /// task has finished. Rethrows the first task exception (remaining
+  /// tasks are abandoned). The scheduler is single-shot: run() may only
+  /// be called once.
+  SchedulerStats run(std::size_t workers);
+
+ private:
+  struct Task {
+    TaskFn fn;
+    std::size_t priority = 0;
+    std::size_t pending = 0;          // unfinished predecessors
+    std::vector<std::size_t> out;     // successor task ids
+  };
+  std::vector<Task> tasks_;
+};
+
+}  // namespace spchol

@@ -402,7 +402,38 @@ SymbolicFactor SymbolicFactor::analyze(const CscMatrix& a_lower,
     }
     sf.block_ptr_[s + 1] = static_cast<offset_t>(sf.blocks_.size());
   }
+  // Children lists of the supernodal etree (CSR over ascending child
+  // index) — the dependency structure the numeric task scheduler walks.
+  sf.sn_child_ptr_.assign(static_cast<std::size_t>(ns) + 1, 0);
+  for (index_t s = 0; s < ns; ++s) {
+    if (sf.sn_parent_[s] >= 0) sf.sn_child_ptr_[sf.sn_parent_[s] + 1]++;
+  }
+  for (index_t s = 0; s < ns; ++s) {
+    sf.sn_child_ptr_[s + 1] += sf.sn_child_ptr_[s];
+  }
+  sf.sn_child_idx_.resize(static_cast<std::size_t>(sf.sn_child_ptr_[ns]));
+  {
+    std::vector<index_t> cursor(sf.sn_child_ptr_.begin(),
+                                sf.sn_child_ptr_.end() - 1);
+    for (index_t s = 0; s < ns; ++s) {
+      if (sf.sn_parent_[s] >= 0) {
+        sf.sn_child_idx_[cursor[sf.sn_parent_[s]]++] = s;
+      }
+    }
+  }
   return sf;
+}
+
+std::vector<index_t> SymbolicFactor::sn_update_targets(index_t s) const {
+  // Block targets are ascending (rows are sorted and supernode column
+  // ranges are ordered), so deduplicating consecutive entries suffices.
+  std::vector<index_t> targets;
+  for (const auto& b : sn_blocks(s)) {
+    if (targets.empty() || targets.back() != b.target_sn) {
+      targets.push_back(b.target_sn);
+    }
+  }
+  return targets;
 }
 
 index_t SymbolicFactor::row_position(index_t s, index_t row) const {

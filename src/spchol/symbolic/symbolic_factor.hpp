@@ -58,6 +58,16 @@ class SymbolicFactor {
   index_t col_to_sn(index_t j) const { return col_to_sn_[j]; }
   /// Supernodal elimination tree parent (-1 for roots).
   index_t sn_parent(index_t s) const { return sn_parent_[s]; }
+  /// Children of s in the supernodal elimination tree, ascending.
+  std::span<const index_t> sn_children(index_t s) const {
+    return {sn_child_idx_.data() + sn_child_ptr_[s],
+            static_cast<std::size_t>(sn_child_ptr_[s + 1] -
+                                     sn_child_ptr_[s])};
+  }
+  /// Distinct supernodes receiving updates from s (ascending): the
+  /// targets of s's below-diagonal rows, i.e. the out-dependencies of s
+  /// in the numeric task graph. All targets are etree ancestors of s.
+  std::vector<index_t> sn_update_targets(index_t s) const;
 
   // --- row structure ------------------------------------------------------
   /// Sorted row indices of supernode s; the first sn_width(s) entries are
@@ -122,6 +132,8 @@ class SymbolicFactor {
   std::vector<index_t> sn_first_;
   std::vector<index_t> col_to_sn_;
   std::vector<index_t> sn_parent_;
+  std::vector<index_t> sn_child_ptr_;
+  std::vector<index_t> sn_child_idx_;
   std::vector<offset_t> row_ptr_;
   std::vector<index_t> row_idx_;
   std::vector<offset_t> data_ptr_;
