@@ -42,6 +42,7 @@ SchedulerStats TaskScheduler::run(std::size_t workers) {
                         std::greater<>>
         ready;
     std::size_t remaining = 0;
+    std::size_t in_flight = 0;  // tasks currently executing
     bool cancelled = false;
     std::exception_ptr error;
     SchedulerStats stats;
@@ -62,16 +63,33 @@ SchedulerStats TaskScheduler::run(std::size_t workers) {
     std::unique_lock<std::mutex> lk(sh.mu);
     for (;;) {
       sh.cv.wait(lk, [&] {
-        return sh.cancelled || sh.remaining == 0 || !sh.ready.empty();
+        return sh.cancelled || sh.remaining == 0 || !sh.ready.empty() ||
+               sh.in_flight == 0;
       });
       if (sh.cancelled || sh.remaining == 0) break;
+      if (sh.ready.empty()) {
+        if (sh.in_flight == 0) {
+          // Nothing ready, nothing running, tasks remain: the graph can
+          // never complete. Fail loudly instead of deadlocking the crew.
+          sh.cancelled = true;
+          sh.error = std::make_exception_ptr(
+              Error("task graph stalled with " +
+                    std::to_string(sh.remaining) +
+                    " tasks remaining (dependency cycle?)"));
+          sh.cv.notify_all();
+          break;
+        }
+        continue;  // spurious wake while peers are still executing
+      }
       const std::size_t id = sh.ready.top().second;
       sh.ready.pop();
+      sh.in_flight++;
       lk.unlock();
       try {
         tasks_[id].fn(worker);
       } catch (...) {
         lk.lock();
+        sh.in_flight--;
         if (!sh.cancelled) {
           sh.cancelled = true;
           sh.error = std::current_exception();
@@ -83,6 +101,7 @@ SchedulerStats TaskScheduler::run(std::size_t workers) {
       lk.lock();
       sh.stats.tasks_run++;
       sh.remaining--;
+      sh.in_flight--;
       std::size_t readied = 0;
       for (const std::size_t succ : tasks_[id].out) {
         if (--tasks_[succ].pending == 0) {

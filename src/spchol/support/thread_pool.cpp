@@ -55,18 +55,21 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
-  std::uint64_t seen = 0;
   for (;;) {
     std::shared_ptr<Batch> b;
     {
       std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk,
-               [&] { return stop_ || (batch_ != nullptr && epoch_ != seen); });
+      cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
       if (stop_) return;
-      seen = epoch_;
-      b = batch_;  // shared ownership keeps the batch alive past run()
+      b = queue_.front();  // shared ownership outlives run()
     }
     b->work();
+    // work() returned, so every task of b has been claimed; retire the
+    // batch (if a peer has not already) and move on to the next one.
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!queue_.empty() && queue_.front() == b) queue_.pop_front();
+    }
   }
 }
 
@@ -82,11 +85,10 @@ void ThreadPool::run(std::size_t tasks,
   b->fn = &fn;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    batch_ = b;
-    ++epoch_;
+    queue_.push_back(b);
   }
   cv_.notify_all();
-  b->work();  // calling thread participates
+  b->work();  // calling thread participates (its own batch first)
   {
     std::unique_lock<std::mutex> lk(b->done_mu);
     b->done_cv.wait(lk, [&] {
@@ -95,7 +97,8 @@ void ThreadPool::run(std::size_t tasks,
   }
   {
     std::lock_guard<std::mutex> lk(mu_);
-    if (batch_ == b) batch_ = nullptr;
+    const auto it = std::find(queue_.begin(), queue_.end(), b);
+    if (it != queue_.end()) queue_.erase(it);
   }
   if (b->error) std::rethrow_exception(b->error);
 }

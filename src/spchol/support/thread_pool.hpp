@@ -8,6 +8,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -31,7 +32,10 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [0, tasks) across the pool and waits for all of
   /// them. The calling thread participates. Exceptions thrown by fn are
-  /// rethrown (first one wins).
+  /// rethrown (first one wins). Concurrent callers are supported: each
+  /// call enqueues a batch on a FIFO, and idle workers drain batches in
+  /// order, so nested kernels issued by several scheduler tasks at once
+  /// share the pool instead of the newest batch starving the others.
   void run(std::size_t tasks, const std::function<void(std::size_t)>& fn);
 
   /// Process-wide default pool (lazily constructed, hardware threads).
@@ -44,8 +48,7 @@ class ThreadPool {
   std::vector<std::thread> threads_;
   std::mutex mu_;
   std::condition_variable cv_;
-  std::shared_ptr<Batch> batch_;  // current batch, guarded by mu_
-  std::uint64_t epoch_ = 0;       // bumped per batch, guarded by mu_
+  std::deque<std::shared_ptr<Batch>> queue_;  // FIFO of live batches
   bool stop_ = false;
 };
 

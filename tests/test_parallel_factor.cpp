@@ -128,6 +128,16 @@ TEST(TaskScheduler, RespectsEdgesAndPriorities) {
   }
 }
 
+TEST(TaskScheduler, ReportsDependencyCycle) {
+  // A cyclic graph must fail loudly, not deadlock the worker crew.
+  TaskScheduler sched;
+  const auto a = sched.add_task(0, [](std::size_t) {});
+  const auto b = sched.add_task(0, [](std::size_t) {});
+  sched.add_edge(a, b);
+  sched.add_edge(b, a);
+  EXPECT_THROW(sched.run(2), Error);
+}
+
 TEST(TaskScheduler, NestedPoolForksFromConcurrentTasks) {
   // Scheduler tasks fork their dense kernels onto ThreadPool::global();
   // on multicore hardware several tasks call ThreadPool::run at once.
