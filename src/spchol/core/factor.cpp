@@ -172,25 +172,29 @@ CholeskyFactor CholeskyFactor::factorize(const CscMatrix& a_lower,
   ctx.dev.synchronize();
 
   FactorStats& st = f.stats_;
+  const gpu::DeviceStats dstats = ctx.dev.stats();
   st.modeled_seconds = ctx.dev.makespan();
   st.wall_seconds = timer.seconds();
   st.supernodes_on_gpu = ctx.supernodes_on_gpu;
   st.total_supernodes = symb.num_supernodes();
   st.cpu_blas_seconds = ctx.cpu_blas_seconds;
-  st.gpu_kernel_seconds = ctx.dev.stats().kernel_seconds;
-  st.h2d_seconds = ctx.dev.stats().h2d_seconds;
-  st.d2h_seconds = ctx.dev.stats().d2h_seconds;
+  st.gpu_kernel_seconds = dstats.kernel_seconds;
+  st.h2d_seconds = dstats.h2d_seconds;
+  st.d2h_seconds = dstats.d2h_seconds;
   st.assembly_seconds = ctx.assembly_seconds;
   st.device_peak_bytes = ctx.dev.mem_peak();
-  st.h2d_bytes = ctx.dev.stats().h2d_bytes;
-  st.d2h_bytes = ctx.dev.stats().d2h_bytes;
-  st.num_gpu_kernels = ctx.dev.stats().num_kernels;
+  st.h2d_bytes = dstats.h2d_bytes;
+  st.d2h_bytes = dstats.d2h_bytes;
+  st.num_gpu_kernels = dstats.num_kernels;
   st.num_cpu_blas_calls = ctx.num_cpu_blas_calls;
   st.flops = symb.flops();
   st.scheduler_tasks = ctx.sched_stats.tasks_run;
   st.scheduler_max_ready = ctx.sched_stats.max_ready_depth;
   st.scheduler_threads_used = ctx.sched_stats.threads_used;
   st.scheduler_workers = ctx.sched_stats.workers;
+  st.gpu_stream_pairs = ctx.gpu_stream_pairs;
+  st.gpu_overlap_seconds = dstats.overlap_seconds;
+  st.scheduler_resource_waits = ctx.sched_stats.resource_waits;
   return f;
 }
 

@@ -78,6 +78,14 @@ struct FactorOptions {
   /// the CPU side of kGpuHybrid). 0 = hardware concurrency. A value of 1
   /// keeps the sequential driver (still bitwise identical).
   int cpu_workers = 0;
+  /// Stream/buffer slot pairs available to in-flight GPU supernodes in the
+  /// scheduled kGpuHybrid path. Each slot owns its own compute/copy stream
+  /// pair plus device panel+update buffers sized for the largest GPU
+  /// supernode, so independent subtree supernodes overlap on the device.
+  /// The pool degrades gracefully (down to a single pair — the old chained
+  /// pipeline) when device memory cannot hold every slot; values < 1 are
+  /// treated as 1. Results are bitwise identical across stream counts.
+  int gpu_streams = 4;
 };
 
 /// Modeled + measured execution statistics of one factorization.
@@ -102,6 +110,18 @@ struct FactorStats {
   std::size_t scheduler_max_ready = 0;    ///< peak ready-queue depth
   std::size_t scheduler_threads_used = 0; ///< workers that ran ≥ 1 task
   std::size_t scheduler_workers = 0;      ///< worker threads launched
+  // --- multi-stream GPU pipelining counters ------------------------------
+  /// Stream-pair/buffer slots actually allocated for GPU supernode tasks
+  /// (≤ FactorOptions::gpu_streams; shrinks under device memory pressure;
+  /// 1 on the sequential GPU drivers; 0 when nothing ran on the device).
+  index_t gpu_stream_pairs = 0;
+  /// Modeled seconds during which ≥ 2 device streams had work in flight.
+  /// Counts ALL cross-stream overlap — a single pair's async panel copy
+  /// against its own compute stream too — so compare values ACROSS
+  /// stream-pair counts to see the slot pool's contribution.
+  double gpu_overlap_seconds = 0.0;
+  /// GPU tasks that were ready but parked waiting for a free slot.
+  std::size_t scheduler_resource_waits = 0;
 };
 
 class CholeskyFactor {

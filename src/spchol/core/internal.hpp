@@ -42,6 +42,7 @@ struct FactorContext {
   double assembly_seconds = 0.0;
   std::size_t num_cpu_blas_calls = 0;
   index_t supernodes_on_gpu = 0;
+  index_t gpu_stream_pairs = 0;  ///< stream/buffer slots the driver used
   SchedulerStats sched_stats{};
 
   FactorContext(const SymbolicFactor& s, std::vector<double>& v,
@@ -75,6 +76,13 @@ struct FactorContext {
                                    ? opts.gpu_threshold_rl
                                    : opts.gpu_threshold_rlb;
     return symb.sn_entries(s) >= threshold;
+  }
+
+  /// Stream/buffer slots the scheduled hybrid drivers may keep in flight
+  /// (the option clamped below at the old single-pair behaviour).
+  std::size_t gpu_slot_budget() const {
+    return opts.gpu_streams > 0 ? static_cast<std::size_t>(opts.gpu_streams)
+                                : 1;
   }
 
   /// Real fork width for one dense kernel / assembly loop.

@@ -9,18 +9,28 @@
 // the compute stream → synchronous D2H(update matrix) → parallel CPU
 // assembly. Small supernodes (entries < threshold) stay on the CPU.
 //
-// Parallel path (ctx.scheduled): every CPU supernode becomes two tasks —
+// Parallel path (ctx.scheduled): every supernode becomes two tasks —
 // COMPUTE (panel factorization + SYRK into a per-supernode update buffer)
 // and SCATTER (assembly into the ancestors). Dependencies come from the
 // supernodal elimination tree: COMPUTE(t) waits for the scatter of t's
 // last contributor, and the scatters of a shared target are chained in
 // ascending source order, which simultaneously (a) makes every target's
 // storage single-writer without locks and (b) reproduces the sequential
-// accumulation order, so results are bitwise identical to kCpuSerial. In
-// kGpuHybrid the above-threshold supernodes form one fused task each,
-// chained in ascending order so the device pipeline stays sequential
-// while CPU supernodes execute concurrently on the worker threads.
+// accumulation order, so results are bitwise identical to kCpuSerial.
+//
+// In kGpuHybrid the above-threshold COMPUTE tasks run the §III device
+// pipeline on a slot drawn from a bounded pool: each in-flight GPU
+// supernode gets its OWN compute/copy stream pair and device panel+update
+// buffers, so independent subtree supernodes overlap on the device (not
+// just against the CPU workers). A scheduler resource token caps in-flight
+// GPU tasks at the pool size, and slot-reuse hazards are resolved with
+// device-side stream waits — scheduled tasks never advance the shared
+// modeled host clock to a stream tail, so the post-drain fold of deferred
+// CPU-task time keeps makespan = max(host, stream tails), not their sum.
+#include <algorithm>
 #include <cstring>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "spchol/core/internal.hpp"
@@ -52,9 +62,26 @@ RlSizes rl_sizes(FactorContext& ctx, bool gpu_enabled) {
   return sz;
 }
 
+/// One in-flight GPU supernode's device resources: a compute/copy stream
+/// pair plus panel and update buffers sized for the largest GPU supernode.
+struct RlGpuSlot {
+  gpu::Stream compute;
+  gpu::Stream copy;
+  gpu::DeviceBuffer panel;
+  gpu::DeviceBuffer update;
+
+  RlGpuSlot(gpu::Device& dev, std::size_t panel_entries,
+            std::size_t update_entries)
+      : compute(dev), copy(dev) {
+    if (panel_entries > 0) panel = gpu::DeviceBuffer(dev, panel_entries);
+    if (update_entries > 0) update = gpu::DeviceBuffer(dev, update_entries);
+  }
+};
+
 /// The paper-§III device pipeline for one supernode, including the final
-/// CPU assembly. Callers guarantee exclusivity (sequential loop, or the
-/// ascending GPU task chain in the scheduled driver).
+/// CPU assembly. Callers guarantee exclusivity of the streams/buffers
+/// (the sequential loop). Host-clock semantics are sequential: the host
+/// genuinely waits for the update transfer before assembling.
 void rl_gpu_supernode(FactorContext& ctx, index_t s, gpu::Stream& compute,
                       gpu::Stream& copy, gpu::DeviceBuffer& panel_dev,
                       gpu::DeviceBuffer& update_dev, double* u_host) {
@@ -97,6 +124,54 @@ void rl_gpu_supernode(FactorContext& ctx, index_t s, gpu::Stream& compute,
   }
 }
 
+/// The scheduled-path device pipeline for one supernode: same §III
+/// operation sequence, but (a) the update matrix lands in the
+/// per-supernode buffer `u` consumed by a separate SCATTER task, and
+/// (b) every synchronization is DEVICE-side (stream waits on events) —
+/// a scheduled task must never advance the shared modeled host clock to a
+/// stream tail, or the post-drain fold of deferred CPU-task time would
+/// count the overlapped transfer wait twice.
+void rl_gpu_compute(FactorContext& ctx, index_t s, RlGpuSlot& slot,
+                    std::vector<double>& u) {
+  const SymbolicFactor& symb = ctx.symb;
+  const index_t w = symb.sn_width(s);
+  const index_t r = symb.sn_nrows(s);
+  const index_t below = r - w;
+  double* panel = ctx.sn_values(s);
+  const std::size_t ucount =
+      static_cast<std::size_t>(below) * static_cast<std::size_t>(below);
+
+  ctx.count_gpu_supernode();
+  // Slot-reuse hazard: the previous occupant's async panel D2H is still
+  // draining the copy stream; chain behind it on the device timeline.
+  slot.compute.wait(slot.copy.record());
+  const std::size_t entries = static_cast<std::size_t>(r) * w;
+  gpu::copy_h2d(ctx.dev, slot.compute, slot.panel, 0, panel, entries,
+                /*async=*/true);
+  try {
+    gpu::potrf_lower(ctx.dev, slot.compute, w, slot.panel, 0, r);
+  } catch (const NotPositiveDefinite& e) {
+    throw NotPositiveDefinite(symb.sn_begin(s) + e.column());
+  }
+  if (below > 0) {
+    gpu::trsm_right_lower_trans(ctx.dev, slot.compute, below, w, slot.panel,
+                                0, r, w, r);
+  }
+  slot.copy.wait(slot.compute.record());
+  gpu::copy_d2h(ctx.dev, slot.copy, panel, slot.panel, 0, entries,
+                /*async=*/true);
+  if (below > 0) {
+    gpu::syrk_lower_nt_beta0(ctx.dev, slot.compute, below, w, slot.panel, w,
+                             r, slot.update, 0, below);
+    // Into the per-supernode buffer: the update-buffer reuse hazard is
+    // covered by FIFO order on the compute stream (the next occupant's
+    // SYRK queues behind this transfer).
+    u.resize(ucount);
+    gpu::copy_d2h(ctx.dev, slot.compute, u.data(), slot.update, 0, ucount,
+                  /*async=*/true);
+  }
+}
+
 void run_rl_sequential(FactorContext& ctx) {
   const SymbolicFactor& symb = ctx.symb;
   const index_t ns = symb.num_supernodes();
@@ -118,6 +193,7 @@ void run_rl_sequential(FactorContext& ctx) {
   gpu::DeviceBuffer update_dev;
   if (sz.gpu_panel_max > 0) {
     panel_dev = gpu::DeviceBuffer(ctx.dev, sz.gpu_panel_max);
+    ctx.gpu_stream_pairs = 1;
   }
   if (sz.gpu_update_max > 0) {
     update_dev = gpu::DeviceBuffer(ctx.dev, sz.gpu_update_max);
@@ -150,64 +226,92 @@ void run_rl_scheduled(FactorContext& ctx) {
   const index_t ns = symb.num_supernodes();
   const bool hybrid = ctx.opts.exec == Execution::kGpuHybrid;
 
-  const RlSizes sz = rl_sizes(ctx, hybrid);
-  gpu::Stream compute(ctx.dev);
-  gpu::Stream copy(ctx.dev);
-  gpu::DeviceBuffer panel_dev;
-  gpu::DeviceBuffer update_dev;
-  std::vector<double> u_host;
-  if (sz.gpu_panel_max > 0) {
-    panel_dev = gpu::DeviceBuffer(ctx.dev, sz.gpu_panel_max);
+  // Per-GPU-supernode buffer needs, ranked descending: slot k only has to
+  // host the k-th largest panel / update among CONCURRENTLY in-flight
+  // supernodes, so N slots cost far less than N copies of the largest —
+  // that is what lets several pairs fit under a tight device memory cap.
+  std::vector<std::size_t> panel_need, update_need;
+  if (hybrid) {
+    for (index_t s = 0; s < ns; ++s) {
+      if (!ctx.on_gpu(s)) continue;
+      const std::size_t below = static_cast<std::size_t>(symb.sn_below(s));
+      panel_need.push_back(static_cast<std::size_t>(symb.sn_entries(s)));
+      update_need.push_back(below * below);
+    }
+    std::sort(panel_need.rbegin(), panel_need.rend());
+    std::sort(update_need.rbegin(), update_need.rend());
   }
-  if (sz.gpu_update_max > 0) {
-    update_dev = gpu::DeviceBuffer(ctx.dev, sz.gpu_update_max);
-    u_host.resize(sz.gpu_update_max);
+  const std::size_t num_gpu = panel_need.size();
+
+  // Bounded slot pool: one compute/copy stream pair + device buffers per
+  // in-flight GPU supernode. The pool shrinks (down to one pair) when the
+  // device cannot fit every slot; if not even one fits, the
+  // DeviceOutOfMemory (with its available-byte report) propagates rather
+  // than leaving GPU tasks waiting on an empty pool forever.
+  using RlSlotPool = gpu::SlotPool<RlGpuSlot>;
+  std::optional<RlSlotPool> pool;
+  if (num_gpu > 0) {
+    const std::size_t want = std::min(ctx.gpu_slot_budget(), num_gpu);
+    pool.emplace(want, [&](std::size_t k) {
+      return std::make_unique<RlGpuSlot>(ctx.dev, panel_need[k],
+                                         update_need[k]);
+    });
+    ctx.gpu_stream_pairs = static_cast<index_t>(pool->size());
   }
 
-  // Per-supernode update buffers for CPU supernodes: allocated by
-  // COMPUTE, consumed and released by SCATTER.
+  // Per-supernode update buffers: allocated by COMPUTE (the device path
+  // fills them through its final D2H), consumed and released by SCATTER.
   std::vector<std::vector<double>> ubuf(static_cast<std::size_t>(ns));
 
   TaskScheduler sched;
+  const std::size_t gpu_res =
+      pool ? sched.add_resource(pool->size()) : TaskScheduler::kNoResource;
   constexpr std::size_t kNone = static_cast<std::size_t>(-1);
   std::vector<std::size_t> t_compute(static_cast<std::size_t>(ns), kNone);
   std::vector<std::size_t> t_scatter(static_cast<std::size_t>(ns), kNone);
   const std::size_t prio_scatter_base = 0;   // drain scatters first
   const std::size_t prio_compute_base = static_cast<std::size_t>(ns);
 
-  std::vector<index_t> gpu_sns;
-  std::vector<index_t> cpu_scatter_sns;
+  std::vector<index_t> scatter_sns;  // every supernode with a SCATTER task
   for (index_t s = 0; s < ns; ++s) {
     const index_t w = symb.sn_width(s);
     const index_t r = symb.sn_nrows(s);
     const index_t below = r - w;
     if (hybrid && ctx.on_gpu(s)) {
-      const std::size_t id = sched.add_task(
+      // Device COMPUTE: acquires a slot big enough for this supernode,
+      // runs the §III pipeline, leaves the update matrix in ubuf[s]. The
+      // resource token caps in-flight GPU tasks at the pool size, so
+      // waiting for a FITTING slot is rare and always bounded (slot 0
+      // fits everything).
+      const std::size_t need_panel = static_cast<std::size_t>(r) * w;
+      const std::size_t need_update = static_cast<std::size_t>(below) *
+                                      static_cast<std::size_t>(below);
+      t_compute[s] = sched.add_task(
           prio_scatter_base + static_cast<std::size_t>(s),
-          [&ctx, s, &compute, &copy, &panel_dev, &update_dev,
-           &u_host](std::size_t) {
+          [&ctx, &pool, &ubuf, s, need_panel, need_update](std::size_t) {
             FactorContext::TaskScope scope(ctx);
-            rl_gpu_supernode(ctx, s, compute, copy, panel_dev, update_dev,
-                             u_host.data());
+            auto lease = pool->acquire([&](const RlGpuSlot& slot) {
+              return slot.panel.size() >= need_panel &&
+                     slot.update.size() >= need_update;
+            });
+            rl_gpu_compute(ctx, s, *lease, ubuf[s]);
+          },
+          gpu_res);
+    } else {
+      t_compute[s] = sched.add_task(
+          prio_compute_base + static_cast<std::size_t>(s),
+          [&ctx, &ubuf, s, w, r, below](std::size_t) {
+            FactorContext::TaskScope scope(ctx);
+            cpu_factor_panel(ctx, s);
+            if (below > 0) {
+              const std::size_t ucount = static_cast<std::size_t>(below) *
+                                         static_cast<std::size_t>(below);
+              ubuf[s].assign(ucount, 0.0);
+              ctx.cpu_syrk(below, w, ctx.sn_values(s) + w, r, ubuf[s].data(),
+                           below);
+            }
           });
-      t_compute[s] = id;
-      t_scatter[s] = id;  // the fused task performs its own assembly
-      gpu_sns.push_back(s);
-      continue;
     }
-    t_compute[s] = sched.add_task(
-        prio_compute_base + static_cast<std::size_t>(s),
-        [&ctx, &ubuf, s, w, r, below](std::size_t) {
-          FactorContext::TaskScope scope(ctx);
-          cpu_factor_panel(ctx, s);
-          if (below > 0) {
-            const std::size_t ucount = static_cast<std::size_t>(below) *
-                                       static_cast<std::size_t>(below);
-            ubuf[s].assign(ucount, 0.0);
-            ctx.cpu_syrk(below, w, ctx.sn_values(s) + w, r, ubuf[s].data(),
-                         below);
-          }
-        });
     if (below > 0) {
       t_scatter[s] = sched.add_task(
           prio_scatter_base + static_cast<std::size_t>(s),
@@ -217,11 +321,14 @@ void run_rl_scheduled(FactorContext& ctx) {
             std::vector<double>().swap(ubuf[s]);  // free eagerly
           });
       sched.add_edge(t_compute[s], t_scatter[s]);
-      cpu_scatter_sns.push_back(s);
+      scatter_sns.push_back(s);
     }
   }
 
   // Readiness + write-order edges from the supernodal etree update DAG.
+  // The per-target ascending scatter chains are ALL the ordering the GPU
+  // supernodes need: device COMPUTE tasks run concurrently (bounded by
+  // the slot pool), and assembly determinism comes from the chains.
   const auto contrib = update_contributors(symb);
   for (index_t t = 0; t < ns; ++t) {
     const auto& cs = contrib[t];
@@ -233,18 +340,14 @@ void run_rl_scheduled(FactorContext& ctx) {
     // ones: one edge is the whole atomic-decrement ready count of t.
     sched.add_edge(t_scatter[cs.back()], t_compute[t]);
   }
-  // Keep the sequential device pipeline: one GPU supernode at a time, in
-  // ascending order (also serializes the shared device buffers/streams).
-  for (std::size_t i = 1; i < gpu_sns.size(); ++i) {
-    sched.add_edge(t_compute[gpu_sns[i - 1]], t_compute[gpu_sns[i]]);
-  }
-  // Memory throttle: at most ~K CPU update buffers in flight. The edge
+  // Memory throttle: at most ~K update buffers in flight. The edge
   // target's compute may not start until the K-back scatter has freed
   // its buffer; all edges go forward in supernode order, so no cycles.
-  const std::size_t kWindow = 2 * ctx.workers + 2;
-  for (std::size_t j = kWindow; j < cpu_scatter_sns.size(); ++j) {
-    sched.add_edge(t_scatter[cpu_scatter_sns[j - kWindow]],
-                   t_compute[cpu_scatter_sns[j]]);
+  const std::size_t kWindow =
+      2 * ctx.workers + 2 + (pool ? pool->size() : 0);
+  for (std::size_t j = kWindow; j < scatter_sns.size(); ++j) {
+    sched.add_edge(t_scatter[scatter_sns[j - kWindow]],
+                   t_compute[scatter_sns[j]]);
   }
 
   ctx.sched_stats = sched.run(ctx.workers);

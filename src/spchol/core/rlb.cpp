@@ -21,10 +21,18 @@
 // ancestor storage, the per-target contributor chains are what makes the
 // writes safe: a target's storage has exactly one writer at a time, in
 // ascending source order — the sequential accumulation order, so results
-// stay bitwise identical to kCpuSerial. GPU supernodes are fused tasks on
-// an ascending chain (sequential device pipeline), overlapped by the CPU
-// workers.
+// stay bitwise identical to kCpuSerial. GPU supernodes are fused tasks
+// (device pipeline + their own assembly); each draws a stream-pair/buffer
+// slot from a bounded pool so independent GPU supernodes overlap on the
+// device, while the per-target chains still serialize every shared
+// target's writers. In the scheduled path all synchronization is
+// device-side (deferred_clock): a task must never advance the shared
+// modeled host clock to a stream tail, or the post-drain fold of deferred
+// CPU-task time would count the overlapped transfer wait twice.
+#include <algorithm>
 #include <cstring>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "spchol/core/internal.hpp"
@@ -122,8 +130,9 @@ RlbSizes rlb_sizes(FactorContext& ctx, bool gpu_enabled, bool batched) {
   return sz;
 }
 
-/// Shared device-pipeline state of the GPU variants. Exclusivity is the
-/// caller's job (sequential loop, or the ascending GPU task chain).
+/// Device-pipeline state of the GPU variants: one slot of the scheduled
+/// pool, or the single shared state of the sequential loop. Exclusivity is
+/// the caller's job (sequential loop, or one lease per in-flight task).
 struct RlbGpuState {
   gpu::Stream compute;
   gpu::Stream copy;
@@ -133,12 +142,18 @@ struct RlbGpuState {
   // assembly of product p-1 can read while product p's copy lands.
   std::vector<double> u_host;
   std::size_t host_update_max = 0;
+  // Scheduled-path semantics: resolve buffer-reuse hazards with
+  // device-side stream waits and never advance the modeled host clock
+  // (the deferred CPU-time fold owns the host timeline).
+  bool deferred_clock = false;
 
-  RlbGpuState(FactorContext& ctx, const RlbSizes& sz, bool batched)
+  RlbGpuState(FactorContext& ctx, const RlbSizes& sz, bool batched,
+              bool deferred = false)
       : compute(ctx.dev),
         copy(ctx.dev),
         u_host(sz.host_update_max * (batched ? 1 : 2)),
-        host_update_max(sz.host_update_max) {
+        host_update_max(sz.host_update_max),
+        deferred_clock(deferred) {
     if (sz.gpu_panel_max > 0) {
       panel_dev = gpu::DeviceBuffer(ctx.dev, sz.gpu_panel_max);
     }
@@ -165,7 +180,14 @@ void rlb_gpu_supernode(FactorContext& ctx, index_t s, RlbGpuState& st,
 
   // --- factor the panel on the device ---
   ctx.count_gpu_supernode();
-  copy.synchronize();  // panel buffer reuse hazard
+  // Panel/update buffer reuse hazard against the previous occupant's
+  // transfers: a device-side wait in the scheduled path, a host wait in
+  // the genuinely sequential one.
+  if (st.deferred_clock) {
+    compute.wait(copy.record());
+  } else {
+    copy.synchronize();
+  }
   const std::size_t entries = static_cast<std::size_t>(r) * w;
   gpu::copy_h2d(ctx.dev, compute, panel_dev, 0, panel, entries,
                 /*async=*/true);
@@ -212,7 +234,7 @@ void rlb_gpu_supernode(FactorContext& ctx, index_t s, RlbGpuState& st,
       }
     }
     gpu::copy_d2h(ctx.dev, compute, u_host.data(), update_dev, 0, ucount,
-                  /*async=*/false);
+                  /*async=*/st.deferred_clock);
     ctx.account_assembly(rl_assemble(ctx, s, u_host.data()));
     return;
   }
@@ -237,7 +259,11 @@ void rlb_gpu_supernode(FactorContext& ctx, index_t s, RlbGpuState& st,
   int staging = 0;
   auto flush_pending = [&]() {
     if (!has_pending) return;
-    ctx.dev.wait_event(pending.copy_done);
+    // Sequential path: the host genuinely waits for the product's copy.
+    // Scheduled path: the wait lives on the stream timeline only (the
+    // data itself moved eagerly), keeping the host clock free for the
+    // post-drain fold of deferred CPU time.
+    if (!st.deferred_clock) ctx.dev.wait_event(pending.copy_done);
     const double* u = u_host.data() +
                       static_cast<std::size_t>(pending.staging) *
                           st.host_update_max;
@@ -305,7 +331,9 @@ void run_rlb_sequential(FactorContext& ctx) {
                            opts.exec == Execution::kGpuOnly;
   const bool batched = opts.rlb_variant == RlbVariant::kBatched;
 
-  RlbGpuState st(ctx, rlb_sizes(ctx, gpu_enabled, batched), batched);
+  const RlbSizes sz = rlb_sizes(ctx, gpu_enabled, batched);
+  RlbGpuState st(ctx, sz, batched);
+  if (sz.gpu_panel_max > 0) ctx.gpu_stream_pairs = 1;
   for (index_t s = 0; s < ns; ++s) {
     if (!ctx.on_gpu(s)) {
       cpu_factor_panel(ctx, s);
@@ -323,26 +351,80 @@ void run_rlb_scheduled(FactorContext& ctx) {
   const bool hybrid = ctx.opts.exec == Execution::kGpuHybrid;
   const bool batched = ctx.opts.rlb_variant == RlbVariant::kBatched;
 
-  RlbGpuState st(ctx, rlb_sizes(ctx, hybrid, batched), batched);
+  // Per-GPU-supernode buffer needs (panel; update scratch = below² for
+  // the batched variant, largest block pair for the streamed one),
+  // ranked descending: slot k only hosts the k-th largest concurrent
+  // supernode, so N slots fit where N copies of the largest could not.
+  auto update_entries = [&](index_t s) -> std::size_t {
+    const std::size_t below = static_cast<std::size_t>(symb.sn_below(s));
+    if (batched) return below * below;
+    std::size_t max_block = 0;
+    for (const auto& b : symb.sn_blocks(s)) {
+      max_block = std::max(max_block, static_cast<std::size_t>(b.nrows));
+    }
+    return max_block * max_block;
+  };
+  std::vector<std::size_t> panel_need, update_need;
+  if (hybrid) {
+    for (index_t s = 0; s < ns; ++s) {
+      if (!ctx.on_gpu(s)) continue;
+      panel_need.push_back(static_cast<std::size_t>(symb.sn_entries(s)));
+      update_need.push_back(update_entries(s));
+    }
+    std::sort(panel_need.rbegin(), panel_need.rend());
+    std::sort(update_need.rbegin(), update_need.rend());
+  }
+  const std::size_t num_gpu = panel_need.size();
+
+  // One pipeline state (stream pair + device buffers + host staging) per
+  // in-flight GPU supernode, from a bounded pool that shrinks — down to
+  // the old single-pipeline behaviour — under device memory pressure.
+  using RlbSlotPool = gpu::SlotPool<RlbGpuState>;
+  std::optional<RlbSlotPool> pool;
+  if (num_gpu > 0) {
+    const std::size_t want = std::min(ctx.gpu_slot_budget(), num_gpu);
+    pool.emplace(want, [&](std::size_t k) {
+      RlbSizes slot_sz;
+      slot_sz.gpu_panel_max = panel_need[k];
+      slot_sz.gpu_update_max = update_need[k];
+      slot_sz.host_update_max = update_need[k];
+      return std::make_unique<RlbGpuState>(ctx, slot_sz, batched,
+                                           /*deferred=*/true);
+    });
+    ctx.gpu_stream_pairs = static_cast<index_t>(pool->size());
+  }
 
   TaskScheduler sched;
+  const std::size_t gpu_res =
+      pool ? sched.add_resource(pool->size()) : TaskScheduler::kNoResource;
   constexpr std::size_t kNone = static_cast<std::size_t>(-1);
   std::vector<std::size_t> t_compute(static_cast<std::size_t>(ns), kNone);
   std::vector<std::size_t> t_scatter(static_cast<std::size_t>(ns), kNone);
   const std::size_t prio_compute_base = static_cast<std::size_t>(ns);
 
-  std::vector<index_t> gpu_sns;
   for (index_t s = 0; s < ns; ++s) {
     if (hybrid && ctx.on_gpu(s)) {
-      const std::size_t id =
-          sched.add_task(static_cast<std::size_t>(s),
-                         [&ctx, s, &st, batched](std::size_t) {
-                           FactorContext::TaskScope scope(ctx);
-                           rlb_gpu_supernode(ctx, s, st, batched);
-                         });
+      // Fused device task (pipeline + its own assembly) on a pooled slot
+      // big enough for this supernode. No ascending GPU chain: the
+      // per-target contributor chains below are the only ordering
+      // assembly needs, so GPU supernodes in independent subtrees
+      // overlap on the device.
+      const std::size_t need_panel =
+          static_cast<std::size_t>(symb.sn_entries(s));
+      const std::size_t need_update = update_entries(s);
+      const std::size_t id = sched.add_task(
+          static_cast<std::size_t>(s),
+          [&ctx, s, &pool, batched, need_panel, need_update](std::size_t) {
+            FactorContext::TaskScope scope(ctx);
+            auto lease = pool->acquire([&](const RlbGpuState& slot) {
+              return slot.panel_dev.size() >= need_panel &&
+                     slot.update_dev.size() >= need_update;
+            });
+            rlb_gpu_supernode(ctx, s, *lease, batched);
+          },
+          gpu_res);
       t_compute[s] = id;
       t_scatter[s] = id;
-      gpu_sns.push_back(s);
       continue;
     }
     t_compute[s] = sched.add_task(
@@ -370,9 +452,6 @@ void run_rlb_scheduled(FactorContext& ctx) {
       sched.add_edge(t_scatter[cs[i - 1]], t_scatter[cs[i]]);
     }
     sched.add_edge(t_scatter[cs.back()], t_compute[t]);
-  }
-  for (std::size_t i = 1; i < gpu_sns.size(); ++i) {
-    sched.add_edge(t_compute[gpu_sns[i - 1]], t_compute[gpu_sns[i]]);
   }
 
   ctx.sched_stats = sched.run(ctx.workers);

@@ -13,9 +13,7 @@ void account_kernel(Device& dev, Stream& s, double flops) {
   const double dur = dev.model().gpu_kernel_seconds(flops);
   dev.advance_host(dev.model().issue_overhead);
   dev.enqueue(s, dur);
-  auto& st = dev.mutable_stats();
-  st.kernel_seconds += dur;
-  st.num_kernels++;
+  dev.note_kernel(dur);
 }
 
 }  // namespace
@@ -106,9 +104,7 @@ void zero_fill(Device& dev, Stream& s, DeviceBuffer& buf, std::size_t off,
                      static_cast<double>(count * sizeof(double)) / 1.0e12;
   dev.advance_host(dev.model().issue_overhead);
   dev.enqueue(s, dur);
-  auto& st = dev.mutable_stats();
-  st.kernel_seconds += dur;
-  st.num_kernels++;
+  dev.note_kernel(dur);
 }
 
 }  // namespace spchol::gpu

@@ -13,6 +13,7 @@ Device::Device(DeviceConfig cfg) : cfg_(cfg) {
 }
 
 void Device::mem_acquire(std::size_t bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
   if (mem_used_ + bytes > cfg_.memory_bytes) {
     throw DeviceOutOfMemory(bytes, mem_used_, cfg_.memory_bytes);
   }
@@ -21,27 +22,134 @@ void Device::mem_acquire(std::size_t bytes) {
 }
 
 void Device::mem_release(std::size_t bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
   SPCHOL_CHECK(bytes <= mem_used_, "device memory accounting underflow");
   mem_used_ -= bytes;
 }
 
+std::size_t Device::mem_used() const noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  return mem_used_;
+}
+
+std::size_t Device::mem_peak() const noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  return mem_peak_;
+}
+
+void Device::track_stream(Stream* s) {
+  std::lock_guard<std::mutex> lk(mu_);
+  streams_.push_back(s);
+  stats_.num_streams_created++;
+}
+
+void Device::untrack_stream(Stream* s) {
+  std::lock_guard<std::mutex> lk(mu_);
+  retired_tail_ = std::max(retired_tail_, s->tail_);
+  streams_.erase(std::remove(streams_.begin(), streams_.end(), s),
+                 streams_.end());
+}
+
+double Device::device_tail_locked() const {
+  double tail = retired_tail_;
+  for (const Stream* s : streams_) tail = std::max(tail, s->tail_);
+  return tail;
+}
+
 double Device::enqueue(Stream& s, double dur) {
+  std::lock_guard<std::mutex> lk(mu_);
   const double start = std::max(s.tail_, host_time_);
-  s.tail_ = start + dur;
-  max_stream_tail_ = std::max(max_stream_tail_, s.tail_);
+  const double end = start + dur;
+  // Cross-stream overlap: the part of [start, end) during which some other
+  // stream still has enqueued work.
+  double others = retired_tail_;
+  for (const Stream* t : streams_) {
+    if (t != &s) others = std::max(others, t->tail_);
+  }
+  if (others > start) stats_.overlap_seconds += std::min(end, others) - start;
+  s.tail_ = end;
   return start;
 }
 
-void Device::synchronize() { host_time_ = std::max(host_time_, max_stream_tail_); }
+double Device::host_time() const noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  return host_time_;
+}
+
+void Device::advance_host(double seconds) {
+  std::lock_guard<std::mutex> lk(mu_);
+  host_time_ += seconds;
+}
+
+void Device::wait_event(const Event& e) {
+  std::lock_guard<std::mutex> lk(mu_);
+  host_time_ = std::max(host_time_, e.time);
+}
+
+void Device::synchronize() {
+  std::lock_guard<std::mutex> lk(mu_);
+  host_time_ = std::max(host_time_, device_tail_locked());
+}
 
 double Device::makespan() const noexcept {
-  return std::max(host_time_, max_stream_tail_);
+  std::lock_guard<std::mutex> lk(mu_);
+  return std::max(host_time_, device_tail_locked());
+}
+
+DeviceStats Device::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+std::size_t Device::num_live_streams() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return streams_.size();
+}
+
+void Device::note_h2d(std::size_t bytes, double seconds) {
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.h2d_seconds += seconds;
+  stats_.h2d_bytes += bytes;
+  stats_.num_h2d++;
+}
+
+void Device::note_d2h(std::size_t bytes, double seconds) {
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.d2h_seconds += seconds;
+  stats_.d2h_bytes += bytes;
+  stats_.num_d2h++;
+}
+
+void Device::note_kernel(double seconds) {
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.kernel_seconds += seconds;
+  stats_.num_kernels++;
 }
 
 ThreadPool& Device::compute_pool() { return ThreadPool::global(); }
 
+Stream::Stream(Device& dev) : dev_(&dev) { dev.track_stream(this); }
+
+Stream::~Stream() { dev_->untrack_stream(this); }
+
+double Stream::tail() const noexcept {
+  std::lock_guard<std::mutex> lk(dev_->mu_);
+  return tail_;
+}
+
 void Stream::synchronize() {
+  std::lock_guard<std::mutex> lk(dev_->mu_);
   dev_->host_time_ = std::max(dev_->host_time_, tail_);
+}
+
+Event Stream::record() const noexcept {
+  std::lock_guard<std::mutex> lk(dev_->mu_);
+  return {tail_};
+}
+
+void Stream::wait(const Event& e) noexcept {
+  std::lock_guard<std::mutex> lk(dev_->mu_);
+  tail_ = std::max(tail_, e.time);
 }
 
 DeviceBuffer::DeviceBuffer(Device& dev, std::size_t count)
@@ -91,10 +199,7 @@ void copy_h2d(Device& dev, Stream& s, DeviceBuffer& dst, std::size_t dst_off,
   const double dur = dev.model().h2d_seconds(static_cast<double>(bytes));
   dev.advance_host(dev.model().issue_overhead);
   dev.enqueue(s, dur);
-  auto& st = dev.mutable_stats();
-  st.h2d_seconds += dur;
-  st.h2d_bytes += bytes;
-  st.num_h2d++;
+  dev.note_h2d(bytes, dur);
   if (!async) s.synchronize();
 }
 
@@ -106,10 +211,7 @@ void copy_d2h(Device& dev, Stream& s, double* dst, const DeviceBuffer& src,
   const double dur = dev.model().d2h_seconds(static_cast<double>(bytes));
   dev.advance_host(dev.model().issue_overhead);
   dev.enqueue(s, dur);
-  auto& st = dev.mutable_stats();
-  st.d2h_seconds += dur;
-  st.d2h_bytes += bytes;
-  st.num_d2h++;
+  dev.note_d2h(bytes, dur);
   if (!async) s.synchronize();
 }
 

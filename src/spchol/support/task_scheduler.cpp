@@ -10,8 +10,17 @@
 
 namespace spchol {
 
-std::size_t TaskScheduler::add_task(std::size_t priority, TaskFn fn) {
-  tasks_.push_back(Task{std::move(fn), priority, 0, {}});
+std::size_t TaskScheduler::add_resource(std::size_t tokens) {
+  SPCHOL_CHECK(tokens >= 1, "a resource needs at least one token");
+  resource_tokens_.push_back(tokens);
+  return resource_tokens_.size() - 1;
+}
+
+std::size_t TaskScheduler::add_task(std::size_t priority, TaskFn fn,
+                                    std::size_t resource) {
+  SPCHOL_CHECK(resource == kNoResource || resource < resource_tokens_.size(),
+               "task resource out of range");
+  tasks_.push_back(Task{std::move(fn), priority, 0, resource, {}});
   return tasks_.size() - 1;
 }
 
@@ -33,14 +42,15 @@ SchedulerStats TaskScheduler::run(std::size_t workers) {
     for (const std::size_t succ : t.out) tasks_[succ].pending++;
   }
 
+  using HeapEntry = std::pair<std::size_t, std::size_t>;  // (priority, id)
+  using Heap = std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                                   std::greater<>>;
   struct Shared {
     std::mutex mu;
     std::condition_variable cv;
-    // (priority, id) min-heap of ready tasks.
-    std::priority_queue<std::pair<std::size_t, std::size_t>,
-                        std::vector<std::pair<std::size_t, std::size_t>>,
-                        std::greater<>>
-        ready;
+    Heap ready;                       // runnable now (token held if needed)
+    std::vector<std::size_t> tokens;  // free tokens per resource
+    std::vector<Heap> parked;         // per-resource tasks awaiting a token
     std::size_t remaining = 0;
     std::size_t in_flight = 0;  // tasks currently executing
     bool cancelled = false;
@@ -48,12 +58,28 @@ SchedulerStats TaskScheduler::run(std::size_t workers) {
     SchedulerStats stats;
   } sh;
   sh.remaining = tasks_.size();
+  sh.tokens = resource_tokens_;
+  sh.parked.resize(resource_tokens_.size());
   sh.stats.workers = workers;
+
+  // Moves a dependency-free task toward execution: straight into the
+  // ready heap, unless it needs a resource token none of which is free —
+  // then it parks until a token holder completes. Caller holds sh.mu.
+  auto stage_locked = [&](std::size_t id) {
+    const std::size_t r = tasks_[id].resource;
+    if (r != kNoResource && sh.tokens[r] == 0) {
+      sh.parked[r].emplace(tasks_[id].priority, id);
+      sh.stats.resource_waits++;
+      return;
+    }
+    if (r != kNoResource) sh.tokens[r]--;
+    sh.ready.emplace(tasks_[id].priority, id);
+  };
 
   {
     std::lock_guard<std::mutex> lk(sh.mu);
     for (std::size_t i = 0; i < tasks_.size(); ++i) {
-      if (tasks_[i].pending == 0) sh.ready.emplace(tasks_[i].priority, i);
+      if (tasks_[i].pending == 0) stage_locked(i);
     }
     sh.stats.max_ready_depth = sh.ready.size();
   }
@@ -102,13 +128,22 @@ SchedulerStats TaskScheduler::run(std::size_t workers) {
       sh.stats.tasks_run++;
       sh.remaining--;
       sh.in_flight--;
-      std::size_t readied = 0;
-      for (const std::size_t succ : tasks_[id].out) {
-        if (--tasks_[succ].pending == 0) {
-          sh.ready.emplace(tasks_[succ].priority, succ);
-          readied++;
+      const std::size_t before = sh.ready.size();
+      // Hand this task's token to the highest-priority parked peer, or
+      // return it to the pool.
+      const std::size_t r = tasks_[id].resource;
+      if (r != kNoResource) {
+        if (!sh.parked[r].empty()) {
+          sh.ready.push(sh.parked[r].top());
+          sh.parked[r].pop();
+        } else {
+          sh.tokens[r]++;
         }
       }
+      for (const std::size_t succ : tasks_[id].out) {
+        if (--tasks_[succ].pending == 0) stage_locked(succ);
+      }
+      const std::size_t readied = sh.ready.size() - before;
       sh.stats.max_ready_depth =
           std::max(sh.stats.max_ready_depth, sh.ready.size());
       if (sh.remaining == 0 || readied > 0) sh.cv.notify_all();

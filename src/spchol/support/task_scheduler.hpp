@@ -31,6 +31,7 @@ struct SchedulerStats {
   std::size_t max_ready_depth = 0;  ///< peak size of the ready queue
   std::size_t threads_used = 0;     ///< workers that ran at least one task
   std::size_t workers = 0;          ///< workers launched
+  std::size_t resource_waits = 0;   ///< ready tasks parked for a token
 };
 
 class TaskScheduler {
@@ -38,9 +39,22 @@ class TaskScheduler {
   /// Task body; receives the index of the worker executing it.
   using TaskFn = std::function<void(std::size_t worker)>;
 
+  /// "No resource" marker for tasks without a token requirement.
+  static constexpr std::size_t kNoResource = static_cast<std::size_t>(-1);
+
+  /// Declares a counting resource with `tokens` tokens (tokens >= 1). A
+  /// task bound to the resource holds one token from the moment it enters
+  /// the ready queue until it completes; ready tasks beyond the token
+  /// count are parked (per-resource priority queue) until a holder
+  /// finishes. The hybrid drivers use this to cap in-flight GPU supernode
+  /// tasks at the stream/buffer slot-pool size without blocking workers.
+  std::size_t add_resource(std::size_t tokens);
+
   /// Registers a task and returns its id. Lower `priority` runs first
-  /// among simultaneously-ready tasks (ties broken by id).
-  std::size_t add_task(std::size_t priority, TaskFn fn);
+  /// among simultaneously-ready tasks (ties broken by id). `resource`
+  /// optionally binds the task to a token of an add_resource() resource.
+  std::size_t add_task(std::size_t priority, TaskFn fn,
+                       std::size_t resource = kNoResource);
 
   /// Declares that `from` must complete before `to` may start.
   /// Duplicate edges are deduplicated at run(); the graph must be acyclic
@@ -60,9 +74,11 @@ class TaskScheduler {
     TaskFn fn;
     std::size_t priority = 0;
     std::size_t pending = 0;          // unfinished predecessors
+    std::size_t resource = kNoResource;
     std::vector<std::size_t> out;     // successor task ids
   };
   std::vector<Task> tasks_;
+  std::vector<std::size_t> resource_tokens_;
 };
 
 }  // namespace spchol

@@ -3,6 +3,8 @@
 // device BLAS numerics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <numeric>
 
 #include "spchol/dense/kernels.hpp"
@@ -210,6 +212,156 @@ TEST(Device, MakespanJoinsHostAndStreams) {
   EXPECT_DOUBLE_EQ(dev.makespan(), s.tail());
   dev.advance_host(10.0);
   EXPECT_DOUBLE_EQ(dev.makespan(), dev.host_time());
+}
+
+TEST(Device, DestroyedStreamsRetireTheirWork) {
+  // Regression: streams are short-lived per-task objects in the pooled
+  // hybrid drivers. Destroying one must deregister it from the device
+  // (no dangling pointer for synchronize()/makespan() to walk) while its
+  // enqueued work stays in the retired-tail watermark.
+  Device dev;
+  std::vector<double> host(4096, 1.0);
+  double tail = 0.0;
+  {
+    Stream s(dev);
+    DeviceBuffer buf(dev, 4096);
+    copy_h2d(dev, s, buf, 0, host.data(), 4096, /*async=*/true);
+    tail = s.tail();
+    EXPECT_GT(tail, 0.0);
+    EXPECT_EQ(dev.num_live_streams(), 1u);
+  }
+  EXPECT_EQ(dev.num_live_streams(), 0u);
+  // Churn more streams (created and destroyed before the device-level
+  // synchronize), as the per-task pipeline does.
+  for (int i = 0; i < 8; ++i) {
+    Stream t(dev);
+    (void)t;
+  }
+  EXPECT_EQ(dev.num_live_streams(), 0u);
+  EXPECT_DOUBLE_EQ(dev.makespan(), tail);
+  dev.synchronize();  // must not walk destroyed streams
+  EXPECT_GE(dev.host_time(), tail);
+}
+
+TEST(Device, MakespanIsMaxOfHostAndStreamTailsNotSum) {
+  // The kGpuHybrid accounting folds the modeled time of scheduler-run CPU
+  // tasks into the host clock only after the task graph drains. CPU work
+  // that overlapped device transfers must JOIN the stream tails in the
+  // makespan, never add on top of them.
+  Device dev;
+  Stream s1(dev), s2(dev);
+  DeviceBuffer b1(dev, 1 << 15), b2(dev, 1 << 15);
+  std::vector<double> host(1 << 15, 1.0);
+  copy_h2d(dev, s1, b1, 0, host.data(), host.size(), /*async=*/true);
+  copy_h2d(dev, s2, b2, 0, host.data(), host.size(), /*async=*/true);
+  const double tails = std::max(s1.tail(), s2.tail());
+
+  // CPU-task time smaller than the transfer tails: fully hidden.
+  dev.advance_host(0.25 * tails);
+  ASSERT_LT(dev.host_time(), tails);
+  EXPECT_DOUBLE_EQ(dev.makespan(), tails);
+  dev.synchronize();
+  EXPECT_DOUBLE_EQ(dev.host_time(), tails);  // joined, not summed
+
+  // CPU-task time larger than the tails: the host dominates.
+  dev.advance_host(2.0 * tails);
+  EXPECT_DOUBLE_EQ(dev.makespan(), dev.host_time());
+}
+
+TEST(Device, OverlapSecondsAccumulateAcrossStreams) {
+  Device dev;
+  Stream s1(dev), s2(dev);
+  DeviceBuffer b1(dev, 1 << 15), b2(dev, 1 << 15);
+  std::vector<double> host(1 << 15, 1.0);
+  copy_h2d(dev, s1, b1, 0, host.data(), host.size(), /*async=*/true);
+  EXPECT_DOUBLE_EQ(dev.stats().overlap_seconds, 0.0);  // nothing else live
+  copy_h2d(dev, s2, b2, 0, host.data(), host.size(), /*async=*/true);
+  // The second transfer ran while the first stream still had work.
+  EXPECT_GT(dev.stats().overlap_seconds, 0.0);
+  EXPECT_LE(dev.stats().overlap_seconds, dev.stats().h2d_seconds);
+}
+
+namespace {
+
+/// Minimal pool slot: one device allocation.
+struct TestSlot {
+  DeviceBuffer buf;
+  TestSlot(Device& dev, std::size_t count) : buf(dev, count) {}
+};
+
+}  // namespace
+
+TEST(SlotPool, DegradesGracefullyUnderMemoryPressure) {
+  DeviceConfig cfg;
+  cfg.memory_bytes = 100'000;  // fits 3 slots of 4000 doubles (32 KB each)
+  Device dev(cfg);
+  SlotPool<TestSlot> pool(8, [&](std::size_t) {
+    return std::make_unique<TestSlot>(dev, 4000);
+  });
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_EQ(dev.mem_used(), 3u * 4000 * sizeof(double));
+}
+
+TEST(SlotPool, ThrowsWhenNotEvenOneSlotFits) {
+  // A zero-slot pool would hang every acquire() forever; the
+  // DeviceOutOfMemory (with its available-bytes report) must escape.
+  DeviceConfig cfg;
+  cfg.memory_bytes = 1 << 10;
+  Device dev(cfg);
+  try {
+    SlotPool<TestSlot> pool(4, [&](std::size_t) {
+      return std::make_unique<TestSlot>(dev, 4000);
+    });
+    FAIL() << "expected DeviceOutOfMemory";
+  } catch (const DeviceOutOfMemory& e) {
+    EXPECT_EQ(e.requested(), 4000 * sizeof(double));
+    EXPECT_EQ(e.available(), std::size_t{1} << 10);
+  }
+}
+
+TEST(SlotPool, LeasesHandOutDistinctSlotsAndRecycle) {
+  Device dev;
+  SlotPool<TestSlot> pool(2, [&](std::size_t) {
+    return std::make_unique<TestSlot>(dev, 16);
+  });
+  ASSERT_EQ(pool.size(), 2u);
+  TestSlot* first = nullptr;
+  {
+    auto a = pool.acquire();
+    auto b = pool.acquire();
+    EXPECT_NE(&*a, &*b);
+    first = &*a;
+  }
+  // Both leases returned; the pool serves again.
+  auto c = pool.acquire();
+  auto d = pool.acquire();
+  EXPECT_TRUE(&*c == first || &*d == first);
+}
+
+TEST(SlotPool, RankedSlotsServeTheSmallestAdequateRotation) {
+  // Ranked capacities (8, 4, 2): a small request may land on any fitting
+  // slot, a large one must wait for slot 0. Consecutive small requests
+  // rotate across the fitting slots rather than re-chaining onto one.
+  Device dev;
+  const std::size_t caps[3] = {8, 4, 2};
+  SlotPool<TestSlot> pool(3, [&](std::size_t k) {
+    return std::make_unique<TestSlot>(dev, caps[k]);
+  });
+  ASSERT_EQ(pool.size(), 3u);
+  auto fits = [](std::size_t need) {
+    return [need](const TestSlot& s) { return s.buf.size() >= need; };
+  };
+  {
+    auto a = pool.acquire(fits(3));  // slot 0 or 1
+    auto b = pool.acquire(fits(3));  // the other of {0, 1}
+    EXPECT_NE(&*a, &*b);
+    EXPECT_GE(a->buf.size(), 3u);
+    EXPECT_GE(b->buf.size(), 3u);
+    auto c = pool.acquire(fits(1));  // only slot 2 is left
+    EXPECT_EQ(c->buf.size(), 2u);
+  }
+  auto big = pool.acquire(fits(8));  // only slot 0 qualifies
+  EXPECT_EQ(big->buf.size(), 8u);
 }
 
 }  // namespace

@@ -4,9 +4,12 @@
 // GPU pipeline's determinism; scheduler counters must be populated.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <latch>
 #include <mutex>
 #include <set>
+#include <thread>
 
 #include "spchol/matrix/coo.hpp"
 #include "spchol/support/task_scheduler.hpp"
@@ -138,6 +141,50 @@ TEST(TaskScheduler, ReportsDependencyCycle) {
   EXPECT_THROW(sched.run(2), Error);
 }
 
+TEST(TaskScheduler, ResourceTokensBoundConcurrency) {
+  // Twelve tasks bound to a 2-token resource: no more than two may ever
+  // be in flight at once (the invariant the GPU slot pools rely on so a
+  // task's pool acquire() never blocks a worker thread).
+  TaskScheduler sched;
+  const std::size_t res = sched.add_resource(2);
+  std::atomic<int> active{0};
+  std::atomic<int> peak{0};
+  for (int i = 0; i < 12; ++i) {
+    sched.add_task(
+        0,
+        [&](std::size_t) {
+          const int now = active.fetch_add(1) + 1;
+          int p = peak.load();
+          while (now > p && !peak.compare_exchange_weak(p, now)) {
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          active.fetch_sub(1);
+        },
+        res);
+  }
+  const SchedulerStats st = sched.run(8);
+  EXPECT_EQ(st.tasks_run, 12u);
+  EXPECT_LE(peak.load(), 2);
+  // Ten of the twelve initially-ready tasks had to park for a token.
+  EXPECT_GE(st.resource_waits, 10u);
+}
+
+TEST(TaskScheduler, ResourceTasksInterleaveWithUnboundedOnes) {
+  // Tokens throttle only their own resource: free tasks keep flowing.
+  TaskScheduler sched;
+  const std::size_t res = sched.add_resource(1);
+  std::atomic<int> done_free{0};
+  std::atomic<int> done_res{0};
+  for (int i = 0; i < 6; ++i) {
+    sched.add_task(0, [&](std::size_t) { done_res.fetch_add(1); }, res);
+    sched.add_task(0, [&](std::size_t) { done_free.fetch_add(1); });
+  }
+  const SchedulerStats st = sched.run(4);
+  EXPECT_EQ(st.tasks_run, 12u);
+  EXPECT_EQ(done_free.load(), 6);
+  EXPECT_EQ(done_res.load(), 6);
+}
+
 TEST(TaskScheduler, NestedPoolForksFromConcurrentTasks) {
   // Scheduler tasks fork their dense kernels onto ThreadPool::global();
   // on multicore hardware several tasks call ThreadPool::run at once.
@@ -183,10 +230,11 @@ TEST(ParallelFactor, SequentialDriverReportsNoScheduler) {
 }
 
 TEST(ParallelFactor, HybridOverlapKeepsRlDeterminism) {
-  // The hybrid task graph chains GPU supernodes in ascending order and
-  // orders every target's scatters like the sequential pipeline, so RL
-  // hybrid values stay bitwise identical to CPU RL even with concurrent
-  // CPU workers (the GPU kernels are the same deterministic kernels).
+  // The hybrid task graph orders every target's scatters like the
+  // sequential pipeline (ascending per-target chains), so RL hybrid
+  // values stay bitwise identical to CPU RL even with concurrent CPU
+  // workers and concurrent multi-stream GPU supernodes (the GPU kernels
+  // are the same deterministic kernels).
   const CscMatrix a = grid3d_7pt(6, 5, 7);
   SolverOptions base;
   base.factor.method = Method::kRL;
@@ -208,6 +256,143 @@ TEST(ParallelFactor, HybridOverlapKeepsRlDeterminism) {
   const auto v1 = serial.factor().values();
   const auto v2 = hybrid.factor().values();
   expect_bitwise_equal({v1.begin(), v1.end()}, {v2.begin(), v2.end()});
+}
+
+TEST(ParallelFactor, HybridBitwiseIdenticalAcrossStreamPairsAndWorkers) {
+  // The multi-stream pipeline draws per-task stream/buffer slots from a
+  // bounded pool; numeric results must not depend on how many slots exist
+  // or how many workers drain the graph: every {stream pairs} x {workers}
+  // combo must be bitwise identical to the single-pair/single-worker
+  // hybrid. For RL the hybrid is additionally bitwise identical to the
+  // serial CPU factorization (RLB's device path assembles block products
+  // through scratch, a different — but combo-invariant — rounding than
+  // the CPU's direct in-place updates).
+  const CscMatrix a = grid3d_7pt(6, 5, 7);
+  for (const Method method : {Method::kRL, Method::kRLB}) {
+    SCOPED_TRACE(to_string(method));
+    auto hybrid_values = [&](int pairs, int workers) {
+      SolverOptions opts;
+      opts.factor.method = method;
+      opts.factor.exec = Execution::kGpuHybrid;
+      opts.factor.gpu_threshold_rl = 200;  // force a mixed CPU/GPU split
+      opts.factor.gpu_threshold_rlb = 200;
+      opts.factor.cpu_workers = workers;
+      opts.factor.gpu_streams = pairs;
+      CholeskySolver solver(opts);
+      solver.factorize(a);
+      EXPECT_GT(solver.stats().supernodes_on_gpu, 0);
+      if (workers > 1) {
+        EXPECT_EQ(
+            solver.stats().gpu_stream_pairs,
+            std::min<index_t>(pairs, solver.stats().supernodes_on_gpu));
+      }
+      const auto v = solver.factor().values();
+      return std::vector<double>{v.begin(), v.end()};
+    };
+    const auto reference = hybrid_values(1, 1);
+    if (method == Method::kRL) {
+      expect_bitwise_equal(
+          factor_values(a, method, Execution::kCpuSerial, 1), reference);
+    }
+    for (const int pairs : {1, 2, 4}) {
+      for (const int workers : {1, 4, 8}) {
+        SCOPED_TRACE("pairs=" + std::to_string(pairs) +
+                     " workers=" + std::to_string(workers));
+        expect_bitwise_equal(reference, hybrid_values(pairs, workers));
+      }
+    }
+  }
+}
+
+TEST(ParallelFactor, MultiStreamOverlapsIndependentGpuSupernodes) {
+  // A forest of identical dense blocks: every block is one GPU supernode
+  // with no update targets, so all device pipelines are independent. With
+  // four stream-pair slots they must overlap on the modeled device
+  // timeline and beat the single-pair chain.
+  const index_t blocks = 6, bs = 48;
+  CooMatrix coo(blocks * bs, blocks * bs);
+  for (index_t b = 0; b < blocks; ++b) {
+    for (index_t i = 0; i < bs; ++i) {
+      coo.add(b * bs + i, b * bs + i, 2.0 * bs);
+      for (index_t j = 0; j < i; ++j) coo.add(b * bs + i, b * bs + j, -1.0);
+    }
+  }
+  const CscMatrix a = coo.to_csc();
+  auto run_pairs = [&](int pairs) {
+    SolverOptions opts;
+    opts.factor.method = Method::kRL;
+    opts.factor.exec = Execution::kGpuHybrid;
+    opts.factor.gpu_threshold_rl = 100;  // every block lands on the GPU
+    opts.factor.cpu_workers = 8;
+    opts.factor.gpu_streams = pairs;
+    CholeskySolver solver(opts);
+    solver.factorize(a);
+    return solver.stats();
+  };
+  const FactorStats one = run_pairs(1);
+  const FactorStats four = run_pairs(4);
+  ASSERT_EQ(one.supernodes_on_gpu, blocks);
+  EXPECT_EQ(one.gpu_stream_pairs, 1);
+  EXPECT_EQ(four.gpu_stream_pairs, 4);
+  EXPECT_LT(four.modeled_seconds, 0.9 * one.modeled_seconds);
+  // Strictly more cross-stream overlap than the single pair's own
+  // compute-vs-copy overlap.
+  EXPECT_GT(four.gpu_overlap_seconds, one.gpu_overlap_seconds);
+}
+
+TEST(ParallelFactor, HybridTinyDeviceReportsOutOfMemoryNotHang) {
+  // When the slot pool cannot fit even ONE panel + update buffer, the
+  // DeviceOutOfMemory (with the available-bytes report) must escape
+  // instead of the GPU tasks waiting on an empty pool forever.
+  const CscMatrix a = grid3d_7pt(6, 5, 7);
+  SolverOptions opts;
+  opts.factor.method = Method::kRL;
+  opts.factor.exec = Execution::kGpuHybrid;
+  opts.factor.gpu_threshold_rl = 200;
+  opts.factor.cpu_workers = 4;
+  opts.factor.gpu_streams = 4;
+  opts.factor.device.memory_bytes = 1 << 10;  // fits nothing
+  CholeskySolver solver(opts);
+  try {
+    solver.factorize(a);
+    FAIL() << "expected gpu::DeviceOutOfMemory";
+  } catch (const gpu::DeviceOutOfMemory& e) {
+    EXPECT_EQ(e.capacity(), std::size_t{1} << 10);
+    EXPECT_LE(e.available(), e.capacity());
+    EXPECT_GT(e.requested(), e.available());
+  }
+}
+
+TEST(ParallelFactor, HybridSlotPoolDegradesUnderMemoryPressure) {
+  // Ask for four stream pairs on a device that can hold only ~1.5 copies
+  // of the largest slot: the ranked pool must shrink below four pairs
+  // (keeping at least the single-pair pipeline), stay within the cap, and
+  // still produce bitwise-identical factors.
+  const CscMatrix a = grid3d_7pt(6, 5, 7);
+  SolverOptions opts;
+  opts.factor.method = Method::kRL;
+  opts.factor.exec = Execution::kGpuHybrid;
+  opts.factor.gpu_threshold_rl = 200;
+  opts.factor.cpu_workers = 4;
+  opts.factor.gpu_streams = 1;
+  CholeskySolver probe(opts);
+  probe.factorize(a);
+  const std::size_t slot_bytes = probe.stats().device_peak_bytes;
+  ASSERT_GT(slot_bytes, 0u);
+  ASSERT_GT(probe.stats().supernodes_on_gpu, 3);
+
+  opts.factor.gpu_streams = 4;
+  opts.factor.device.memory_bytes = slot_bytes + slot_bytes / 2;
+  CholeskySolver capped(opts);
+  capped.factorize(a);
+  EXPECT_GE(capped.stats().gpu_stream_pairs, 1);
+  EXPECT_LT(capped.stats().gpu_stream_pairs, 4);
+  EXPECT_LE(capped.stats().device_peak_bytes,
+            opts.factor.device.memory_bytes);
+
+  const auto serial = factor_values(a, Method::kRL, Execution::kCpuSerial, 1);
+  const auto v = capped.factor().values();
+  expect_bitwise_equal(serial, {v.begin(), v.end()});
 }
 
 TEST(ParallelFactor, HybridOverlapRlbVariantsStayAccurate) {
