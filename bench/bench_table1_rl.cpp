@@ -22,9 +22,9 @@ int main() {
       static_cast<long long>(kThresholdRl),
       kDatasetDeviceBytes >> 20);
   print_rule('=');
-  std::printf("%-17s %10s %9s | %9s %8s | %8s %8s | %9s %8s\n", "matrix",
-              "n", "nnz(L)", "runtime", "speedup", "sn(GPU)", "sn(tot)",
-              "paper(s)", "paperSpd");
+  std::printf("%-17s %10s %9s %8s | %9s %8s | %8s %8s | %9s %8s\n",
+              "matrix", "n", "nnz(L)", "analyze", "runtime", "speedup",
+              "sn(GPU)", "sn(tot)", "paper(s)", "paperSpd");
   print_rule();
 
   // Kept for the scaling section below (Queen_4147 is the largest
@@ -36,18 +36,20 @@ int main() {
     const RunResult gpu =
         run_factor(m, gpu_options(Method::kRL, RlbVariant::kStreamed));
     if (gpu.out_of_memory) {
-      std::printf("%-17s %10d %9.2fM | %9s %8s | %8s %8d | %9s %8s\n",
+      std::printf("%-17s %10d %9.2fM %8.4f | %9s %8s | %8s %8d | %9s %8s\n",
                   e->name.c_str(), m.a.cols(),
                   static_cast<double>(m.symb.factor_nnz()) / 1e6,
+                  m.symb.stats().total_seconds,
                   "OOM", "-", "-", m.symb.num_supernodes(),
                   e->paper_rl.out_of_memory ? "OOM" : "?",
                   e->paper_rl.out_of_memory ? "-" : "?");
       continue;
     }
     std::printf(
-        "%-17s %10d %9.2fM | %9.4f %7.2fx | %8d %8d | %9.3f %7.2fx\n",
+        "%-17s %10d %9.2fM %8.4f | %9.4f %7.2fx | %8d %8d | %9.3f %7.2fx\n",
         e->name.c_str(), m.a.cols(),
-        static_cast<double>(m.symb.factor_nnz()) / 1e6, gpu.seconds,
+        static_cast<double>(m.symb.factor_nnz()) / 1e6,
+        m.symb.stats().total_seconds, gpu.seconds,
         cpu_best / gpu.seconds, gpu.stats.supernodes_on_gpu,
         m.symb.num_supernodes(), e->paper_rl.time_s, e->paper_rl.speedup);
     if (e->name == "Queen_4147") largest = std::move(m);
@@ -55,7 +57,8 @@ int main() {
   print_rule();
   std::printf(
       "runtime/speedup: modeled on the simulated device (DESIGN.md §5); "
-      "paper columns: Table I as printed.\n");
+      "analyze: REAL wall seconds of\nSymbolicFactor::analyze (default "
+      "workers); paper columns: Table I as printed.\n");
 
   // --- CPU parallel scaling: REAL wall clock, not the model -------------
   // kCpuSerial executes on one thread; kCpuParallel dispatches supernode
@@ -87,6 +90,40 @@ int main() {
                 serial.stats.wall_seconds / par.stats.wall_seconds,
                 par.stats.scheduler_tasks, par.stats.scheduler_max_ready,
                 par.stats.scheduler_threads_used);
+  }
+  print_rule();
+
+  // --- symbolic analyze scaling: the staged pipeline ---------------------
+  // Worker scaling of SymbolicFactor::analyze on the nlpkkt80 analog (the
+  // paper-set matrix with the heaviest analysis). "modeled" replays the
+  // measured task durations through a greedy list schedule at the given
+  // worker count (TaskScheduler::modeled_makespan) — like the device
+  // model, it is independent of how many REAL cores this machine has;
+  // "speedup" = task seconds / modeled seconds. "wall" is the real wall
+  // time, which only scales on real multicore hardware. Output is
+  // identical across all rows (asserted in test_symbolic_parallel).
+  std::printf("\nSymbolic analyze scaling (staged pipeline, nlpkkt80 "
+              "analog)\n");
+  print_rule('=');
+  std::printf("%-17s %10s %10s %10s %10s %9s %7s %7s\n", "matrix",
+              "workers", "wall(s)", "task(s)", "modeled", "speedup",
+              "tasks", "steals");
+  {
+    const DatasetEntry& entry = dataset_entry("nlpkkt80");
+    const CscMatrix na = entry.make();
+    const Permutation nfill =
+        compute_ordering(na, OrderingMethod::kNestedDissection);
+    for (const int workers : {1, 2, 4, 8}) {
+      AnalyzeOptions ao;
+      ao.workers = workers;
+      const SymbolicFactor symb = SymbolicFactor::analyze(na, nfill, ao);
+      const SymbolicStats& st = symb.stats();
+      std::printf("%-17s %10d %10.4f %10.4f %10.4f %8.2fx %7zu %7zu\n",
+                  entry.name.c_str(), workers, st.total_seconds,
+                  st.task_seconds, st.modeled_parallel_seconds,
+                  st.task_seconds / st.modeled_parallel_seconds,
+                  st.tasks_run, st.steals);
+    }
   }
   print_rule();
 

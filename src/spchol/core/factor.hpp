@@ -110,6 +110,11 @@ struct FactorStats {
   std::size_t scheduler_max_ready = 0;    ///< peak ready-queue depth
   std::size_t scheduler_threads_used = 0; ///< workers that ran ≥ 1 task
   std::size_t scheduler_workers = 0;      ///< worker threads launched
+  std::size_t scheduler_steals = 0;       ///< tasks run off their home queue
+  // --- symbolic analysis phase timers of the SymbolicFactor used --------
+  // (copied from SymbolicFactor::stats() so one struct describes the
+  // whole analyze + factorize pipeline).
+  SymbolicStats symbolic{};
   // --- multi-stream GPU pipelining counters ------------------------------
   /// Stream-pair/buffer slots actually allocated for GPU supernode tasks
   /// (≤ FactorOptions::gpu_streams; shrinks under device memory pressure;

@@ -11,6 +11,8 @@
 #include "spchol/dense/kernels.hpp"
 #include "spchol/gpu/blas.hpp"
 #include "spchol/support/task_scheduler.hpp"
+#include "spchol/support/thread_pool.hpp"
+#include "spchol/symbolic/etree.hpp"
 
 namespace spchol::detail {
 
@@ -52,11 +54,8 @@ struct FactorContext {
         opts(o),
         dev(o.device),
         pool(ThreadPool::global()),
-        blas_capacity(ThreadPool::global().size() + 1),
-        workers(o.cpu_workers > 0
-                    ? static_cast<std::size_t>(o.cpu_workers)
-                    : std::max<std::size_t>(
-                          1, std::thread::hardware_concurrency())),
+        blas_capacity(ThreadPool::global().concurrency()),
+        workers(resolve_worker_count(o.cpu_workers)),
         scheduled((o.exec == Execution::kCpuParallel ||
                    o.exec == Execution::kGpuHybrid) &&
                   workers > 1) {}
@@ -204,6 +203,24 @@ double rl_assemble(FactorContext& ctx, index_t s, const double* u);
 /// that scatters an update into t). Inverse of sn_update_targets().
 std::vector<std::vector<index_t>> update_contributors(
     const SymbolicFactor& symb);
+
+/// Ready-queue partition of every supernode for the scheduler's
+/// subtree-partitioned queues: whole supernodal-etree subtrees map to one
+/// queue, so a supernode's tasks usually land on the worker that just ran
+/// its children (warm caches) and the crew stops contending on one heap.
+/// Also configures `sched` with the partition count it used, so the ids
+/// and the scheduler can never disagree.
+inline std::vector<index_t> supernode_queue_partition(
+    const SymbolicFactor& symb, std::size_t workers, TaskScheduler& sched) {
+  const std::size_t nq =
+      std::min(std::max<std::size_t>(1, workers),
+               TaskScheduler::kMaxPartitions);
+  sched.set_partitions(nq);
+  const index_t ns = symb.num_supernodes();
+  std::vector<index_t> parent(static_cast<std::size_t>(ns));
+  for (index_t s = 0; s < ns; ++s) parent[s] = symb.sn_parent(s);
+  return subtree_partition(parent, static_cast<index_t>(nq));
+}
 
 /// RL / RLB / left-looking drivers (rl.cpp, rlb.cpp, left_looking.cpp).
 /// Each dispatches to a sequential loop (kCpuSerial, kGpuOnly, or a

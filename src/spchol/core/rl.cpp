@@ -263,7 +263,12 @@ void run_rl_scheduled(FactorContext& ctx) {
   // fills them through its final D2H), consumed and released by SCATTER.
   std::vector<std::vector<double>> ubuf(static_cast<std::size_t>(ns));
 
+  // Subtree-partitioned ready queues: each supernode's tasks enter the
+  // queue of its etree subtree, keeping a subtree's chain of work on the
+  // worker that ran its children (stealing covers imbalance).
   TaskScheduler sched;
+  const std::vector<index_t> queue_of =
+      supernode_queue_partition(symb, ctx.workers, sched);
   const std::size_t gpu_res =
       pool ? sched.add_resource(pool->size()) : TaskScheduler::kNoResource;
   constexpr std::size_t kNone = static_cast<std::size_t>(-1);
@@ -296,7 +301,7 @@ void run_rl_scheduled(FactorContext& ctx) {
             });
             rl_gpu_compute(ctx, s, *lease, ubuf[s]);
           },
-          gpu_res);
+          gpu_res, static_cast<std::size_t>(queue_of[s]));
     } else {
       t_compute[s] = sched.add_task(
           prio_compute_base + static_cast<std::size_t>(s),
@@ -310,7 +315,8 @@ void run_rl_scheduled(FactorContext& ctx) {
               ctx.cpu_syrk(below, w, ctx.sn_values(s) + w, r, ubuf[s].data(),
                            below);
             }
-          });
+          },
+          TaskScheduler::kNoResource, static_cast<std::size_t>(queue_of[s]));
     }
     if (below > 0) {
       t_scatter[s] = sched.add_task(
@@ -319,7 +325,8 @@ void run_rl_scheduled(FactorContext& ctx) {
             FactorContext::TaskScope scope(ctx);
             ctx.account_assembly(rl_assemble(ctx, s, ubuf[s].data()));
             std::vector<double>().swap(ubuf[s]);  // free eagerly
-          });
+          },
+          TaskScheduler::kNoResource, static_cast<std::size_t>(queue_of[s]));
       sched.add_edge(t_compute[s], t_scatter[s]);
       scatter_sns.push_back(s);
     }

@@ -17,7 +17,10 @@
 // variant that survives nlpkkt120.
 //
 // Parallel path (ctx.scheduled): COMPUTE(s) = panel factorization,
-// SCATTER(s) = the direct block updates. Because RLB writes straight into
+// SCATTER(s, t) = the direct block updates of s into ONE target
+// supernode t — one task per (source, target), so the updates of s into
+// different ancestors run concurrently (near the etree root this is most
+// of the recoverable parallelism). Because RLB writes straight into
 // ancestor storage, the per-target contributor chains are what makes the
 // writes safe: a target's storage has exactly one writer at a time, in
 // ascending source order — the sequential accumulation order, so results
@@ -71,9 +74,16 @@ index_t rows_position_in(FactorContext& ctx, const SupernodeBlock& b,
   return pos;
 }
 
-/// CPU RLB updates of supernode s: one DSYRK per diagonal target and one
-/// DGEMM per off-diagonal pair, applied directly in factor storage.
-void rlb_cpu_updates(FactorContext& ctx, index_t s) {
+/// CPU RLB updates of supernode s INTO one target supernode: for every
+/// block b_i of s whose rows live in `target`, one DSYRK plus one DGEMM
+/// per later block pair (b_k, b_i) — all of which write into `target`'s
+/// storage (the target of a (b_k, b_i) product is b_i's supernode). The
+/// scheduled driver runs one SCATTER task per (s, target), chained per
+/// target in ascending source order, so splitting never reorders any
+/// target's accumulation. Blocks are sorted by row, so each target owns a
+/// contiguous block range and iterating targets ascending replays the
+/// sequential (i, k) product order exactly.
+void rlb_cpu_updates_target(FactorContext& ctx, index_t s, index_t target) {
   const SymbolicFactor& symb = ctx.symb;
   const index_t w = symb.sn_width(s);
   const index_t r = symb.sn_nrows(s);
@@ -82,6 +92,7 @@ void rlb_cpu_updates(FactorContext& ctx, index_t s) {
   const index_t m = static_cast<index_t>(blocks.size());
   for (index_t i = 0; i < m; ++i) {
     const auto& bi = blocks[i];
+    if (bi.target_sn != target) continue;
     const BlockTarget t = resolve(ctx, bi);
     ctx.cpu_syrk(bi.nrows, w, panel + bi.src_offset, r,
                  t.tvals + t.rpos +
@@ -96,6 +107,13 @@ void rlb_cpu_updates(FactorContext& ctx, index_t s) {
                        static_cast<offset_t>(t.tcol0) * t.ldt,
                    t.ldt);
     }
+  }
+}
+
+/// All CPU RLB updates of supernode s (the sequential driver).
+void rlb_cpu_updates(FactorContext& ctx, index_t s) {
+  for (const index_t target : ctx.symb.sn_update_targets(s)) {
+    rlb_cpu_updates_target(ctx, s, target);
   }
 }
 
@@ -394,15 +412,31 @@ void run_rlb_scheduled(FactorContext& ctx) {
     ctx.gpu_stream_pairs = static_cast<index_t>(pool->size());
   }
 
+  // Subtree-partitioned ready queues (see supernode_queue_partition).
   TaskScheduler sched;
+  const std::vector<index_t> queue_of =
+      supernode_queue_partition(symb, ctx.workers, sched);
   const std::size_t gpu_res =
       pool ? sched.add_resource(pool->size()) : TaskScheduler::kNoResource;
   constexpr std::size_t kNone = static_cast<std::size_t>(-1);
   std::vector<std::size_t> t_compute(static_cast<std::size_t>(ns), kNone);
-  std::vector<std::size_t> t_scatter(static_cast<std::size_t>(ns), kNone);
+  // CPU scatters are SPLIT per target supernode: scat_tasks[s][i] updates
+  // scat_targets[s][i] (== sn_update_targets(s), ascending), so the
+  // scatters of one supernode into different ancestors run concurrently —
+  // near the etree root, where every supernode updates the same few
+  // ancestors, this is most of the recoverable parallelism. GPU
+  // supernodes stay fused (device pipeline + all their updates, one
+  // task); the per-target chains below treat the fused task as the
+  // scatter for every one of its targets.
+  std::vector<std::vector<index_t>> scat_targets(
+      static_cast<std::size_t>(ns));
+  std::vector<std::vector<std::size_t>> scat_tasks(
+      static_cast<std::size_t>(ns));
+  std::vector<char> fused(static_cast<std::size_t>(ns), 0);
   const std::size_t prio_compute_base = static_cast<std::size_t>(ns);
 
   for (index_t s = 0; s < ns; ++s) {
+    const std::size_t queue = static_cast<std::size_t>(queue_of[s]);
     if (hybrid && ctx.on_gpu(s)) {
       // Fused device task (pipeline + its own assembly) on a pooled slot
       // big enough for this supernode. No ascending GPU chain: the
@@ -412,7 +446,7 @@ void run_rlb_scheduled(FactorContext& ctx) {
       const std::size_t need_panel =
           static_cast<std::size_t>(symb.sn_entries(s));
       const std::size_t need_update = update_entries(s);
-      const std::size_t id = sched.add_task(
+      t_compute[s] = sched.add_task(
           static_cast<std::size_t>(s),
           [&ctx, s, &pool, batched, need_panel, need_update](std::size_t) {
             FactorContext::TaskScope scope(ctx);
@@ -422,9 +456,8 @@ void run_rlb_scheduled(FactorContext& ctx) {
             });
             rlb_gpu_supernode(ctx, s, *lease, batched);
           },
-          gpu_res);
-      t_compute[s] = id;
-      t_scatter[s] = id;
+          gpu_res, queue);
+      fused[s] = 1;
       continue;
     }
     t_compute[s] = sched.add_task(
@@ -432,26 +465,46 @@ void run_rlb_scheduled(FactorContext& ctx) {
         [&ctx, s](std::size_t) {
           FactorContext::TaskScope scope(ctx);
           cpu_factor_panel(ctx, s);
-        });
+        },
+        TaskScheduler::kNoResource, queue);
     if (symb.sn_below(s) > 0) {
-      t_scatter[s] =
-          sched.add_task(static_cast<std::size_t>(s),
-                         [&ctx, s](std::size_t) {
-                           FactorContext::TaskScope scope(ctx);
-                           rlb_cpu_updates(ctx, s);
-                         });
-      sched.add_edge(t_compute[s], t_scatter[s]);
+      scat_targets[s] = symb.sn_update_targets(s);
+      for (const index_t target : scat_targets[s]) {
+        const std::size_t id = sched.add_task(
+            static_cast<std::size_t>(s),
+            [&ctx, s, target](std::size_t) {
+              FactorContext::TaskScope scope(ctx);
+              rlb_cpu_updates_target(ctx, s, target);
+            },
+            TaskScheduler::kNoResource, queue);
+        scat_tasks[s].push_back(id);
+        sched.add_edge(t_compute[s], id);
+      }
     }
   }
 
+  // Scatter task of source s for target t (the fused device task stands
+  // in for every target of a GPU supernode).
+  auto scatter_task = [&](index_t s, index_t t) {
+    if (fused[s]) return t_compute[s];
+    const auto& ts = scat_targets[s];
+    const auto it = std::lower_bound(ts.begin(), ts.end(), t);
+    SPCHOL_CHECK(it != ts.end() && *it == t,
+                 "contributor missing a scatter task for its target");
+    return scat_tasks[s][static_cast<std::size_t>(it - ts.begin())];
+  };
+
+  // Per-target chains in ascending source order: a target's storage has
+  // exactly one writer at a time, in the sequential accumulation order —
+  // bitwise identical results. The chain tail gates the target's compute.
   const auto contrib = update_contributors(symb);
   for (index_t t = 0; t < ns; ++t) {
     const auto& cs = contrib[t];
     if (cs.empty()) continue;
     for (std::size_t i = 1; i < cs.size(); ++i) {
-      sched.add_edge(t_scatter[cs[i - 1]], t_scatter[cs[i]]);
+      sched.add_edge(scatter_task(cs[i - 1], t), scatter_task(cs[i], t));
     }
-    sched.add_edge(t_scatter[cs.back()], t_compute[t]);
+    sched.add_edge(scatter_task(cs.back(), t), t_compute[t]);
   }
 
   ctx.sched_stats = sched.run(ctx.workers);

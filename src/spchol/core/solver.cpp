@@ -3,18 +3,25 @@
 #include <algorithm>
 #include <cmath>
 
+#include "spchol/support/timer.hpp"
+
 namespace spchol {
 
 void CholeskySolver::analyze(const CscMatrix& a_lower) {
+  const WallTimer timer;
   const Permutation fill =
       compute_ordering(a_lower, opts_.ordering, opts_.nd);
   symb_ = SymbolicFactor::analyze(a_lower, fill, opts_.analyze);
   factor_.reset();
+  factorize_seconds_ = 0.0;  // the old factor's timing no longer applies
+  analyze_seconds_ = timer.seconds();
 }
 
 void CholeskySolver::factorize(const CscMatrix& a_lower) {
   if (!symb_) analyze(a_lower);
+  const WallTimer timer;
   factor_ = CholeskyFactor::factorize(a_lower, *symb_, opts_.factor);
+  factorize_seconds_ = timer.seconds();
 }
 
 std::vector<double> CholeskySolver::solve(std::span<const double> b) const {

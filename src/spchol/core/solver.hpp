@@ -44,10 +44,23 @@ class CholeskySolver {
   const CholeskyFactor& factor() const;
   const FactorStats& stats() const;
 
+  // --- end-to-end wall timing of the pipeline phases ---------------------
+  /// Wall seconds of the last analyze() call (ordering + symbolic).
+  double analyze_seconds() const noexcept { return analyze_seconds_; }
+  /// Wall seconds of the last factorize() call, EXCLUDING the analyze it
+  /// may have run first.
+  double factorize_seconds() const noexcept { return factorize_seconds_; }
+  /// Full solve-pipeline latency so far: analyze + factorize.
+  double pipeline_seconds() const noexcept {
+    return analyze_seconds_ + factorize_seconds_;
+  }
+
  private:
   SolverOptions opts_;
   std::optional<SymbolicFactor> symb_;
   std::optional<CholeskyFactor> factor_;
+  double analyze_seconds_ = 0.0;
+  double factorize_seconds_ = 0.0;
 };
 
 /// ‖b − A x‖∞ / (‖A‖∞·‖x‖∞ + ‖b‖∞), A given by its lower triangle.

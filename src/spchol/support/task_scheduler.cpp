@@ -1,6 +1,7 @@
 #include "spchol/support/task_scheduler.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
@@ -8,7 +9,33 @@
 #include <thread>
 #include <utility>
 
+#include "spchol/support/timer.hpp"
+
 namespace spchol {
+
+namespace {
+
+/// (priority, id) min-heap entry: lowest priority value first, id breaking
+/// ties, via std::push_heap/pop_heap with std::greater.
+using HeapEntry = std::pair<std::size_t, std::size_t>;
+
+void heap_push(std::vector<HeapEntry>& h, HeapEntry e) {
+  h.push_back(e);
+  std::push_heap(h.begin(), h.end(), std::greater<>());
+}
+
+HeapEntry heap_pop(std::vector<HeapEntry>& h) {
+  std::pop_heap(h.begin(), h.end(), std::greater<>());
+  const HeapEntry e = h.back();
+  h.pop_back();
+  return e;
+}
+
+}  // namespace
+
+void TaskScheduler::set_partitions(std::size_t parts) {
+  partitions_ = std::max<std::size_t>(1, parts);
+}
 
 std::size_t TaskScheduler::add_resource(std::size_t tokens) {
   SPCHOL_CHECK(tokens >= 1, "a resource needs at least one token");
@@ -17,10 +44,11 @@ std::size_t TaskScheduler::add_resource(std::size_t tokens) {
 }
 
 std::size_t TaskScheduler::add_task(std::size_t priority, TaskFn fn,
-                                    std::size_t resource) {
+                                    std::size_t resource,
+                                    std::size_t partition) {
   SPCHOL_CHECK(resource == kNoResource || resource < resource_tokens_.size(),
                "task resource out of range");
-  tasks_.push_back(Task{std::move(fn), priority, 0, resource, {}});
+  tasks_.push_back(Task{std::move(fn), priority, resource, partition, {}});
   return tasks_.size() - 1;
 }
 
@@ -32,123 +60,179 @@ void TaskScheduler::add_edge(std::size_t from, std::size_t to) {
 
 SchedulerStats TaskScheduler::run(std::size_t workers) {
   workers = std::max<std::size_t>(1, workers);
+  const std::size_t nparts = partitions_;
+  const std::size_t ntasks = tasks_.size();
 
   // Dedup out-edges and seed the pending counters.
   for (auto& t : tasks_) {
     std::sort(t.out.begin(), t.out.end());
     t.out.erase(std::unique(t.out.begin(), t.out.end()), t.out.end());
   }
+  std::vector<std::atomic<std::size_t>> pending(ntasks);
   for (const auto& t : tasks_) {
-    for (const std::size_t succ : t.out) tasks_[succ].pending++;
-  }
-
-  using HeapEntry = std::pair<std::size_t, std::size_t>;  // (priority, id)
-  using Heap = std::priority_queue<HeapEntry, std::vector<HeapEntry>,
-                                   std::greater<>>;
-  struct Shared {
-    std::mutex mu;
-    std::condition_variable cv;
-    Heap ready;                       // runnable now (token held if needed)
-    std::vector<std::size_t> tokens;  // free tokens per resource
-    std::vector<Heap> parked;         // per-resource tasks awaiting a token
-    std::size_t remaining = 0;
-    std::size_t in_flight = 0;  // tasks currently executing
-    bool cancelled = false;
-    std::exception_ptr error;
-    SchedulerStats stats;
-  } sh;
-  sh.remaining = tasks_.size();
-  sh.tokens = resource_tokens_;
-  sh.parked.resize(resource_tokens_.size());
-  sh.stats.workers = workers;
-
-  // Moves a dependency-free task toward execution: straight into the
-  // ready heap, unless it needs a resource token none of which is free —
-  // then it parks until a token holder completes. Caller holds sh.mu.
-  auto stage_locked = [&](std::size_t id) {
-    const std::size_t r = tasks_[id].resource;
-    if (r != kNoResource && sh.tokens[r] == 0) {
-      sh.parked[r].emplace(tasks_[id].priority, id);
-      sh.stats.resource_waits++;
-      return;
+    for (const std::size_t succ : t.out) {
+      pending[succ].fetch_add(1, std::memory_order_relaxed);
     }
-    if (r != kNoResource) sh.tokens[r]--;
-    sh.ready.emplace(tasks_[id].priority, id);
+  }
+  durations_.assign(ntasks, 0.0);
+
+  // One lock per ready-queue partition: pushes and pops touch only the
+  // task's queue, so the crew no longer serializes on one global heap.
+  struct alignas(64) Partition {
+    std::mutex mu;
+    std::vector<HeapEntry> heap;
+  };
+  std::vector<Partition> parts(nparts);
+
+  // Global coordination. `live` counts tasks that have been staged
+  // (ready, parked, or executing) but not completed: a predecessor's
+  // live count is released only AFTER its successors are staged, so
+  // live == 0 with tasks remaining can only mean an unsatisfiable graph.
+  std::atomic<std::size_t> num_ready{0};
+  std::atomic<std::size_t> live{0};
+  std::atomic<std::size_t> remaining{ntasks};
+  std::atomic<std::size_t> max_ready{0};
+  std::atomic<std::size_t> resource_waits{0};
+  std::atomic<bool> cancelled{false};
+  std::mutex sleep_mu;  // guards `error` and pairs with cv waits
+  std::condition_variable cv;
+  std::exception_ptr error;
+
+  std::mutex res_mu;  // guards tokens + parked (GPU tasks only: cold path)
+  std::vector<std::size_t> tokens = resource_tokens_;
+  std::vector<std::vector<HeapEntry>> parked(resource_tokens_.size());
+
+  // Makes a runnable task visible: push to its partition queue, then
+  // nudge a sleeper. The empty lock/unlock of sleep_mu orders the push
+  // against a waiter's predicate check, so the notify cannot be lost.
+  auto push_ready = [&](std::size_t id) {
+    const std::size_t q = tasks_[id].partition % nparts;
+    {
+      std::lock_guard<std::mutex> lk(parts[q].mu);
+      heap_push(parts[q].heap, {tasks_[id].priority, id});
+    }
+    const std::size_t nr = num_ready.fetch_add(1) + 1;
+    std::size_t seen = max_ready.load(std::memory_order_relaxed);
+    while (nr > seen &&
+           !max_ready.compare_exchange_weak(seen, nr,
+                                            std::memory_order_relaxed)) {
+    }
+    { std::lock_guard<std::mutex> lk(sleep_mu); }
+    cv.notify_one();
   };
 
-  {
-    std::lock_guard<std::mutex> lk(sh.mu);
-    for (std::size_t i = 0; i < tasks_.size(); ++i) {
-      if (tasks_[i].pending == 0) stage_locked(i);
+  // Moves a dependency-free task toward execution: straight into its
+  // ready queue, unless it needs a resource token none of which is free —
+  // then it parks until a token holder completes. Parked tasks stay
+  // `live`: a token holder is by definition live, so parking can never
+  // produce a false stall.
+  auto stage = [&](std::size_t id) {
+    live.fetch_add(1);
+    const std::size_t r = tasks_[id].resource;
+    if (r != kNoResource) {
+      std::lock_guard<std::mutex> lk(res_mu);
+      if (tokens[r] == 0) {
+        heap_push(parked[r], {tasks_[id].priority, id});
+        resource_waits.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      tokens[r]--;
     }
-    sh.stats.max_ready_depth = sh.ready.size();
+    push_ready(id);
+  };
+
+  for (std::size_t i = 0; i < ntasks; ++i) {
+    if (pending[i].load(std::memory_order_relaxed) == 0) stage(i);
   }
 
+  SchedulerStats stats;
+  stats.workers = workers;
+  stats.partitions = nparts;
+  std::mutex stats_mu;
+
   auto worker_loop = [&](std::size_t worker) {
-    bool ran_any = false;
-    std::unique_lock<std::mutex> lk(sh.mu);
+    const std::size_t home = worker % nparts;
+    std::size_t my_runs = 0, my_steals = 0;
     for (;;) {
-      sh.cv.wait(lk, [&] {
-        return sh.cancelled || sh.remaining == 0 || !sh.ready.empty() ||
-               sh.in_flight == 0;
-      });
-      if (sh.cancelled || sh.remaining == 0) break;
-      if (sh.ready.empty()) {
-        if (sh.in_flight == 0) {
-          // Nothing ready, nothing running, tasks remain: the graph can
+      if (cancelled.load() || remaining.load() == 0) break;
+      // Hunt: home queue first, then sweep the others (work stealing).
+      std::size_t id = kNoResource;
+      bool stolen = false;
+      for (std::size_t k = 0; k < nparts && id == kNoResource; ++k) {
+        Partition& part = parts[(home + k) % nparts];
+        std::lock_guard<std::mutex> lk(part.mu);
+        if (!part.heap.empty()) {
+          id = heap_pop(part.heap).second;
+          stolen = k > 0;
+        }
+      }
+      if (id == kNoResource) {
+        std::unique_lock<std::mutex> lk(sleep_mu);
+        cv.wait(lk, [&] {
+          return cancelled.load() || remaining.load() == 0 ||
+                 num_ready.load() > 0 || live.load() == 0;
+        });
+        if (cancelled.load() || remaining.load() == 0) break;
+        if (live.load() == 0 && remaining.load() > 0) {
+          // Nothing staged, nothing running, tasks remain: the graph can
           // never complete. Fail loudly instead of deadlocking the crew.
-          sh.cancelled = true;
-          sh.error = std::make_exception_ptr(
+          cancelled.store(true);
+          error = std::make_exception_ptr(
               Error("task graph stalled with " +
-                    std::to_string(sh.remaining) +
+                    std::to_string(remaining.load()) +
                     " tasks remaining (dependency cycle?)"));
-          sh.cv.notify_all();
+          cv.notify_all();
           break;
         }
-        continue;  // spurious wake while peers are still executing
+        continue;  // something became ready (or a spurious wake): rescan
       }
-      const std::size_t id = sh.ready.top().second;
-      sh.ready.pop();
-      sh.in_flight++;
-      lk.unlock();
+      num_ready.fetch_sub(1);
+      const WallTimer timer;
       try {
         tasks_[id].fn(worker);
       } catch (...) {
-        lk.lock();
-        sh.in_flight--;
-        if (!sh.cancelled) {
-          sh.cancelled = true;
-          sh.error = std::current_exception();
+        {
+          std::lock_guard<std::mutex> lk(sleep_mu);
+          if (!cancelled.load()) {
+            cancelled.store(true);
+            error = std::current_exception();
+          }
         }
-        sh.cv.notify_all();
+        cv.notify_all();
         break;
       }
-      ran_any = true;
-      lk.lock();
-      sh.stats.tasks_run++;
-      sh.remaining--;
-      sh.in_flight--;
-      const std::size_t before = sh.ready.size();
+      durations_[id] = timer.seconds();
+      my_runs++;
+      if (stolen) my_steals++;
       // Hand this task's token to the highest-priority parked peer, or
       // return it to the pool.
       const std::size_t r = tasks_[id].resource;
       if (r != kNoResource) {
-        if (!sh.parked[r].empty()) {
-          sh.ready.push(sh.parked[r].top());
-          sh.parked[r].pop();
-        } else {
-          sh.tokens[r]++;
+        std::size_t next = kNoResource;
+        {
+          std::lock_guard<std::mutex> lk(res_mu);
+          if (!parked[r].empty()) {
+            next = heap_pop(parked[r]).second;
+          } else {
+            tokens[r]++;
+          }
         }
+        if (next != kNoResource) push_ready(next);
       }
       for (const std::size_t succ : tasks_[id].out) {
-        if (--tasks_[succ].pending == 0) stage_locked(succ);
+        if (pending[succ].fetch_sub(1) == 1) stage(succ);
       }
-      const std::size_t readied = sh.ready.size() - before;
-      sh.stats.max_ready_depth =
-          std::max(sh.stats.max_ready_depth, sh.ready.size());
-      if (sh.remaining == 0 || readied > 0) sh.cv.notify_all();
+      const std::size_t rem = remaining.fetch_sub(1) - 1;
+      const std::size_t lv = live.fetch_sub(1) - 1;
+      if (rem == 0 || lv == 0) {
+        { std::lock_guard<std::mutex> lk(sleep_mu); }
+        cv.notify_all();
+      }
     }
-    if (ran_any) sh.stats.threads_used++;  // lk held on every exit path
+    std::lock_guard<std::mutex> lk(stats_mu);
+    stats.tasks_run += my_runs;
+    stats.steals += my_steals;
+    if (my_runs > 0) stats.threads_used++;
   };
 
   std::vector<std::thread> crew;
@@ -158,9 +242,57 @@ SchedulerStats TaskScheduler::run(std::size_t workers) {
   }
   for (auto& t : crew) t.join();
 
-  if (sh.error) std::rethrow_exception(sh.error);
-  SPCHOL_CHECK(sh.remaining == 0, "task graph did not complete (cycle?)");
-  return sh.stats;
+  stats.max_ready_depth = max_ready.load();
+  stats.resource_waits = resource_waits.load();
+  if (error) std::rethrow_exception(error);
+  SPCHOL_CHECK(remaining.load() == 0,
+               "task graph did not complete (cycle?)");
+  return stats;
+}
+
+double TaskScheduler::modeled_makespan(std::size_t workers) const {
+  workers = std::max<std::size_t>(1, workers);
+  const std::size_t n = tasks_.size();
+  SPCHOL_CHECK(durations_.size() == n,
+               "modeled_makespan requires a completed run()");
+  std::vector<std::size_t> pending(n, 0);
+  for (const auto& t : tasks_) {
+    for (const std::size_t succ : t.out) pending[succ]++;
+  }
+  // Greedy list schedule: at each point in simulated time, free workers
+  // take the highest-priority released task. Completions release
+  // successors; `ready` holds released-but-unstarted tasks.
+  std::vector<HeapEntry> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pending[i] == 0) heap_push(ready, {tasks_[i].priority, i});
+  }
+  using Event = std::pair<double, std::size_t>;  // (completion time, id)
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  std::size_t free_workers = workers;
+  double now = 0.0, makespan = 0.0;
+  std::size_t scheduled = 0;
+  while (scheduled < n || !events.empty()) {
+    while (free_workers > 0 && !ready.empty()) {
+      const std::size_t id = heap_pop(ready).second;
+      const double done = now + durations_[id];
+      events.emplace(done, id);
+      free_workers--;
+      scheduled++;
+      makespan = std::max(makespan, done);
+    }
+    SPCHOL_CHECK(!events.empty(),
+                 "modeled_makespan stalled (dependency cycle?)");
+    const auto [t, id] = events.top();
+    events.pop();
+    now = t;
+    free_workers++;
+    for (const std::size_t succ : tasks_[id].out) {
+      if (--pending[succ] == 0) {
+        heap_push(ready, {tasks_[succ].priority, succ});
+      }
+    }
+  }
+  return makespan;
 }
 
 }  // namespace spchol

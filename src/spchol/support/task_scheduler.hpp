@@ -1,15 +1,25 @@
-// Dependency-driven task scheduler for the numeric factorization phase.
+// Dependency-driven task scheduler shared by the numeric factorization
+// drivers and the staged symbolic-analysis pipeline.
 //
 // A TaskScheduler holds a DAG of tasks (build phase, single-threaded),
 // then executes it on a crew of worker threads: every task carries an
 // atomic-decrement ready count seeded from its in-edges, a finished task
 // decrements its successors, and tasks whose count reaches zero enter a
-// priority queue (lowest priority value first). The numeric drivers use
+// ready queue (lowest priority value first). The numeric drivers use
 // the edges both for readiness (a supernode is ready when all its
 // descendants' updates have been applied) and for write protection:
 // chaining the scatter tasks of a shared ancestor's contributors in
 // ascending supernode order makes the ancestor's storage single-writer
 // AND reproduces the serial accumulation order bit for bit.
+//
+// Ready queues are PARTITIONED: add_task optionally assigns a task to one
+// of set_partitions() queues (the drivers partition by elimination-tree
+// subtree), each with its own lock. A worker pops from its home queue
+// first and steals from the others only when home is empty, so at high
+// worker counts the crew stops convoying on a single global heap and a
+// subtree's tasks tend to stay on the worker that ran their children
+// (warm caches). Correctness never depends on the partitioning: it is a
+// locality/contention hint, and stealing guarantees progress.
 //
 // The worker threads are dedicated std::threads, deliberately NOT taken
 // from ThreadPool::global(): the pool stays free to serve the nested
@@ -25,13 +35,15 @@
 
 namespace spchol {
 
-/// Execution counters surfaced through FactorStats.
+/// Execution counters surfaced through FactorStats / SymbolicStats.
 struct SchedulerStats {
   std::size_t tasks_run = 0;        ///< tasks executed
-  std::size_t max_ready_depth = 0;  ///< peak size of the ready queue
+  std::size_t max_ready_depth = 0;  ///< peak total size of the ready queues
   std::size_t threads_used = 0;     ///< workers that ran at least one task
   std::size_t workers = 0;          ///< workers launched
   std::size_t resource_waits = 0;   ///< ready tasks parked for a token
+  std::size_t partitions = 0;       ///< ready-queue partitions used
+  std::size_t steals = 0;           ///< tasks run outside their partition
 };
 
 class TaskScheduler {
@@ -42,6 +54,14 @@ class TaskScheduler {
   /// "No resource" marker for tasks without a token requirement.
   static constexpr std::size_t kNoResource = static_cast<std::size_t>(-1);
 
+  /// Cap the drivers apply when sizing ready-queue partitions: beyond
+  /// this, per-partition scratch and fan-out granularity stop paying off.
+  static constexpr std::size_t kMaxPartitions = 16;
+
+  /// Declares `parts` ready-queue partitions (>= 1; default 1, the old
+  /// single-queue behaviour). Task partition ids are taken modulo this.
+  void set_partitions(std::size_t parts);
+
   /// Declares a counting resource with `tokens` tokens (tokens >= 1). A
   /// task bound to the resource holds one token from the moment it enters
   /// the ready queue until it completes; ready tasks beyond the token
@@ -51,10 +71,13 @@ class TaskScheduler {
   std::size_t add_resource(std::size_t tokens);
 
   /// Registers a task and returns its id. Lower `priority` runs first
-  /// among simultaneously-ready tasks (ties broken by id). `resource`
-  /// optionally binds the task to a token of an add_resource() resource.
+  /// among simultaneously-ready tasks of the same partition (ties broken
+  /// by id). `resource` optionally binds the task to a token of an
+  /// add_resource() resource. `partition` selects the ready queue the
+  /// task enters when it becomes runnable.
   std::size_t add_task(std::size_t priority, TaskFn fn,
-                       std::size_t resource = kNoResource);
+                       std::size_t resource = kNoResource,
+                       std::size_t partition = 0);
 
   /// Declares that `from` must complete before `to` may start.
   /// Duplicate edges are deduplicated at run(); the graph must be acyclic
@@ -69,16 +92,34 @@ class TaskScheduler {
   /// be called once.
   SchedulerStats run(std::size_t workers);
 
+  /// Measured wall seconds of each executed task (indexed by task id;
+  /// 0 for tasks abandoned after an error). Valid after run().
+  const std::vector<double>& task_seconds() const noexcept {
+    return durations_;
+  }
+
+  /// Replays the executed graph through a greedy priority list schedule
+  /// with `workers` simultaneous workers, using the measured per-task
+  /// durations, and returns the makespan. This is the modeled parallel
+  /// time the symbolic scaling benches report: it depends only on the
+  /// task durations and the dependency structure, not on how many REAL
+  /// cores the measuring machine had (the same convention the GPU
+  /// simulator uses for device time). Resource tokens are ignored.
+  /// Valid after run().
+  double modeled_makespan(std::size_t workers) const;
+
  private:
   struct Task {
     TaskFn fn;
     std::size_t priority = 0;
-    std::size_t pending = 0;          // unfinished predecessors
     std::size_t resource = kNoResource;
-    std::vector<std::size_t> out;     // successor task ids
+    std::size_t partition = 0;
+    std::vector<std::size_t> out;  // successor task ids
   };
   std::vector<Task> tasks_;
   std::vector<std::size_t> resource_tokens_;
+  std::vector<double> durations_;
+  std::size_t partitions_ = 1;
 };
 
 }  // namespace spchol

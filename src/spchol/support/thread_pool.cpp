@@ -108,13 +108,18 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
+std::size_t resolve_worker_count(int requested) {
+  if (requested > 0) return static_cast<std::size_t>(requested);
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
 void parallel_for(ThreadPool& pool, index_t begin, index_t end,
                   std::size_t threads,
                   const std::function<void(index_t, index_t)>& body,
                   index_t grain) {
   const index_t n = end - begin;
   if (n <= 0) return;
-  threads = std::max<std::size_t>(1, std::min(threads, pool.size() + 1));
+  threads = std::max<std::size_t>(1, std::min(threads, pool.concurrency()));
   const index_t max_chunks =
       std::max<index_t>(1, n / std::max<index_t>(1, grain));
   const std::size_t chunks =

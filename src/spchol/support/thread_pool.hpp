@@ -30,6 +30,10 @@ class ThreadPool {
 
   std::size_t size() const noexcept { return threads_.size(); }
 
+  /// Parallel width a fork-join region on this pool can reach: the pool
+  /// workers plus the calling thread (which always participates in run()).
+  std::size_t concurrency() const noexcept { return threads_.size() + 1; }
+
   /// Runs fn(i) for i in [0, tasks) across the pool and waits for all of
   /// them. The calling thread participates. Exceptions thrown by fn are
   /// rethrown (first one wins). Concurrent callers are supported: each
@@ -59,5 +63,10 @@ void parallel_for(ThreadPool& pool, index_t begin, index_t end,
                   std::size_t threads,
                   const std::function<void(index_t, index_t)>& body,
                   index_t grain = 1);
+
+/// Resolves a user-facing worker-count option shared by FactorOptions::
+/// cpu_workers and AnalyzeOptions::workers: values > 0 pass through,
+/// everything else means hardware_concurrency() (minimum 1).
+std::size_t resolve_worker_count(int requested);
 
 }  // namespace spchol

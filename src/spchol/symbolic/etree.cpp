@@ -6,9 +6,6 @@ namespace spchol {
 
 std::vector<index_t> elimination_tree(const CscMatrix& lower) {
   SPCHOL_CHECK(lower.square(), "etree requires a square matrix");
-  const index_t n = lower.cols();
-  std::vector<index_t> parent(static_cast<std::size_t>(n), -1);
-  std::vector<index_t> ancestor(static_cast<std::size_t>(n), -1);
   // Process entries (i, j), i > j, grouped by the larger index i. The lower
   // triangle stores column j with rows i >= j, which is exactly row i of
   // the upper triangle after transposition — walk columns of the lower
@@ -18,11 +15,20 @@ std::vector<index_t> elimination_tree(const CscMatrix& lower) {
   // over rows of the lower one. Build row-of-lower adjacency on the fly via
   // a transposed pattern.
   const CscMatrix upper = lower.transpose();  // upper triangle, by column
+  return elimination_tree_upper(lower.cols(), upper.colptr(),
+                                upper.rowind());
+}
+
+std::vector<index_t> elimination_tree_upper(index_t n,
+                                            std::span<const offset_t> uptr,
+                                            std::span<const index_t> uind) {
+  std::vector<index_t> parent(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> ancestor(static_cast<std::size_t>(n), -1);
   for (index_t k = 0; k < n; ++k) {
-    for (const index_t j0 : upper.col_rows(k)) {
+    for (offset_t p = uptr[k]; p < uptr[k + 1]; ++p) {
       // Entry A(k, j0) with j0 <= k: walk from j0 towards the root,
       // compressing paths onto k.
-      index_t j = j0;
+      index_t j = uind[p];
       while (j != -1 && j < k) {
         const index_t next = ancestor[j];
         ancestor[j] = k;
@@ -110,11 +116,20 @@ std::vector<index_t> column_counts(const CscMatrix& lower,
   std::vector<index_t> cc(static_cast<std::size_t>(n), 1);  // diagonal
   std::vector<index_t> mark(static_cast<std::size_t>(n), -1);
   const CscMatrix upper = lower.transpose();  // row i of lower, by column i
-  for (index_t i = 0; i < n; ++i) {
+  column_count_rows(upper.colptr(), upper.rowind(), parent, 0, n, cc, mark);
+  return cc;
+}
+
+void column_count_rows(std::span<const offset_t> uptr,
+                       std::span<const index_t> uind,
+                       const std::vector<index_t>& parent, index_t row_begin,
+                       index_t row_end, std::vector<index_t>& cc,
+                       std::vector<index_t>& mark) {
+  for (index_t i = row_begin; i < row_end; ++i) {
     mark[i] = i;
-    for (const index_t j0 : upper.col_rows(i)) {
+    for (offset_t p = uptr[i]; p < uptr[i + 1]; ++p) {
       // Row subtree: L(i, j) != 0 for all j on the path j0 → i.
-      index_t j = j0;
+      index_t j = uind[p];
       while (j != -1 && j != i && mark[j] != i) {
         cc[j]++;
         mark[j] = i;
@@ -122,7 +137,6 @@ std::vector<index_t> column_counts(const CscMatrix& lower,
       }
     }
   }
-  return cc;
 }
 
 std::vector<index_t> child_counts(const std::vector<index_t>& parent) {
@@ -131,6 +145,54 @@ std::vector<index_t> child_counts(const std::vector<index_t>& parent) {
     if (parent[j] != -1) nc[parent[j]]++;
   }
   return nc;
+}
+
+std::vector<index_t> subtree_partition(const std::vector<index_t>& parent,
+                                       index_t nparts,
+                                       std::vector<char>* above_cut) {
+  const index_t n = static_cast<index_t>(parent.size());
+  std::vector<index_t> part(static_cast<std::size_t>(n), 0);
+  if (above_cut != nullptr) above_cut->assign(static_cast<std::size_t>(n), 0);
+  if (n == 0 || nparts <= 1) return part;
+  SPCHOL_CHECK(is_postordered(parent), "subtree_partition needs a postorder");
+
+  std::vector<index_t> size(static_cast<std::size_t>(n), 1);
+  for (index_t j = 0; j < n; ++j) {
+    if (parent[j] != -1) size[parent[j]] += size[j];
+  }
+  const index_t target = (n + nparts - 1) / nparts;
+
+  // Ascending walk. Postorder makes every subtree the contiguous range
+  // [j - size[j] + 1, j], so a cut root claims its whole range at once and
+  // its descendants (visited earlier, but never cut roots themselves —
+  // their parents' subtrees are <= target too) are already covered.
+  std::vector<char> assigned(static_cast<std::size_t>(n), 0);
+  index_t bin = 0;
+  index_t load = 0;
+  for (index_t j = 0; j < n; ++j) {
+    if (size[j] > target) {
+      // Spine vertex: all descendants were cut below it; ride with the
+      // partition of the last one so the parent task's queue matches the
+      // queue that just produced its children.
+      part[j] = part[j - 1];
+      if (above_cut != nullptr) (*above_cut)[j] = 1;
+      continue;
+    }
+    if (assigned[j]) continue;
+    const index_t p = parent[j];
+    if (p != -1 && size[p] <= target) continue;  // an ancestor will cut
+    // Maximal small subtree: pack into the current bin, greedily.
+    if (load > 0 && load + size[j] > target) {
+      bin = std::min<index_t>(bin + 1, nparts - 1);
+      load = 0;
+    }
+    for (index_t k = j - size[j] + 1; k <= j; ++k) {
+      part[k] = bin;
+      assigned[k] = 1;
+    }
+    load += size[j];
+  }
+  return part;
 }
 
 }  // namespace spchol

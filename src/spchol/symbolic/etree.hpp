@@ -1,7 +1,12 @@
-// Elimination tree (Liu 1990) and postorder utilities. All functions
-// operate on the lower triangle of a symmetric matrix.
+// Elimination tree (Liu 1990), postorder utilities, and the subtree
+// partitioner behind the scheduler's partitioned ready queues. All
+// CscMatrix-taking functions operate on the lower triangle of a
+// symmetric matrix; the *_upper variants take the transposed (row-wise)
+// pattern directly so pipelines that already hold both triangles skip
+// the internal transpose.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "spchol/matrix/csc.hpp"
@@ -11,6 +16,12 @@ namespace spchol {
 
 /// parent[j] = etree parent of column j, -1 for roots.
 std::vector<index_t> elimination_tree(const CscMatrix& lower);
+
+/// elimination_tree taking the UPPER triangle by column (row i of the
+/// lower triangle = column i here), as (colptr, rowind) pattern arrays.
+std::vector<index_t> elimination_tree_upper(index_t n,
+                                            std::span<const offset_t> uptr,
+                                            std::span<const index_t> uind);
 
 /// Depth-first postorder of the forest; children are visited in increasing
 /// vertex order, so an already-postordered tree maps to the identity.
@@ -32,7 +43,35 @@ bool is_postordered(const std::vector<index_t>& parent);
 std::vector<index_t> column_counts(const CscMatrix& lower,
                                    const std::vector<index_t>& parent);
 
+/// Accumulates the BELOW-diagonal column-count contributions of rows
+/// [row_begin, row_end) into `cc` (the diagonal's +1 is the caller's):
+/// one row-subtree traversal per row over the upper-triangle pattern.
+/// `mark` is caller-owned scratch of size n initialized to -1. Row
+/// contributions are independent, so disjoint row ranges may run
+/// concurrently as long as each caller owns its own cc/mark pair and the
+/// partial cc vectors are summed afterwards (integer sums are
+/// order-independent, so the result is identical for every partitioning).
+void column_count_rows(std::span<const offset_t> uptr,
+                       std::span<const index_t> uind,
+                       const std::vector<index_t>& parent, index_t row_begin,
+                       index_t row_end, std::vector<index_t>& cc,
+                       std::vector<index_t>& mark);
+
 /// Number of etree children per vertex.
 std::vector<index_t> child_counts(const std::vector<index_t>& parent);
+
+/// Partitions the vertices of a POSTORDERED forest into `nparts` groups
+/// of whole subtrees with roughly equal vertex counts: maximal subtrees
+/// no larger than ceil(n / nparts) are packed greedily in postorder, and
+/// every vertex above that cut (the roots' "spine", whose subtrees were
+/// too big) joins the partition of its last descendant. Used to assign
+/// scheduler ready-queue partitions: vertices of one group form whole
+/// subtrees, so their tasks depend only on tasks of the same group (plus
+/// the spine). Deterministic; returns all zeros for nparts <= 1. When
+/// `above_cut` is non-null it is resized to n and flags the spine
+/// vertices (those whose own subtree exceeded the target size).
+std::vector<index_t> subtree_partition(const std::vector<index_t>& parent,
+                                       index_t nparts,
+                                       std::vector<char>* above_cut = nullptr);
 
 }  // namespace spchol

@@ -24,20 +24,15 @@ void PartitionRefiner::refine(std::span<const index_t> set) {
   ++gen_;
   touched_.clear();
   moved_count_.resize(cell_begin_.size());
+  cell_stamp_.resize(cell_begin_.size(), 0);
   for (const index_t e : set) {
     SPCHOL_CHECK(e >= 0 && e < static_cast<index_t>(pos_.size()),
                  "refine element out of range");
     const index_t c = cell_of_[e];
     if (stamp_[e] == gen_) continue;  // duplicate in set
     stamp_[e] = gen_;
-    bool first_in_cell = true;
-    for (const index_t t : touched_) {
-      if (t == c) {
-        first_in_cell = false;
-        break;
-      }
-    }
-    if (first_in_cell) {
+    if (cell_stamp_[c] != gen_) {  // first marked element of this cell
+      cell_stamp_[c] = gen_;
       touched_.push_back(c);
       moved_count_[c] = 0;
     }

@@ -35,6 +35,7 @@ class PartitionRefiner {
   std::vector<index_t> cell_begin_;  // per cell: range start in elems_
   std::vector<index_t> cell_end_;    // per cell: range end
   std::vector<std::uint32_t> stamp_; // per element: marked in this refine?
+  std::vector<std::uint32_t> cell_stamp_;  // per cell: touched this refine?
   std::uint32_t gen_ = 0;
   std::vector<index_t> touched_;     // scratch: cells touched by refine
   std::vector<index_t> moved_count_; // scratch: marked count per cell

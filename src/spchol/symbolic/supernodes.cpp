@@ -21,4 +21,33 @@ std::vector<index_t> supernode_partition(const std::vector<index_t>& parent,
   return sn_first;
 }
 
+std::vector<index_t> map_columns_to_supernodes(
+    const std::vector<index_t>& sn_first) {
+  const index_t ns = static_cast<index_t>(sn_first.size()) - 1;
+  const index_t n = sn_first.back();
+  std::vector<index_t> col2sn(static_cast<std::size_t>(n));
+  for (index_t s = 0; s < ns; ++s) {
+    for (index_t j = sn_first[s]; j < sn_first[s + 1]; ++j) col2sn[j] = s;
+  }
+  return col2sn;
+}
+
+std::vector<index_t> supernode_parents(const std::vector<index_t>& sn_first,
+                                       const std::vector<index_t>& col2sn,
+                                       const std::vector<index_t>& parent,
+                                       const std::vector<index_t>& cc) {
+  const index_t ns = static_cast<index_t>(sn_first.size()) - 1;
+  std::vector<index_t> sn_parent(static_cast<std::size_t>(ns), -1);
+  for (index_t s = 0; s < ns; ++s) {
+    const index_t first = sn_first[s];
+    const index_t last = sn_first[s + 1] - 1;
+    const index_t width = sn_first[s + 1] - first;
+    if (cc[first] <= width) continue;  // no below-diagonal rows: a root
+    const index_t below = parent[last];
+    SPCHOL_CHECK(below > last, "postordered etree parent must follow child");
+    sn_parent[s] = col2sn[below];
+  }
+  return sn_parent;
+}
+
 }  // namespace spchol

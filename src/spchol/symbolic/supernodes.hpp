@@ -34,4 +34,22 @@ inline std::vector<index_t> fundamental_supernodes(
   return supernode_partition(parent, cc, SupernodeMode::kFundamental);
 }
 
+/// Inverse of sn_first: col2sn[j] = supernode containing column j.
+std::vector<index_t> map_columns_to_supernodes(
+    const std::vector<index_t>& sn_first);
+
+/// Supernodal elimination-tree parents derived WITHOUT the supernodal row
+/// structures: within a supernode the etree parent chain is consecutive
+/// (the partition requires parent[j-1] == j), so the first below-diagonal
+/// row of supernode s is parent[last column of s], and the supernodal
+/// parent is that row's supernode. A supernode whose leading column count
+/// equals its width has no below rows (parent -1). This is what lets the
+/// staged analysis partition the structure-union work by supernodal
+/// subtree BEFORE any row structure exists; the union pass cross-checks
+/// it against the structures it builds.
+std::vector<index_t> supernode_parents(const std::vector<index_t>& sn_first,
+                                       const std::vector<index_t>& col2sn,
+                                       const std::vector<index_t>& parent,
+                                       const std::vector<index_t>& cc);
+
 }  // namespace spchol
