@@ -22,9 +22,9 @@ int main() {
       static_cast<long long>(kThresholdRl),
       kDatasetDeviceBytes >> 20);
   print_rule('=');
-  std::printf("%-17s %10s %9s %8s | %9s %8s | %8s %8s | %9s %8s\n",
-              "matrix", "n", "nnz(L)", "analyze", "runtime", "speedup",
-              "sn(GPU)", "sn(tot)", "paper(s)", "paperSpd");
+  std::printf("%-17s %10s %9s %8s %8s | %9s %8s | %8s %8s | %9s %8s\n",
+              "matrix", "n", "nnz(L)", "order", "analyze", "runtime",
+              "speedup", "sn(GPU)", "sn(tot)", "paper(s)", "paperSpd");
   print_rule();
 
   // Kept for the scaling section below (Queen_4147 is the largest
@@ -36,20 +36,22 @@ int main() {
     const RunResult gpu =
         run_factor(m, gpu_options(Method::kRL, RlbVariant::kStreamed));
     if (gpu.out_of_memory) {
-      std::printf("%-17s %10d %9.2fM %8.4f | %9s %8s | %8s %8d | %9s %8s\n",
-                  e->name.c_str(), m.a.cols(),
-                  static_cast<double>(m.symb.factor_nnz()) / 1e6,
-                  m.symb.stats().total_seconds,
-                  "OOM", "-", "-", m.symb.num_supernodes(),
-                  e->paper_rl.out_of_memory ? "OOM" : "?",
-                  e->paper_rl.out_of_memory ? "-" : "?");
+      std::printf(
+          "%-17s %10d %9.2fM %8.4f %8.4f | %9s %8s | %8s %8d | %9s %8s\n",
+          e->name.c_str(), m.a.cols(),
+          static_cast<double>(m.symb.factor_nnz()) / 1e6,
+          m.ord.total_seconds, m.symb.stats().total_seconds,
+          "OOM", "-", "-", m.symb.num_supernodes(),
+          e->paper_rl.out_of_memory ? "OOM" : "?",
+          e->paper_rl.out_of_memory ? "-" : "?");
       continue;
     }
     std::printf(
-        "%-17s %10d %9.2fM %8.4f | %9.4f %7.2fx | %8d %8d | %9.3f %7.2fx\n",
+        "%-17s %10d %9.2fM %8.4f %8.4f | %9.4f %7.2fx | %8d %8d | %9.3f "
+        "%7.2fx\n",
         e->name.c_str(), m.a.cols(),
         static_cast<double>(m.symb.factor_nnz()) / 1e6,
-        m.symb.stats().total_seconds, gpu.seconds,
+        m.ord.total_seconds, m.symb.stats().total_seconds, gpu.seconds,
         cpu_best / gpu.seconds, gpu.stats.supernodes_on_gpu,
         m.symb.num_supernodes(), e->paper_rl.time_s, e->paper_rl.speedup);
     if (e->name == "Queen_4147") largest = std::move(m);
@@ -57,8 +59,9 @@ int main() {
   print_rule();
   std::printf(
       "runtime/speedup: modeled on the simulated device (DESIGN.md §5); "
-      "analyze: REAL wall seconds of\nSymbolicFactor::analyze (default "
-      "workers); paper columns: Table I as printed.\n");
+      "order/analyze: REAL wall seconds\nof compute_ordering and "
+      "SymbolicFactor::analyze (default workers); paper columns: Table I "
+      "as printed.\n");
 
   // --- CPU parallel scaling: REAL wall clock, not the model -------------
   // kCpuSerial executes on one thread; kCpuParallel dispatches supernode
@@ -108,22 +111,49 @@ int main() {
   std::printf("%-17s %10s %10s %10s %10s %9s %7s %7s\n", "matrix",
               "workers", "wall(s)", "task(s)", "modeled", "speedup",
               "tasks", "steals");
-  {
-    const DatasetEntry& entry = dataset_entry("nlpkkt80");
-    const CscMatrix na = entry.make();
-    const Permutation nfill =
-        compute_ordering(na, OrderingMethod::kNestedDissection);
-    for (const int workers : {1, 2, 4, 8}) {
-      AnalyzeOptions ao;
-      ao.workers = workers;
-      const SymbolicFactor symb = SymbolicFactor::analyze(na, nfill, ao);
-      const SymbolicStats& st = symb.stats();
-      std::printf("%-17s %10d %10.4f %10.4f %10.4f %8.2fx %7zu %7zu\n",
-                  entry.name.c_str(), workers, st.total_seconds,
-                  st.task_seconds, st.modeled_parallel_seconds,
-                  st.task_seconds / st.modeled_parallel_seconds,
-                  st.tasks_run, st.steals);
-    }
+  const DatasetEntry& nlp = dataset_entry("nlpkkt80");
+  const CscMatrix na = nlp.make();
+  const Permutation nfill =
+      compute_ordering(na, OrderingMethod::kNestedDissection);
+  for (const int workers : {1, 2, 4, 8}) {
+    AnalyzeOptions ao;
+    ao.workers = workers;
+    const SymbolicFactor symb = SymbolicFactor::analyze(na, nfill, ao);
+    const SymbolicStats& st = symb.stats();
+    std::printf("%-17s %10d %10.4f %10.4f %10.4f %8.2fx %7zu %7zu\n",
+                nlp.name.c_str(), workers, st.total_seconds,
+                st.task_seconds, st.modeled_parallel_seconds,
+                st.task_seconds / st.modeled_parallel_seconds,
+                st.tasks_run, st.steals);
+  }
+  print_rule();
+
+  // --- ordering scaling: the ND task DAG ---------------------------------
+  // Worker scaling of compute_ordering on the same matrix. The nested-
+  // dissection recursion runs as dynamically-spawned piece tasks on the
+  // task scheduler (each bisection's A/B sides and each connected
+  // component recurse independently; leaf pieces RCM-order in parallel).
+  // "modeled" replays the measured piece-task durations through the
+  // scheduler's greedy list schedule (spawn edges included) behind the
+  // serial GraphStage prefix — core-count-independent like the symbolic
+  // and device models; "speedup" = task seconds / modeled seconds. The
+  // permutation is identical across all rows (asserted in
+  // test_ordering_parallel).
+  std::printf("\nOrdering scaling (ND task DAG, nlpkkt80 analog)\n");
+  print_rule('=');
+  std::printf("%-17s %10s %10s %10s %10s %9s %7s %7s %7s\n", "matrix",
+              "workers", "wall(s)", "task(s)", "modeled", "speedup",
+              "tasks", "leaves", "steals");
+  for (const int workers : {1, 2, 4, 8}) {
+    OrderingOptions oo;
+    oo.workers = workers;
+    OrderingStats st;
+    compute_ordering(na, oo, &st);
+    std::printf("%-17s %10d %10.4f %10.4f %10.4f %8.2fx %7zu %7zu %7zu\n",
+                nlp.name.c_str(), workers, st.total_seconds,
+                st.task_seconds, st.modeled_parallel_seconds,
+                st.task_seconds / st.modeled_parallel_seconds,
+                st.tasks_run, st.leaves, st.steals);
   }
   print_rule();
 

@@ -14,7 +14,7 @@ PreparedMatrix prepare(const DatasetEntry& entry) {
   WallTimer t;
   m.a = entry.make();
   const Permutation fill =
-      compute_ordering(m.a, OrderingMethod::kNestedDissection);
+      compute_ordering(m.a, OrderingOptions{}, &m.ord);
   m.symb = SymbolicFactor::analyze(m.a, fill, AnalyzeOptions{});
   m.analyze_wall = t.seconds();
   return m;

@@ -25,6 +25,7 @@ struct PreparedMatrix {
   const DatasetEntry* entry = nullptr;
   CscMatrix a;
   SymbolicFactor symb;
+  OrderingStats ord;  ///< ordering-stage stats (method, timers, DAG)
   double analyze_wall = 0.0;
 };
 

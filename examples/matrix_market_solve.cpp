@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
                          : v == "gpu-only" ? Execution::kGpuOnly
                                            : Execution::kCpuParallel;
     } else if (arg_value(argv[i], "--ordering", &v)) {
-      opts.ordering = v == "amd"   ? OrderingMethod::kMinimumDegree
+      opts.ordering_opts.method = v == "amd"   ? OrderingMethod::kMinimumDegree
                       : v == "rcm" ? OrderingMethod::kRcm
                                    : OrderingMethod::kNestedDissection;
     } else if (arg_value(argv[i], "--rhs", &v)) {
@@ -98,7 +98,7 @@ int main(int argc, char** argv) {
     const auto& st = solver.stats();
     std::printf("method %s, exec %s, ordering %s\n",
                 to_string(opts.factor.method), to_string(opts.factor.exec),
-                to_string(opts.ordering));
+                to_string(opts.ordering_opts.method));
     std::printf("nnz(L) %.3fM  flops %.3e  supernodes %d  blocks %lld\n",
                 static_cast<double>(sy.factor_nnz()) / 1e6, sy.flops(),
                 sy.num_supernodes(),

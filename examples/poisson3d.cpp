@@ -48,7 +48,7 @@ int main() {
        {OrderingMethod::kNatural, OrderingMethod::kRcm,
         OrderingMethod::kMinimumDegree, OrderingMethod::kNestedDissection}) {
     SolverOptions opts;
-    opts.ordering = om;
+    opts.ordering_opts.method = om;
     opts.factor.method = Method::kRL;
     opts.factor.exec = Execution::kCpuParallel;
     CholeskySolver solver(opts);

@@ -25,6 +25,7 @@
 #include <span>
 
 #include "spchol/gpu/device.hpp"
+#include "spchol/graph/ordering.hpp"
 #include "spchol/symbolic/symbolic_factor.hpp"
 
 namespace spchol {
@@ -115,6 +116,10 @@ struct FactorStats {
   // (copied from SymbolicFactor::stats() so one struct describes the
   // whole analyze + factorize pipeline).
   SymbolicStats symbolic{};
+  // --- ordering pipeline stats of the permutation used ------------------
+  // (filled by CholeskySolver, which ran compute_ordering; default when
+  // the factor was built from a caller-supplied permutation).
+  OrderingStats ordering{};
   // --- multi-stream GPU pipelining counters ------------------------------
   /// Stream-pair/buffer slots actually allocated for GPU supernode tasks
   /// (≤ FactorOptions::gpu_streams; shrinks under device memory pressure;

@@ -11,8 +11,10 @@
 namespace spchol {
 
 struct SolverOptions {
-  OrderingMethod ordering = OrderingMethod::kNestedDissection;
-  NdOptions nd{};
+  /// Fill-reducing ordering stage: method, ND options, and the worker
+  /// count of the ordering task DAG (the ordering analog of
+  /// AnalyzeOptions::workers / FactorOptions::cpu_workers).
+  OrderingOptions ordering_opts{};
   AnalyzeOptions analyze{};
   FactorOptions factor{};
 };
@@ -47,6 +49,10 @@ class CholeskySolver {
   // --- end-to-end wall timing of the pipeline phases ---------------------
   /// Wall seconds of the last analyze() call (ordering + symbolic).
   double analyze_seconds() const noexcept { return analyze_seconds_; }
+  /// Wall seconds of the ordering stage of the last analyze().
+  double ordering_seconds() const noexcept { return ordering_seconds_; }
+  /// Wall seconds of the symbolic stage of the last analyze().
+  double symbolic_seconds() const noexcept { return symbolic_seconds_; }
   /// Wall seconds of the last factorize() call, EXCLUDING the analyze it
   /// may have run first.
   double factorize_seconds() const noexcept { return factorize_seconds_; }
@@ -55,11 +61,20 @@ class CholeskySolver {
     return analyze_seconds_ + factorize_seconds_;
   }
 
+  /// Ordering pipeline statistics of the last analyze().
+  const OrderingStats& ordering_stats() const noexcept {
+    return ordering_stats_;
+  }
+
  private:
   SolverOptions opts_;
   std::optional<SymbolicFactor> symb_;
   std::optional<CholeskyFactor> factor_;
+  OrderingStats ordering_stats_{};
+  FactorStats stats_{};  // factor stats + the ordering stage, see stats()
   double analyze_seconds_ = 0.0;
+  double ordering_seconds_ = 0.0;
+  double symbolic_seconds_ = 0.0;
   double factorize_seconds_ = 0.0;
 };
 

@@ -1,8 +1,20 @@
 #include "spchol/graph/graph.hpp"
 
 #include <algorithm>
+#include <numeric>
 
 namespace spchol {
+
+WholeGraphView::WholeGraphView(const Graph& g)
+    : verts(static_cast<std::size_t>(g.num_vertices())),
+      piece(verts.size(), 0),
+      deg(verts.size(), 0),
+      level(verts.size(), -1),
+      mark(verts.size(), -1) {
+  std::iota(verts.begin(), verts.end(), index_t{0});
+  for (index_t v = 0; v < g.num_vertices(); ++v) deg[v] = g.degree(v);
+  view = GraphView{&g, verts, piece, deg, 0};
+}
 
 Graph Graph::from_sym_lower(const CscMatrix& lower) {
   SPCHOL_CHECK(lower.square(), "adjacency requires a square matrix");
@@ -88,19 +100,32 @@ std::pair<std::vector<index_t>, index_t> Graph::connected_components() const {
 }
 
 BfsResult bfs_levels(const Graph& g, index_t root) {
-  const index_t n = g.num_vertices();
-  SPCHOL_CHECK(root >= 0 && root < n, "BFS root out of range");
-  BfsResult r;
-  r.level.assign(static_cast<std::size_t>(n), -1);
-  r.order.reserve(static_cast<std::size_t>(n));
-  r.level[root] = 0;
+  SPCHOL_CHECK(root >= 0 && root < g.num_vertices(), "BFS root out of range");
+  WholeGraphView w(g);
+  ViewBfs r = bfs_levels(w.view, root, w.level);
+  return {std::move(w.level), std::move(r.order), r.eccentricity};
+}
+
+index_t pseudo_peripheral(const Graph& g, index_t start) {
+  WholeGraphView w(g);
+  return pseudo_peripheral(w.view, start, w.level);
+}
+
+ViewBfs bfs_levels(const GraphView& view, index_t root,
+                   std::vector<index_t>& level) {
+  SPCHOL_CHECK(view.contains(root), "view BFS root outside the view");
+  ViewBfs r;
+  r.order.reserve(view.verts.size());
+  level[root] = 0;
   r.order.push_back(root);
   for (std::size_t head = 0; head < r.order.size(); ++head) {
     const index_t v = r.order[head];
-    for (const index_t w : g.neighbors(v)) {
-      if (r.level[w] < 0) {
-        r.level[w] = r.level[v] + 1;
-        r.eccentricity = std::max(r.eccentricity, r.level[w]);
+    for (const index_t w : view.graph->neighbors(v)) {
+      // Membership first: non-member level entries belong to other
+      // pieces and must not even be read under concurrent recursion.
+      if (view.piece[w] == view.id && level[w] < 0) {
+        level[w] = level[v] + 1;
+        r.eccentricity = std::max(r.eccentricity, level[w]);
         r.order.push_back(w);
       }
     }
@@ -108,26 +133,28 @@ BfsResult bfs_levels(const Graph& g, index_t root) {
   return r;
 }
 
-index_t pseudo_peripheral(const Graph& g, index_t start) {
+index_t pseudo_peripheral(const GraphView& view, index_t start,
+                          std::vector<index_t>& level) {
+  const auto reset = [&](const ViewBfs& b) {
+    for (const index_t v : b.order) level[v] = -1;
+  };
   index_t root = start;
-  BfsResult r = bfs_levels(g, root);
+  ViewBfs r = bfs_levels(view, root, level);
   for (int iter = 0; iter < 8; ++iter) {
-    // Pick a minimum-degree vertex in the last level.
     index_t best = -1;
     for (auto it = r.order.rbegin(); it != r.order.rend(); ++it) {
-      if (r.level[*it] != r.eccentricity) break;
-      if (best < 0 || g.degree(*it) < g.degree(best)) best = *it;
+      if (level[*it] != r.eccentricity) break;
+      if (best < 0 || view.degree(*it) < view.degree(best)) best = *it;
     }
     if (best < 0 || best == root) break;
-    BfsResult r2 = bfs_levels(g, best);
-    if (r2.eccentricity <= r.eccentricity) {
-      root = best;
-      r = std::move(r2);
-      break;
-    }
+    reset(r);
+    ViewBfs r2 = bfs_levels(view, best, level);
+    const bool converged = r2.eccentricity <= r.eccentricity;
     root = best;
     r = std::move(r2);
+    if (converged) break;
   }
+  reset(r);
   return root;
 }
 

@@ -59,4 +59,59 @@ BfsResult bfs_levels(const Graph& g, index_t root);
 /// starting from `start`.
 index_t pseudo_peripheral(const Graph& g, index_t start);
 
+/// An index-set view of an induced subgraph: vertex v is a member iff
+/// piece[v] == id, `verts` lists the members in ASCENDING order, and
+/// `deg` caches each member's masked degree (its neighbour count within
+/// the view; non-member entries are unspecified). Views never
+/// materialize adjacency: traversals walk the parent graph's sorted
+/// neighbour lists and skip non-members, which visits members in the
+/// same relative order as a materialized Graph::induced_subgraph (local
+/// ids there are assigned in ascending global order) while skipping its
+/// per-level allocation and remap. The nested-dissection recursion runs
+/// entirely on such views; concurrent traversals of views over DISJOINT
+/// vertex sets are safe because every scratch entry a traversal touches
+/// belongs to one of its own members.
+struct GraphView {
+  const Graph* graph = nullptr;
+  std::span<const index_t> verts;   ///< ascending member list
+  std::span<const index_t> piece;   ///< membership map, graph-sized
+  std::span<const index_t> deg;     ///< masked degrees, graph-sized
+  index_t id = 0;
+
+  index_t size() const noexcept { return static_cast<index_t>(verts.size()); }
+  bool contains(index_t v) const { return piece[v] == id; }
+  index_t degree(index_t v) const { return deg[v]; }
+};
+
+/// BFS over a view from `root` (a member). `level` is caller-owned,
+/// parent-graph-sized scratch whose member entries are -1 on entry;
+/// reached members receive their level. The caller resets the touched
+/// entries (level[v] = -1 for v in the returned order) once done with
+/// the levels.
+struct ViewBfs {
+  std::vector<index_t> order;
+  index_t eccentricity = 0;
+};
+ViewBfs bfs_levels(const GraphView& view, index_t root,
+                   std::vector<index_t>& level);
+
+/// Pseudo-peripheral vertex of `start`'s component within the view
+/// (same George–Liu iteration as the whole-graph overload). `level` is
+/// scratch as in the view bfs_levels; it is fully reset to -1 before
+/// returning.
+index_t pseudo_peripheral(const GraphView& view, index_t start,
+                          std::vector<index_t>& level);
+
+/// Owning scaffolding for a GraphView spanning a whole graph as one
+/// piece (identity membership) plus the traversal scratch. The
+/// whole-graph entry points (bfs_levels, pseudo_peripheral,
+/// rcm_ordering) delegate to the view implementations through this, so
+/// the masked and unmasked traversals share one body and cannot
+/// diverge.
+struct WholeGraphView {
+  explicit WholeGraphView(const Graph& g);
+  std::vector<index_t> verts, piece, deg, level, mark;
+  GraphView view;
+};
+
 }  // namespace spchol

@@ -186,4 +186,14 @@ Permutation min_degree_ordering(const Graph& g) {
   return Permutation(std::move(order));
 }
 
+std::vector<index_t> min_degree_order(const GraphView& view) {
+  const Permutation p =
+      min_degree_ordering(view.graph->induced_subgraph(view.verts));
+  std::vector<index_t> order(view.verts.size());
+  for (index_t k = 0; k < p.size(); ++k) {
+    order[k] = view.verts[p.new_to_old(k)];
+  }
+  return order;
+}
+
 }  // namespace spchol

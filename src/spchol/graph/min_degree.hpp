@@ -10,4 +10,11 @@ namespace spchol {
 
 Permutation min_degree_ordering(const Graph& g);
 
+/// AMD over an index-set view, returning GLOBAL vertex ids in
+/// elimination order — the alternative leaf-piece ordering of the ND
+/// recursion (NdLeafMethod::kMinimumDegree). The quotient-graph state is
+/// inherently per-subproblem, so unlike RCM this materializes the
+/// (small: leaf-sized) induced subgraph and maps the result back.
+std::vector<index_t> min_degree_order(const GraphView& view);
+
 }  // namespace spchol

@@ -1,23 +1,62 @@
 #include "spchol/graph/nested_dissection.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
+#include <string>
 
+#include "spchol/graph/min_degree.hpp"
 #include "spchol/graph/rcm.hpp"
+#include "spchol/support/timer.hpp"
 
 namespace spchol {
 
-std::vector<int> nd_vertex_separator(const Graph& g, const NdOptions& opts) {
-  const index_t n = g.num_vertices();
-  const index_t root = pseudo_peripheral(g, 0);
-  const BfsResult bfs = bfs_levels(g, root);
+const char* to_string(NdLeafMethod m) {
+  switch (m) {
+    case NdLeafMethod::kRcm:
+      return "rcm";
+    case NdLeafMethod::kMinimumDegree:
+      return "minimum-degree";
+  }
+  return "?";
+}
+
+void validate(const NdOptions& opts) {
+  if (opts.leaf_size < 0) {
+    throw InvalidArgument("NdOptions::leaf_size must be >= 0, got " +
+                          std::to_string(opts.leaf_size));
+  }
+  if (!(opts.min_balance >= 0.0 && opts.min_balance <= 0.5)) {
+    throw InvalidArgument(
+        "NdOptions::min_balance must be within [0, 0.5], got " +
+        std::to_string(opts.min_balance));
+  }
+}
+
+NdWorkspace::NdWorkspace(const Graph& graph)
+    : g(graph),
+      piece(static_cast<std::size_t>(graph.num_vertices()), 0),
+      deg(static_cast<std::size_t>(graph.num_vertices()), 0),
+      level(static_cast<std::size_t>(graph.num_vertices()), -1),
+      mark(static_cast<std::size_t>(graph.num_vertices()), -1) {}
+
+namespace {
+
+/// Splits a CONNECTED view into A (0), B (1), separator (2), returned
+/// per POSITION in view.verts. ws.level is used for the BFS and fully
+/// reset before returning.
+std::vector<signed char> nd_view_separator(NdWorkspace& ws,
+                                           const GraphView& view,
+                                           const NdOptions& opts) {
+  const index_t n = view.size();
+  const index_t root = pseudo_peripheral(view, view.verts[0], ws.level);
+  const ViewBfs bfs = bfs_levels(view, root, ws.level);
+  SPCHOL_CHECK(static_cast<index_t>(bfs.order.size()) == n,
+               "nd separator requires a connected piece");
   const index_t nlev = bfs.eccentricity + 1;
 
   std::vector<index_t> level_count(static_cast<std::size_t>(nlev), 0);
-  for (index_t v = 0; v < n; ++v) {
-    SPCHOL_CHECK(bfs.level[v] >= 0, "nd separator requires a connected graph");
-    level_count[bfs.level[v]]++;
-  }
+  for (const index_t v : view.verts) level_count[ws.level[v]]++;
 
   // Candidate split levels: separator = (part of) level l, A = levels < l,
   // B = levels > l. Pick the smallest level among balanced candidates.
@@ -53,93 +92,186 @@ std::vector<int> nd_vertex_separator(const Graph& g, const NdOptions& opts) {
     }
   }
 
-  std::vector<int> part(static_cast<std::size_t>(n));
-  for (index_t v = 0; v < n; ++v) {
-    part[v] = bfs.level[v] < best_level ? 0 : (bfs.level[v] > best_level ? 1 : 2);
+  std::vector<signed char> part(static_cast<std::size_t>(n));
+  for (index_t k = 0; k < n; ++k) {
+    const index_t l = ws.level[view.verts[k]];
+    part[k] = l < best_level ? 0 : (l > best_level ? 1 : 2);
   }
   // Thin the separator: level-l vertices with no neighbour in level l+1 can
   // move to side A without creating an A-B edge.
-  for (index_t v = 0; v < n; ++v) {
-    if (part[v] != 2) continue;
+  for (index_t k = 0; k < n; ++k) {
+    if (part[k] != 2) continue;
     bool touches_b = false;
-    for (const index_t w : g.neighbors(v)) {
-      if (bfs.level[w] == best_level + 1) {
+    for (const index_t w : view.graph->neighbors(view.verts[k])) {
+      if (view.piece[w] == view.id && ws.level[w] == best_level + 1) {
         touches_b = true;
         break;
       }
     }
-    if (!touches_b) part[v] = 0;
+    if (!touches_b) part[k] = 0;
   }
+  for (const index_t v : bfs.order) ws.level[v] = -1;
   return part;
 }
 
-namespace {
-
-void nd_recurse(const Graph& g, std::span<const index_t> global_ids,
-                const NdOptions& opts, std::vector<index_t>& order) {
-  const index_t n = g.num_vertices();
-  if (n == 0) return;
-  if (n <= opts.leaf_size) {
-    const Permutation p = rcm_ordering(g);
-    for (index_t k = 0; k < n; ++k) {
-      order.push_back(global_ids[p.new_to_old(k)]);
-    }
-    return;
-  }
-
-  auto [comp, ncomp] = g.connected_components();
-  if (ncomp > 1) {
-    for (index_t c = 0; c < ncomp; ++c) {
-      std::vector<index_t> verts;
-      for (index_t v = 0; v < n; ++v) {
-        if (comp[v] == c) verts.push_back(v);
-      }
-      std::vector<index_t> globals(verts.size());
-      for (std::size_t i = 0; i < verts.size(); ++i) {
-        globals[i] = global_ids[verts[i]];
-      }
-      nd_recurse(g.induced_subgraph(verts), globals, opts, order);
-    }
-    return;
-  }
-
-  const std::vector<int> part = nd_vertex_separator(g, opts);
-  std::vector<index_t> a, b, s;
-  for (index_t v = 0; v < n; ++v) {
-    (part[v] == 0 ? a : part[v] == 1 ? b : s).push_back(v);
-  }
-  if (a.empty() || b.empty()) {
-    // Degenerate split (the whole piece ended up in the separator): order
-    // the piece directly to guarantee progress.
-    const Permutation p = rcm_ordering(g);
-    for (index_t k = 0; k < n; ++k) {
-      order.push_back(global_ids[p.new_to_old(k)]);
-    }
-    return;
-  }
-  auto recurse_on = [&](const std::vector<index_t>& verts) {
-    std::vector<index_t> globals(verts.size());
-    for (std::size_t i = 0; i < verts.size(); ++i) {
-      globals[i] = global_ids[verts[i]];
-    }
-    nd_recurse(g.induced_subgraph(verts), globals, opts, order);
-  };
-  recurse_on(a);
-  recurse_on(b);
-  for (const index_t v : s) order.push_back(global_ids[v]);
+/// Orders the whole piece directly into its slice (RCM or AMD).
+void nd_leaf_order(NdWorkspace& ws, const GraphView& view,
+                   const NdPiece& p, const NdOptions& opts,
+                   std::span<index_t> order) {
+  const std::vector<index_t> local =
+      opts.leaf_method == NdLeafMethod::kMinimumDegree
+          ? min_degree_order(view)
+          : rcm_order(view, ws.level, ws.mark);
+  std::copy(local.begin(), local.end(),
+            order.begin() + static_cast<std::size_t>(p.out_begin));
+  for (const index_t v : p.verts) ws.piece[v] = -1;
 }
 
 }  // namespace
 
-Permutation nested_dissection(const Graph& g, const NdOptions& opts) {
+void nd_process_piece(NdWorkspace& ws, NdPiece p, const NdOptions& opts,
+                      std::span<index_t> order,
+                      const std::function<void(NdPiece&&)>& emit,
+                      bool* was_leaf) {
+  const index_t sz = static_cast<index_t>(p.verts.size());
+  if (was_leaf) *was_leaf = true;  // the split paths below override
+  if (sz == 0) return;
+
+  // Masked degrees of this piece (children recompute their own, so a
+  // parent's entries may be overwritten freely once it has split).
+  for (const index_t v : p.verts) {
+    index_t d = 0;
+    for (const index_t w : ws.g.neighbors(v)) d += ws.piece[w] == p.id;
+    ws.deg[v] = d;
+  }
+  const GraphView view{&ws.g, p.verts, ws.piece, ws.deg, p.id};
+
+  if (sz <= opts.leaf_size) {
+    nd_leaf_order(ws, view, p, opts, order);
+    return;
+  }
+
+  // Connected components (ws.mark holds component ids, reset below).
+  index_t ncomp = 0;
+  {
+    std::vector<index_t> stack;
+    for (const index_t s : p.verts) {
+      if (ws.mark[s] >= 0) continue;
+      ws.mark[s] = ncomp;
+      stack.push_back(s);
+      while (!stack.empty()) {
+        const index_t v = stack.back();
+        stack.pop_back();
+        for (const index_t w : ws.g.neighbors(v)) {
+          if (ws.piece[w] == p.id && ws.mark[w] < 0) {
+            ws.mark[w] = ncomp;
+            stack.push_back(w);
+          }
+        }
+      }
+      ++ncomp;
+    }
+  }
+  if (ncomp > 1) {
+    if (was_leaf) *was_leaf = false;
+    std::vector<NdPiece> kids(static_cast<std::size_t>(ncomp));
+    for (const index_t v : p.verts) {
+      kids[ws.mark[v]].verts.push_back(v);  // ascending within each kid
+    }
+    for (const index_t v : p.verts) ws.mark[v] = -1;
+    offset_t off = p.out_begin;
+    for (auto& kid : kids) {
+      kid.id = ws.next_id.fetch_add(1, std::memory_order_relaxed);
+      kid.out_begin = off;
+      off += static_cast<offset_t>(kid.verts.size());
+      for (const index_t v : kid.verts) ws.piece[v] = kid.id;
+    }
+    for (auto& kid : kids) emit(std::move(kid));
+    return;
+  }
+  for (const index_t v : p.verts) ws.mark[v] = -1;
+
+  const std::vector<signed char> part = nd_view_separator(ws, view, opts);
+  std::vector<index_t> a, b, s;
+  for (index_t k = 0; k < sz; ++k) {
+    (part[k] == 0 ? a : part[k] == 1 ? b : s).push_back(p.verts[k]);
+  }
+  if (a.empty() || b.empty()) {
+    // Degenerate split (the whole piece ended up in the separator): order
+    // the piece directly to guarantee progress.
+    nd_leaf_order(ws, view, p, opts, order);
+    return;
+  }
+  if (was_leaf) *was_leaf = false;
+  // The separator's slice positions are fixed now; A and B recurse into
+  // the front of the slice as independent pieces.
+  const offset_t sep_begin =
+      p.out_begin + static_cast<offset_t>(a.size() + b.size());
+  for (std::size_t k = 0; k < s.size(); ++k) {
+    order[static_cast<std::size_t>(sep_begin) + k] = s[k];
+    ws.piece[s[k]] = -1;
+  }
+  NdPiece kid_a, kid_b;
+  kid_a.id = ws.next_id.fetch_add(1, std::memory_order_relaxed);
+  kid_a.out_begin = p.out_begin;
+  kid_a.verts = std::move(a);
+  kid_b.id = ws.next_id.fetch_add(1, std::memory_order_relaxed);
+  kid_b.out_begin = p.out_begin + static_cast<offset_t>(kid_a.verts.size());
+  kid_b.verts = std::move(b);
+  for (const index_t v : kid_a.verts) ws.piece[v] = kid_a.id;
+  for (const index_t v : kid_b.verts) ws.piece[v] = kid_b.id;
+  emit(std::move(kid_a));
+  emit(std::move(kid_b));
+}
+
+std::vector<int> nd_vertex_separator(const Graph& g, const NdOptions& opts) {
+  validate(opts);
   const index_t n = g.num_vertices();
-  std::vector<index_t> ids(static_cast<std::size_t>(n));
-  std::iota(ids.begin(), ids.end(), index_t{0});
-  std::vector<index_t> order;
-  order.reserve(static_cast<std::size_t>(n));
-  nd_recurse(g, ids, opts, order);
-  SPCHOL_CHECK(static_cast<index_t>(order.size()) == n,
-               "nested dissection dropped vertices");
+  SPCHOL_CHECK(n > 0, "nd separator requires a non-empty graph");
+  NdWorkspace ws(g);
+  std::vector<index_t> verts(static_cast<std::size_t>(n));
+  std::iota(verts.begin(), verts.end(), index_t{0});
+  for (index_t v = 0; v < n; ++v) ws.deg[v] = g.degree(v);
+  const GraphView view{&g, verts, ws.piece, ws.deg, 0};
+  const std::vector<signed char> part = nd_view_separator(ws, view, opts);
+  return {part.begin(), part.end()};
+}
+
+NdPiece nd_root_piece(const NdWorkspace& ws) {
+  NdPiece root;
+  root.verts.resize(static_cast<std::size_t>(ws.g.num_vertices()));
+  std::iota(root.verts.begin(), root.verts.end(), index_t{0});
+  return root;
+}
+
+void nd_run_serial(NdWorkspace& ws, NdPiece root, const NdOptions& opts,
+                   std::span<index_t> order,
+                   const std::function<void(bool, double)>& observe) {
+  std::vector<NdPiece> stack;
+  stack.push_back(std::move(root));
+  while (!stack.empty()) {
+    NdPiece p = std::move(stack.back());
+    stack.pop_back();
+    const WallTimer timer;
+    bool was_leaf = false;
+    nd_process_piece(ws, std::move(p), opts, order,
+                     [&](NdPiece&& kid) { stack.push_back(std::move(kid)); },
+                     observe ? &was_leaf : nullptr);
+    if (observe) observe(was_leaf, timer.seconds());
+  }
+}
+
+Permutation nested_dissection(const Graph& g, const NdOptions& opts) {
+  validate(opts);
+  const index_t n = g.num_vertices();
+  std::vector<index_t> order(static_cast<std::size_t>(n), -1);
+  if (n > 0) {
+    NdWorkspace ws(g);
+    nd_run_serial(ws, nd_root_piece(ws), opts, order);
+  }
+  for (const index_t v : order) {
+    SPCHOL_CHECK(v >= 0, "nested dissection dropped vertices");
+  }
   return Permutation(std::move(order));
 }
 

@@ -1,27 +1,103 @@
-// Nested dissection with BFS level-set vertex separators — the stand-in for
-// the paper's METIS nested dissection ordering step.
+// Nested dissection with BFS level-set vertex separators — the stand-in
+// for the paper's METIS nested dissection ordering step.
+//
+// The recursion runs on index-set views (GraphView) of the ORIGINAL
+// adjacency instead of materialized subgraph copies: a piece is a sorted
+// vertex subset owning one contiguous slice of the output permutation,
+// splitting a piece only relabels a shared membership array and writes
+// the separator into the slice tail. Because every slice position is
+// determined by arithmetic at split time (A at the front, B after it,
+// separator last), pieces are INDEPENDENT: the OrderingPipeline runs
+// them as spawned tasks on the shared TaskScheduler and the result is
+// identical to the serial recursion for every worker count.
 #pragma once
+
+#include <atomic>
+#include <functional>
+#include <span>
 
 #include "spchol/graph/graph.hpp"
 #include "spchol/support/permutation.hpp"
 
 namespace spchol {
 
-struct NdOptions {
-  /// Pieces at or below this size are ordered directly (RCM) instead of
-  /// being dissected further.
-  index_t leaf_size = 64;
-  /// A candidate split is accepted only if the smaller side holds at least
-  /// this fraction of the piece.
-  double min_balance = 0.25;
+/// Ordering applied to recursion leaves (pieces at or below leaf_size).
+enum class NdLeafMethod {
+  kRcm,            ///< reverse Cuthill–McKee (default; view-based, no copy)
+  kMinimumDegree,  ///< AMD on the materialized (small) leaf subgraph
 };
 
+const char* to_string(NdLeafMethod m);
+
+struct NdOptions {
+  /// Pieces at or below this size are ordered directly instead of being
+  /// dissected further. Negative values are rejected (InvalidArgument).
+  index_t leaf_size = 64;
+  /// A candidate split is accepted only if the smaller side holds at least
+  /// this fraction of the piece. Valid range [0, 0.5]; anything else
+  /// (including NaN) is rejected with InvalidArgument.
+  double min_balance = 0.25;
+  /// Ordering applied to leaf pieces.
+  NdLeafMethod leaf_method = NdLeafMethod::kRcm;
+};
+
+/// Throws InvalidArgument on negative leaf_size or min_balance outside
+/// [0, 0.5].
+void validate(const NdOptions& opts);
+
 /// Nested dissection ordering: recursively bisect with a vertex separator,
-/// ordering part A, then part B, then the separator last.
+/// ordering part A, then part B, then the separator last. Serial driver
+/// over the same piece machinery the OrderingPipeline schedules.
 Permutation nested_dissection(const Graph& g, const NdOptions& opts = {});
 
 /// One bisection step (exposed for testing): partitions vertices of `g`
 /// into A (0), B (1), separator (2). Requires a connected graph.
 std::vector<int> nd_vertex_separator(const Graph& g, const NdOptions& opts);
+
+// --- recursion pieces (the OrderingPipeline's task bodies) ---------------
+
+/// Shared scratch of one nested-dissection run. Concurrent piece tasks
+/// may share one workspace: every entry a task reads or writes belongs
+/// to a vertex of its own piece, and pieces partition the vertex set.
+struct NdWorkspace {
+  explicit NdWorkspace(const Graph& graph);
+
+  const Graph& g;
+  std::vector<index_t> piece;  ///< piece id per vertex; -1 once ordered
+  std::vector<index_t> deg;    ///< masked degree within the current piece
+  std::vector<index_t> level;  ///< BFS scratch; -1 outside live traversals
+  std::vector<index_t> mark;   ///< visited/component scratch; -1 when idle
+  std::atomic<index_t> next_id{1};  ///< piece id allocator (root is 0)
+};
+
+/// One piece of the recursion: a vertex subset owning the output slice
+/// [out_begin, out_begin + verts.size()) of the new_to_old permutation.
+struct NdPiece {
+  index_t id = 0;
+  offset_t out_begin = 0;
+  std::vector<index_t> verts;  ///< ascending global vertex ids
+};
+
+/// Processes one piece: orders it into `order` when it is a leaf (at or
+/// below leaf_size, or a degenerate split), otherwise splits it —
+/// connected components first, then a BFS vertex separator written into
+/// the slice tail — and hands the child pieces to `emit` (serial driver:
+/// a stack; pipeline: TaskScheduler::spawn). Sets *was_leaf accordingly
+/// when non-null. Safe to call concurrently on distinct pieces of one
+/// workspace.
+void nd_process_piece(NdWorkspace& ws, NdPiece piece, const NdOptions& opts,
+                      std::span<index_t> order,
+                      const std::function<void(NdPiece&&)>& emit,
+                      bool* was_leaf = nullptr);
+
+/// The root piece covering all of ws.g (id 0, slice offset 0).
+NdPiece nd_root_piece(const NdWorkspace& ws);
+
+/// Serial recursion driver: processes `root` and every piece it emits
+/// over an explicit LIFO stack. Calls `observe(was_leaf, seconds)` after
+/// each piece when non-null (the OrderingPipeline's stats hook).
+void nd_run_serial(NdWorkspace& ws, NdPiece root, const NdOptions& opts,
+                   std::span<index_t> order,
+                   const std::function<void(bool, double)>& observe = {});
 
 }  // namespace spchol

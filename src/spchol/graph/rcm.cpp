@@ -5,36 +5,44 @@
 namespace spchol {
 
 Permutation rcm_ordering(const Graph& g) {
-  const index_t n = g.num_vertices();
+  WholeGraphView w(g);
+  return Permutation(rcm_order(w.view, w.level, w.mark));
+}
+
+std::vector<index_t> rcm_order(const GraphView& view,
+                               std::vector<index_t>& level,
+                               std::vector<index_t>& mark) {
   std::vector<index_t> order;
-  order.reserve(static_cast<std::size_t>(n));
-  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  order.reserve(view.verts.size());
   std::vector<index_t> nbrs;
 
-  for (index_t s = 0; s < n; ++s) {
-    if (visited[s]) continue;
-    const index_t root = pseudo_peripheral(g, s);
+  for (const index_t s : view.verts) {
+    if (mark[s] >= 0) continue;
+    const index_t root = pseudo_peripheral(view, s, level);
     // Cuthill–McKee BFS with neighbours enqueued by increasing degree.
     std::size_t head = order.size();
-    visited[root] = 1;
+    mark[root] = 1;
     order.push_back(root);
     while (head < order.size()) {
       const index_t v = order[head++];
       nbrs.clear();
-      for (const index_t w : g.neighbors(v)) {
-        if (!visited[w]) {
-          visited[w] = 1;
+      for (const index_t w : view.graph->neighbors(v)) {
+        if (view.piece[w] == view.id && mark[w] < 0) {
+          mark[w] = 1;
           nbrs.push_back(w);
         }
       }
       std::sort(nbrs.begin(), nbrs.end(), [&](index_t a, index_t b) {
-        return g.degree(a) != g.degree(b) ? g.degree(a) < g.degree(b) : a < b;
+        return view.degree(a) != view.degree(b)
+                   ? view.degree(a) < view.degree(b)
+                   : a < b;
       });
       order.insert(order.end(), nbrs.begin(), nbrs.end());
     }
   }
+  for (const index_t v : order) mark[v] = -1;
   std::reverse(order.begin(), order.end());
-  return Permutation(std::move(order));
+  return order;
 }
 
 index_t bandwidth(const CscMatrix& lower, const Permutation& perm) {

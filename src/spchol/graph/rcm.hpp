@@ -7,7 +7,21 @@
 namespace spchol {
 
 /// RCM over all components (each rooted at a pseudo-peripheral vertex).
+/// Delegates to rcm_order over a whole-graph view.
 Permutation rcm_ordering(const Graph& g);
+
+/// RCM over an index-set view (all of its components), returning GLOBAL
+/// vertex ids in RCM order — the leaf-piece ordering of the ND
+/// recursion AND the body behind rcm_ordering. `level` and `mark` are
+/// parent-graph-sized scratch whose member entries are -1 on entry;
+/// both are restored to -1 before returning. Produces exactly the order
+/// the pre-view rcm_ordering gave on a materialized induced subgraph:
+/// masked traversals visit members in the same relative order, and the
+/// degree/id tie-breaks agree because local subgraph ids ascend with
+/// global ids.
+std::vector<index_t> rcm_order(const GraphView& view,
+                               std::vector<index_t>& level,
+                               std::vector<index_t>& mark);
 
 /// Envelope bandwidth of the symmetric matrix under a permutation
 /// (max over columns of new-index distance); diagnostic for tests.

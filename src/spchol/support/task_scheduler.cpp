@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
@@ -33,6 +34,57 @@ HeapEntry heap_pop(std::vector<HeapEntry>& h) {
 
 }  // namespace
 
+/// All coordination state of one run(), on run()'s stack. Hoisted out of
+/// the old run() locals so spawn() — a member called from inside task
+/// bodies — can reach the queues and counters through run_.
+///
+/// Spawned tasks live in geometrically-growing chunks behind a fixed
+/// spine (chunk c holds kSpawnChunk << c tasks): pointers to constructed
+/// tasks never move, so workers may index a spawned task while another
+/// thread spawns the next one. Publication is safe without atomics on
+/// the chunk table: a task id only becomes visible through a ready-queue
+/// push, and the queue mutex orders the task's construction (and its
+/// chunk's allocation) before any reader's pop.
+struct TaskScheduler::RunState {
+  static constexpr std::size_t kSpawnChunk = 1024;
+
+  struct alignas(64) Partition {
+    std::mutex mu;
+    std::vector<HeapEntry> heap;
+  };
+
+  explicit RunState(std::size_t nparts) : parts(nparts) {}
+
+  // --- spawned-task store ------------------------------------------------
+  std::array<std::unique_ptr<Task[]>, 48> chunks;
+  std::mutex spawn_mu;
+  std::atomic<std::size_t> spawned{0};
+  std::size_t base = 0;  // tasks_.size() at run() start
+
+  static std::size_t chunk_of(std::size_t i) {
+    return std::bit_width(i / kSpawnChunk + 1) - 1;
+  }
+  static std::size_t chunk_base(std::size_t c) {
+    return (kSpawnChunk << c) - kSpawnChunk;
+  }
+
+  // --- ready queues + crew coordination ----------------------------------
+  std::vector<Partition> parts;
+  std::vector<std::size_t> current;  // running task id per worker
+  std::atomic<std::size_t> num_ready{0};
+  std::atomic<std::size_t> live{0};
+  std::atomic<std::size_t> remaining{0};
+  std::atomic<std::size_t> max_ready{0};
+  std::atomic<std::size_t> resource_waits{0};
+  std::atomic<bool> cancelled{false};
+  std::mutex sleep_mu;  // guards `error` and pairs with cv waits
+  std::condition_variable cv;
+  std::exception_ptr error;
+  std::mutex res_mu;  // guards tokens + parked (GPU tasks only: cold path)
+  std::vector<std::size_t> tokens;
+  std::vector<std::vector<HeapEntry>> parked;
+};
+
 void TaskScheduler::set_partitions(std::size_t parts) {
   partitions_ = std::max<std::size_t>(1, parts);
 }
@@ -48,7 +100,8 @@ std::size_t TaskScheduler::add_task(std::size_t priority, TaskFn fn,
                                     std::size_t partition) {
   SPCHOL_CHECK(resource == kNoResource || resource < resource_tokens_.size(),
                "task resource out of range");
-  tasks_.push_back(Task{std::move(fn), priority, resource, partition, {}});
+  tasks_.push_back(Task{std::move(fn), priority, resource, partition,
+                        kNoResource, 0.0, {}});
   return tasks_.size() - 1;
 }
 
@@ -58,9 +111,86 @@ void TaskScheduler::add_edge(std::size_t from, std::size_t to) {
   tasks_[from].out.push_back(to);
 }
 
+TaskScheduler::Task& TaskScheduler::task(std::size_t id) {
+  RunState& rs = *run_;
+  if (id < rs.base) return tasks_[id];
+  const std::size_t i = id - rs.base;
+  const std::size_t c = RunState::chunk_of(i);
+  return rs.chunks[c][i - RunState::chunk_base(c)];
+}
+
+// Makes a runnable task visible: push to its partition queue, then nudge
+// a sleeper. The empty lock/unlock of sleep_mu orders the push against a
+// waiter's predicate check, so the notify cannot be lost.
+void TaskScheduler::push_ready(RunState& rs, std::size_t id) {
+  const Task& t = task(id);
+  const std::size_t q = t.partition % rs.parts.size();
+  {
+    std::lock_guard<std::mutex> lk(rs.parts[q].mu);
+    heap_push(rs.parts[q].heap, {t.priority, id});
+  }
+  const std::size_t nr = rs.num_ready.fetch_add(1) + 1;
+  std::size_t seen = rs.max_ready.load(std::memory_order_relaxed);
+  while (nr > seen && !rs.max_ready.compare_exchange_weak(
+                          seen, nr, std::memory_order_relaxed)) {
+  }
+  { std::lock_guard<std::mutex> lk(rs.sleep_mu); }
+  rs.cv.notify_one();
+}
+
+// Moves a dependency-free task toward execution: straight into its ready
+// queue, unless it needs a resource token none of which is free — then
+// it parks until a token holder completes. Parked tasks stay `live`: a
+// token holder is by definition live, so parking can never produce a
+// false stall.
+void TaskScheduler::stage(RunState& rs, std::size_t id) {
+  rs.live.fetch_add(1);
+  const std::size_t r = task(id).resource;
+  if (r != kNoResource) {
+    std::lock_guard<std::mutex> lk(rs.res_mu);
+    if (rs.tokens[r] == 0) {
+      heap_push(rs.parked[r], {task(id).priority, id});
+      rs.resource_waits.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    rs.tokens[r]--;
+  }
+  push_ready(rs, id);
+}
+
+std::size_t TaskScheduler::spawn(std::size_t worker, std::size_t priority,
+                                 TaskFn fn, std::size_t partition) {
+  RunState* rs = run_;
+  SPCHOL_CHECK(rs != nullptr, "spawn() may only be called during run()");
+  SPCHOL_CHECK(worker < rs->current.size(), "spawn() worker out of range");
+  std::size_t id;
+  {
+    std::lock_guard<std::mutex> lk(rs->spawn_mu);
+    const std::size_t i = rs->spawned.load(std::memory_order_relaxed);
+    const std::size_t c = RunState::chunk_of(i);
+    SPCHOL_CHECK(c < rs->chunks.size(), "spawned-task store exhausted");
+    if (!rs->chunks[c]) {
+      rs->chunks[c] =
+          std::make_unique<Task[]>(RunState::kSpawnChunk << c);
+    }
+    Task& t = rs->chunks[c][i - RunState::chunk_base(c)];
+    t.fn = std::move(fn);
+    t.priority = priority;
+    t.partition = partition;
+    t.spawned_by = rs->current[worker];
+    id = rs->base + i;
+    rs->spawned.store(i + 1, std::memory_order_relaxed);
+  }
+  // Ordering matters for the stall detector: the spawner is live until
+  // after this call returns, so remaining can never be observed > 0 with
+  // live == 0 on account of a spawned-but-unstaged task.
+  rs->remaining.fetch_add(1);
+  stage(*rs, id);
+  return id;
+}
+
 SchedulerStats TaskScheduler::run(std::size_t workers) {
   workers = std::max<std::size_t>(1, workers);
-  const std::size_t nparts = partitions_;
   const std::size_t ntasks = tasks_.size();
 
   // Dedup out-edges and seed the pending counters.
@@ -74,92 +204,35 @@ SchedulerStats TaskScheduler::run(std::size_t workers) {
       pending[succ].fetch_add(1, std::memory_order_relaxed);
     }
   }
-  durations_.assign(ntasks, 0.0);
 
-  // One lock per ready-queue partition: pushes and pops touch only the
-  // task's queue, so the crew no longer serializes on one global heap.
-  struct alignas(64) Partition {
-    std::mutex mu;
-    std::vector<HeapEntry> heap;
-  };
-  std::vector<Partition> parts(nparts);
-
-  // Global coordination. `live` counts tasks that have been staged
-  // (ready, parked, or executing) but not completed: a predecessor's
-  // live count is released only AFTER its successors are staged, so
-  // live == 0 with tasks remaining can only mean an unsatisfiable graph.
-  std::atomic<std::size_t> num_ready{0};
-  std::atomic<std::size_t> live{0};
-  std::atomic<std::size_t> remaining{ntasks};
-  std::atomic<std::size_t> max_ready{0};
-  std::atomic<std::size_t> resource_waits{0};
-  std::atomic<bool> cancelled{false};
-  std::mutex sleep_mu;  // guards `error` and pairs with cv waits
-  std::condition_variable cv;
-  std::exception_ptr error;
-
-  std::mutex res_mu;  // guards tokens + parked (GPU tasks only: cold path)
-  std::vector<std::size_t> tokens = resource_tokens_;
-  std::vector<std::vector<HeapEntry>> parked(resource_tokens_.size());
-
-  // Makes a runnable task visible: push to its partition queue, then
-  // nudge a sleeper. The empty lock/unlock of sleep_mu orders the push
-  // against a waiter's predicate check, so the notify cannot be lost.
-  auto push_ready = [&](std::size_t id) {
-    const std::size_t q = tasks_[id].partition % nparts;
-    {
-      std::lock_guard<std::mutex> lk(parts[q].mu);
-      heap_push(parts[q].heap, {tasks_[id].priority, id});
-    }
-    const std::size_t nr = num_ready.fetch_add(1) + 1;
-    std::size_t seen = max_ready.load(std::memory_order_relaxed);
-    while (nr > seen &&
-           !max_ready.compare_exchange_weak(seen, nr,
-                                            std::memory_order_relaxed)) {
-    }
-    { std::lock_guard<std::mutex> lk(sleep_mu); }
-    cv.notify_one();
-  };
-
-  // Moves a dependency-free task toward execution: straight into its
-  // ready queue, unless it needs a resource token none of which is free —
-  // then it parks until a token holder completes. Parked tasks stay
-  // `live`: a token holder is by definition live, so parking can never
-  // produce a false stall.
-  auto stage = [&](std::size_t id) {
-    live.fetch_add(1);
-    const std::size_t r = tasks_[id].resource;
-    if (r != kNoResource) {
-      std::lock_guard<std::mutex> lk(res_mu);
-      if (tokens[r] == 0) {
-        heap_push(parked[r], {tasks_[id].priority, id});
-        resource_waits.fetch_add(1, std::memory_order_relaxed);
-        return;
-      }
-      tokens[r]--;
-    }
-    push_ready(id);
-  };
+  RunState rs(partitions_);
+  rs.base = ntasks;
+  rs.current.assign(workers, kNoResource);
+  rs.remaining.store(ntasks);
+  rs.tokens = resource_tokens_;
+  rs.parked.assign(resource_tokens_.size(), {});
+  run_ = &rs;
 
   for (std::size_t i = 0; i < ntasks; ++i) {
-    if (pending[i].load(std::memory_order_relaxed) == 0) stage(i);
+    if (pending[i].load(std::memory_order_relaxed) == 0) stage(rs, i);
   }
 
   SchedulerStats stats;
   stats.workers = workers;
-  stats.partitions = nparts;
+  stats.partitions = rs.parts.size();
   std::mutex stats_mu;
 
   auto worker_loop = [&](std::size_t worker) {
+    const std::size_t nparts = rs.parts.size();
     const std::size_t home = worker % nparts;
     std::size_t my_runs = 0, my_steals = 0;
     for (;;) {
-      if (cancelled.load() || remaining.load() == 0) break;
+      if (rs.cancelled.load() || rs.remaining.load() == 0) break;
       // Hunt: home queue first, then sweep the others (work stealing).
       std::size_t id = kNoResource;
       bool stolen = false;
       for (std::size_t k = 0; k < nparts && id == kNoResource; ++k) {
-        Partition& part = parts[(home + k) % nparts];
+        RunState::Partition& part = rs.parts[(home + k) % nparts];
         std::lock_guard<std::mutex> lk(part.mu);
         if (!part.heap.empty()) {
           id = heap_pop(part.heap).second;
@@ -167,66 +240,68 @@ SchedulerStats TaskScheduler::run(std::size_t workers) {
         }
       }
       if (id == kNoResource) {
-        std::unique_lock<std::mutex> lk(sleep_mu);
-        cv.wait(lk, [&] {
-          return cancelled.load() || remaining.load() == 0 ||
-                 num_ready.load() > 0 || live.load() == 0;
+        std::unique_lock<std::mutex> lk(rs.sleep_mu);
+        rs.cv.wait(lk, [&] {
+          return rs.cancelled.load() || rs.remaining.load() == 0 ||
+                 rs.num_ready.load() > 0 || rs.live.load() == 0;
         });
-        if (cancelled.load() || remaining.load() == 0) break;
-        if (live.load() == 0 && remaining.load() > 0) {
+        if (rs.cancelled.load() || rs.remaining.load() == 0) break;
+        if (rs.live.load() == 0 && rs.remaining.load() > 0) {
           // Nothing staged, nothing running, tasks remain: the graph can
           // never complete. Fail loudly instead of deadlocking the crew.
-          cancelled.store(true);
-          error = std::make_exception_ptr(
+          rs.cancelled.store(true);
+          rs.error = std::make_exception_ptr(
               Error("task graph stalled with " +
-                    std::to_string(remaining.load()) +
+                    std::to_string(rs.remaining.load()) +
                     " tasks remaining (dependency cycle?)"));
-          cv.notify_all();
+          rs.cv.notify_all();
           break;
         }
         continue;  // something became ready (or a spurious wake): rescan
       }
-      num_ready.fetch_sub(1);
+      rs.num_ready.fetch_sub(1);
+      rs.current[worker] = id;
       const WallTimer timer;
       try {
-        tasks_[id].fn(worker);
+        task(id).fn(worker);
       } catch (...) {
         {
-          std::lock_guard<std::mutex> lk(sleep_mu);
-          if (!cancelled.load()) {
-            cancelled.store(true);
-            error = std::current_exception();
+          std::lock_guard<std::mutex> lk(rs.sleep_mu);
+          if (!rs.cancelled.load()) {
+            rs.cancelled.store(true);
+            rs.error = std::current_exception();
           }
         }
-        cv.notify_all();
+        rs.cv.notify_all();
         break;
       }
-      durations_[id] = timer.seconds();
+      task(id).seconds = timer.seconds();
+      rs.current[worker] = kNoResource;
       my_runs++;
       if (stolen) my_steals++;
       // Hand this task's token to the highest-priority parked peer, or
       // return it to the pool.
-      const std::size_t r = tasks_[id].resource;
+      const std::size_t r = task(id).resource;
       if (r != kNoResource) {
         std::size_t next = kNoResource;
         {
-          std::lock_guard<std::mutex> lk(res_mu);
-          if (!parked[r].empty()) {
-            next = heap_pop(parked[r]).second;
+          std::lock_guard<std::mutex> lk(rs.res_mu);
+          if (!rs.parked[r].empty()) {
+            next = heap_pop(rs.parked[r]).second;
           } else {
-            tokens[r]++;
+            rs.tokens[r]++;
           }
         }
-        if (next != kNoResource) push_ready(next);
+        if (next != kNoResource) push_ready(rs, next);
       }
-      for (const std::size_t succ : tasks_[id].out) {
-        if (pending[succ].fetch_sub(1) == 1) stage(succ);
+      for (const std::size_t succ : task(id).out) {
+        if (pending[succ].fetch_sub(1) == 1) stage(rs, succ);
       }
-      const std::size_t rem = remaining.fetch_sub(1) - 1;
-      const std::size_t lv = live.fetch_sub(1) - 1;
+      const std::size_t rem = rs.remaining.fetch_sub(1) - 1;
+      const std::size_t lv = rs.live.fetch_sub(1) - 1;
       if (rem == 0 || lv == 0) {
-        { std::lock_guard<std::mutex> lk(sleep_mu); }
-        cv.notify_all();
+        { std::lock_guard<std::mutex> lk(rs.sleep_mu); }
+        rs.cv.notify_all();
       }
     }
     std::lock_guard<std::mutex> lk(stats_mu);
@@ -242,10 +317,26 @@ SchedulerStats TaskScheduler::run(std::size_t workers) {
   }
   for (auto& t : crew) t.join();
 
-  stats.max_ready_depth = max_ready.load();
-  stats.resource_waits = resource_waits.load();
-  if (error) std::rethrow_exception(error);
-  SPCHOL_CHECK(remaining.load() == 0,
+  // Fold the spawned tasks into tasks_ (ids align: spawned task i became
+  // id base + i) so task_seconds() and modeled_makespan() see the whole
+  // executed graph.
+  const std::size_t spawned = rs.spawned.load();
+  tasks_.reserve(ntasks + spawned);
+  for (std::size_t i = 0; i < spawned; ++i) {
+    const std::size_t c = RunState::chunk_of(i);
+    tasks_.push_back(std::move(rs.chunks[c][i - RunState::chunk_base(c)]));
+  }
+  run_ = nullptr;
+  durations_.resize(tasks_.size());
+  for (std::size_t id = 0; id < tasks_.size(); ++id) {
+    durations_[id] = tasks_[id].seconds;
+  }
+
+  stats.tasks_spawned = spawned;
+  stats.max_ready_depth = rs.max_ready.load();
+  stats.resource_waits = rs.resource_waits.load();
+  if (rs.error) std::rethrow_exception(rs.error);
+  SPCHOL_CHECK(rs.remaining.load() == 0,
                "task graph did not complete (cycle?)");
   return stats;
 }
@@ -256,12 +347,19 @@ double TaskScheduler::modeled_makespan(std::size_t workers) const {
   SPCHOL_CHECK(durations_.size() == n,
                "modeled_makespan requires a completed run()");
   std::vector<std::size_t> pending(n, 0);
-  for (const auto& t : tasks_) {
+  std::vector<std::vector<std::size_t>> spawn_children(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Task& t = tasks_[i];
     for (const std::size_t succ : t.out) pending[succ]++;
+    if (t.spawned_by != kNoResource) {
+      pending[i]++;
+      spawn_children[t.spawned_by].push_back(i);
+    }
   }
   // Greedy list schedule: at each point in simulated time, free workers
   // take the highest-priority released task. Completions release
-  // successors; `ready` holds released-but-unstarted tasks.
+  // successors (explicit edges and spawned children); `ready` holds
+  // released-but-unstarted tasks.
   std::vector<HeapEntry> ready;
   for (std::size_t i = 0; i < n; ++i) {
     if (pending[i] == 0) heap_push(ready, {tasks_[i].priority, i});
@@ -271,6 +369,11 @@ double TaskScheduler::modeled_makespan(std::size_t workers) const {
   std::size_t free_workers = workers;
   double now = 0.0, makespan = 0.0;
   std::size_t scheduled = 0;
+  auto release = [&](std::size_t succ) {
+    if (--pending[succ] == 0) {
+      heap_push(ready, {tasks_[succ].priority, succ});
+    }
+  };
   while (scheduled < n || !events.empty()) {
     while (free_workers > 0 && !ready.empty()) {
       const std::size_t id = heap_pop(ready).second;
@@ -286,11 +389,8 @@ double TaskScheduler::modeled_makespan(std::size_t workers) const {
     events.pop();
     now = t;
     free_workers++;
-    for (const std::size_t succ : tasks_[id].out) {
-      if (--pending[succ] == 0) {
-        heap_push(ready, {tasks_[succ].priority, succ});
-      }
-    }
+    for (const std::size_t succ : tasks_[id].out) release(succ);
+    for (const std::size_t succ : spawn_children[id]) release(succ);
   }
   return makespan;
 }

@@ -1,5 +1,6 @@
 // Dependency-driven task scheduler shared by the numeric factorization
-// drivers and the staged symbolic-analysis pipeline.
+// drivers, the staged symbolic-analysis pipeline, and the ordering
+// pipeline's nested-dissection recursion.
 //
 // A TaskScheduler holds a DAG of tasks (build phase, single-threaded),
 // then executes it on a crew of worker threads: every task carries an
@@ -11,6 +12,12 @@
 // chaining the scatter tasks of a shared ancestor's contributors in
 // ascending supernode order makes the ancestor's storage single-writer
 // AND reproduces the serial accumulation order bit for bit.
+//
+// Graphs whose shape is only discovered while running (the ND recursion:
+// each bisection's sub-pieces exist only after the separator is cut) use
+// spawn(): a running task may add immediately-runnable tasks mid-run.
+// The spawner is recorded so modeled_makespan() replays the implicit
+// spawner→child dependency.
 //
 // Ready queues are PARTITIONED: add_task optionally assigns a task to one
 // of set_partitions() queues (the drivers partition by elimination-tree
@@ -27,8 +34,10 @@
 // ready task near the etree root can still use every core.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "spchol/support/common.hpp"
@@ -44,6 +53,7 @@ struct SchedulerStats {
   std::size_t resource_waits = 0;   ///< ready tasks parked for a token
   std::size_t partitions = 0;       ///< ready-queue partitions used
   std::size_t steals = 0;           ///< tasks run outside their partition
+  std::size_t tasks_spawned = 0;    ///< tasks added dynamically via spawn()
 };
 
 class TaskScheduler {
@@ -84,6 +94,19 @@ class TaskScheduler {
   /// (the factorization drivers only ever add ascending-index edges).
   void add_edge(std::size_t from, std::size_t to);
 
+  /// Adds an immediately-runnable task DURING run(), from inside a
+  /// running task body; `worker` is the worker index that body received.
+  /// The spawning task is recorded as the child's implicit predecessor:
+  /// trivially satisfied live (the spawner is mid-execution), and
+  /// replayed as a dependency edge by modeled_makespan(). Spawned tasks
+  /// carry no explicit edges and no resource tokens — the dynamic use
+  /// case (the ND recursion tree) needs neither. Thread-safe; returns
+  /// the new task id. After run() the spawned tasks appear in tasks()
+  /// order behind the pre-run graph, so task_seconds() covers them.
+  std::size_t spawn(std::size_t worker, std::size_t priority, TaskFn fn,
+                    std::size_t partition = 0);
+
+  /// Tasks registered so far (including, after run(), spawned ones).
   std::size_t num_tasks() const noexcept { return tasks_.size(); }
 
   /// Executes the whole graph on `workers` threads and blocks until every
@@ -101,11 +124,12 @@ class TaskScheduler {
   /// Replays the executed graph through a greedy priority list schedule
   /// with `workers` simultaneous workers, using the measured per-task
   /// durations, and returns the makespan. This is the modeled parallel
-  /// time the symbolic scaling benches report: it depends only on the
-  /// task durations and the dependency structure, not on how many REAL
-  /// cores the measuring machine had (the same convention the GPU
-  /// simulator uses for device time). Resource tokens are ignored.
-  /// Valid after run().
+  /// time the symbolic/ordering scaling benches report: it depends only
+  /// on the task durations and the dependency structure (explicit edges
+  /// plus the implicit spawner→child edges), not on how many REAL cores
+  /// the measuring machine had (the same convention the GPU simulator
+  /// uses for device time). Resource tokens are ignored. Valid after
+  /// run().
   double modeled_makespan(std::size_t workers) const;
 
  private:
@@ -114,12 +138,21 @@ class TaskScheduler {
     std::size_t priority = 0;
     std::size_t resource = kNoResource;
     std::size_t partition = 0;
-    std::vector<std::size_t> out;  // successor task ids
+    std::size_t spawned_by = kNoResource;  // spawning task id, if any
+    double seconds = 0.0;                  // measured by run()
+    std::vector<std::size_t> out;          // successor task ids
   };
+  struct RunState;  // live run() coordination + spawned-task store
+
+  Task& task(std::size_t id);
+  void push_ready(RunState& rs, std::size_t id);
+  void stage(RunState& rs, std::size_t id);
+
   std::vector<Task> tasks_;
   std::vector<std::size_t> resource_tokens_;
   std::vector<double> durations_;
   std::size_t partitions_ = 1;
+  RunState* run_ = nullptr;  // non-null only while run() is draining
 };
 
 }  // namespace spchol

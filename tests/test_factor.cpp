@@ -63,7 +63,7 @@ TEST_P(FactorCombo, ReconstructsAAndSolves) {
     SCOPED_TRACE(c.name);
     const CscMatrix a = c.make();
     SolverOptions opts;
-    opts.ordering = combo.ordering;
+    opts.ordering_opts.method = combo.ordering;
     opts.factor.method = combo.method;
     opts.factor.exec = combo.exec;
     opts.factor.rlb_variant = combo.variant;
@@ -107,7 +107,7 @@ INSTANTIATE_TEST_SUITE_P(AllCombos, FactorCombo,
 TEST(Factor, MatchesDenseCholeskyOnSmallMatrix) {
   const CscMatrix a = dense_spd(25, 3);
   SolverOptions opts;
-  opts.ordering = OrderingMethod::kNatural;
+  opts.ordering_opts.method = OrderingMethod::kNatural;
   opts.analyze.merge_growth_cap = 0.0;
   opts.analyze.partition_refinement = false;
   CholeskySolver solver(opts);

@@ -28,7 +28,7 @@ TEST_P(LeftLookingOrderings, ReconstructsAAndSolves) {
   for (const Case& c : cases) {
     SCOPED_TRACE(c.name);
     SolverOptions opts;
-    opts.ordering = GetParam();
+    opts.ordering_opts.method = GetParam();
     opts.factor.method = Method::kLeftLooking;
     CholeskySolver solver(opts);
     solver.factorize(c.a);

@@ -97,6 +97,8 @@ TEST(Ordering, ToStringNames) {
   EXPECT_STREQ(to_string(OrderingMethod::kNatural), "natural");
   EXPECT_STREQ(to_string(OrderingMethod::kNestedDissection),
                "nested-dissection");
+  EXPECT_STREQ(to_string(NdLeafMethod::kRcm), "rcm");
+  EXPECT_STREQ(to_string(NdLeafMethod::kMinimumDegree), "minimum-degree");
 }
 
 }  // namespace

@@ -269,7 +269,7 @@ TEST(PaperExample, NumericFactorizationOnExampleMatrix) {
   const CscMatrix a = paper_matrix();
   for (const auto method : {Method::kRL, Method::kRLB}) {
     SolverOptions opts;
-    opts.ordering = OrderingMethod::kNatural;
+    opts.ordering_opts.method = OrderingMethod::kNatural;
     opts.analyze.merge_growth_cap = 0.0;
     opts.analyze.partition_refinement = false;
     opts.factor.method = method;

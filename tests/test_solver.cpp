@@ -53,7 +53,7 @@ TEST(Solver, EveryOrderingSolvesAccurately) {
         OrderingMethod::kNestedDissection, OrderingMethod::kMinimumDegree}) {
     SCOPED_TRACE(to_string(om));
     SolverOptions opts;
-    opts.ordering = om;
+    opts.ordering_opts.method = om;
     CholeskySolver solver(opts);
     solver.factorize(a);
     const auto x = solver.solve(b);
@@ -82,7 +82,7 @@ TEST(Solver, RelativeResidualOfExactSolutionIsTiny) {
 TEST(Solver, FactorEntryAccessor) {
   const CscMatrix a = dense_spd(10, 1);
   SolverOptions opts;
-  opts.ordering = OrderingMethod::kNatural;
+  opts.ordering_opts.method = OrderingMethod::kNatural;
   CholeskySolver solver(opts);
   solver.factorize(a);
   // L(0,0) = sqrt(A(0,0)); strict upper queries return 0.

@@ -46,11 +46,11 @@ TEST(Pathological, ArrowMatrixDenseFirstColumn) {
   for (index_t i = 1; i < 200; ++i) coo.add(i, 0, -1.0);
   const CscMatrix a = coo.to_csc();
   SolverOptions nd;
-  nd.ordering = OrderingMethod::kNestedDissection;
+  nd.ordering_opts.method = OrderingMethod::kNestedDissection;
   CholeskySolver s_nd(nd);
   s_nd.factorize(a);
   SolverOptions nat;
-  nat.ordering = OrderingMethod::kNatural;
+  nat.ordering_opts.method = OrderingMethod::kNatural;
   CholeskySolver s_nat(nat);
   s_nat.factorize(a);
   EXPECT_LT(s_nd.symbolic().factor_nnz(), s_nat.symbolic().factor_nnz());
@@ -92,7 +92,7 @@ TEST(Pathological, BlockDiagonalDisconnected) {
        {OrderingMethod::kNatural, OrderingMethod::kNestedDissection,
         OrderingMethod::kMinimumDegree}) {
     SolverOptions opts;
-    opts.ordering = om;
+    opts.ordering_opts.method = om;
     expect_pipeline_ok(coo.to_csc(), opts);
   }
 }
@@ -105,7 +105,7 @@ TEST(Pathological, StarGraphHub) {
   for (index_t i = 0; i < n; ++i) coo.add(i, i, static_cast<double>(n));
   for (index_t i = 1; i < n; ++i) coo.add(i, 0, -1.0);
   SolverOptions opts;
-  opts.ordering = OrderingMethod::kMinimumDegree;
+  opts.ordering_opts.method = OrderingMethod::kMinimumDegree;
   opts.analyze.merge_growth_cap = 0.0;  // measure the raw fill
   CholeskySolver solver(opts);
   solver.factorize(coo.to_csc());
@@ -120,7 +120,7 @@ TEST(Pathological, LongChainDeepEtree) {
   for (index_t i = 0; i < n; ++i) coo.add(i, i, 4.0);
   for (index_t i = 0; i + 1 < n; ++i) coo.add(i + 1, i, -1.0);
   SolverOptions opts;
-  opts.ordering = OrderingMethod::kNatural;
+  opts.ordering_opts.method = OrderingMethod::kNatural;
   expect_pipeline_ok(coo.to_csc(), opts, 1e-13);
 }
 
@@ -175,7 +175,7 @@ TEST_P(RandomizedStress, FullPipelineInvariants) {
                                   : Execution::kCpuParallel;
   }
   opts.factor.exec = exec;
-  opts.ordering = orders[rng.next_index(4)];
+  opts.ordering_opts.method = orders[rng.next_index(4)];
   opts.analyze.merge_growth_cap = rng.next_index(2) == 0 ? 0.0 : 0.25;
   opts.analyze.partition_refinement = rng.next_index(2) == 0;
   opts.factor.gpu_threshold_rl = 100 + rng.next_index(5000);
@@ -184,7 +184,7 @@ TEST_P(RandomizedStress, FullPipelineInvariants) {
                << "n=" << a.cols() << " method="
                << to_string(opts.factor.method) << " exec="
                << to_string(opts.factor.exec) << " ordering="
-               << to_string(opts.ordering));
+               << to_string(opts.ordering_opts.method));
   expect_pipeline_ok(a, opts);
 }
 
