@@ -22,9 +22,10 @@ int main() {
       static_cast<long long>(kThresholdRl),
       kDatasetDeviceBytes >> 20);
   print_rule('=');
-  std::printf("%-17s %10s %9s %8s %8s | %9s %8s | %8s %8s | %9s %8s\n",
-              "matrix", "n", "nnz(L)", "order", "analyze", "runtime",
-              "speedup", "sn(GPU)", "sn(tot)", "paper(s)", "paperSpd");
+  std::printf(
+      "%-17s %10s %9s %8s %8s | %9s %8s %8s | %8s %8s | %9s %8s\n",
+      "matrix", "n", "nnz(L)", "order", "analyze", "runtime", "speedup",
+      "batchSpd", "sn(GPU)", "sn(tot)", "paper(s)", "paperSpd");
   print_rule();
 
   // Kept for the scaling section below (Queen_4147 is the largest
@@ -37,30 +38,44 @@ int main() {
         run_factor(m, gpu_options(Method::kRL, RlbVariant::kStreamed));
     if (gpu.out_of_memory) {
       std::printf(
-          "%-17s %10d %9.2fM %8.4f %8.4f | %9s %8s | %8s %8d | %9s %8s\n",
+          "%-17s %10d %9.2fM %8.4f %8.4f | %9s %8s %8s | %8s %8d | %9s "
+          "%8s\n",
           e->name.c_str(), m.a.cols(),
           static_cast<double>(m.symb.factor_nnz()) / 1e6,
           m.ord.total_seconds, m.symb.stats().total_seconds,
-          "OOM", "-", "-", m.symb.num_supernodes(),
+          "OOM", "-", "-", "-", m.symb.num_supernodes(),
           e->paper_rl.out_of_memory ? "OOM" : "?",
           e->paper_rl.out_of_memory ? "-" : "?");
       continue;
     }
+    // Batch on/off: the same scheduled hybrid run with and without
+    // small-supernode batching, cpu_workers pinned > 1 for BOTH so the
+    // ratio isolates the batch transform (modeled time is real-core-
+    // count independent).
+    FactorOptions bopts = gpu_options(Method::kRL, RlbVariant::kStreamed);
+    bopts.cpu_workers = 8;
+    const RunResult gpu_off8 = run_factor(m, bopts);
+    bopts.batch_entries = 4096;
+    bopts.batch_max_supernodes = 16;
+    const RunResult gpu_on8 = run_factor(m, bopts);
     std::printf(
-        "%-17s %10d %9.2fM %8.4f %8.4f | %9.4f %7.2fx | %8d %8d | %9.3f "
-        "%7.2fx\n",
+        "%-17s %10d %9.2fM %8.4f %8.4f | %9.4f %7.2fx %7.2fx | %8d %8d | "
+        "%9.3f %7.2fx\n",
         e->name.c_str(), m.a.cols(),
         static_cast<double>(m.symb.factor_nnz()) / 1e6,
         m.ord.total_seconds, m.symb.stats().total_seconds, gpu.seconds,
-        cpu_best / gpu.seconds, gpu.stats.supernodes_on_gpu,
-        m.symb.num_supernodes(), e->paper_rl.time_s, e->paper_rl.speedup);
+        cpu_best / gpu.seconds, gpu_off8.seconds / gpu_on8.seconds,
+        gpu.stats.supernodes_on_gpu, m.symb.num_supernodes(),
+        e->paper_rl.time_s, e->paper_rl.speedup);
     if (e->name == "Queen_4147") largest = std::move(m);
   }
   print_rule();
   std::printf(
       "runtime/speedup: modeled on the simulated device (DESIGN.md §5); "
-      "order/analyze: REAL wall seconds\nof compute_ordering and "
-      "SymbolicFactor::analyze (default workers); paper columns: Table I "
+      "batchSpd: modeled hybrid time at 8\nworkers with batching OFF over "
+      "ON (batch_entries 4096 — the small-supernode batch transform "
+      "alone);\norder/analyze: REAL wall seconds of compute_ordering and "
+      "SymbolicFactor::analyze (default workers);\npaper columns: Table I "
       "as printed.\n");
 
   // --- CPU parallel scaling: REAL wall clock, not the model -------------
@@ -197,5 +212,76 @@ int main() {
                 last.gpu_overlap_seconds, last.gpu_stream_pairs);
   }
   print_rule();
+
+  // --- small-supernode batching: batch_entries sweep ---------------------
+  // The ExecutionPlan batch transform on the purpose-built PFlow_742
+  // analog (thousands of tiny sibling leaf supernodes under one small
+  // root). Per-task and per-call overheads dominate this regime;
+  // coalescing sibling subtrees into fused BATCH tasks amortizes them
+  // (one fused call group + one assembly fork per batch — and, in
+  // hybrid mode, one fused batched device launch pair per device
+  // batch). Modeled time, so the speedup is core-count independent;
+  // factors are bitwise identical across the whole sweep.
+  std::printf(
+      "\nExecutionPlan batch_entries sweep (RL, PFlow_742_small analog, 8 "
+      "workers)\n");
+  print_rule('=');
+  const PreparedMatrix pf = prepare(dataset_entry("PFlow_742_small"));
+  std::printf("%-14s %8s | %10s %8s %8s %7s | %10s %8s %7s\n",
+              "batch_entries", "maxSn", "cpu(s)", "speedup", "batches",
+              "snBatch", "hybrid(s)", "speedup", "fused");
+  double cpu_off = 0.0, hy_off = 0.0;
+  const index_t kSweepMaxSn = 16;
+  const offset_t sweep[] = {0, 512, 2048, 8192};
+  for (const offset_t be : sweep) {
+    FactorOptions copts;
+    copts.method = Method::kRL;
+    copts.exec = Execution::kCpuParallel;
+    copts.cpu_workers = 8;
+    copts.batch_entries = be;
+    copts.batch_max_supernodes = kSweepMaxSn;
+    const RunResult cpu = run_factor(pf, copts);
+    FactorOptions hopts = gpu_options(Method::kRL, RlbVariant::kStreamed);
+    hopts.cpu_workers = 8;
+    hopts.batch_entries = be;
+    hopts.batch_max_supernodes = kSweepMaxSn;
+    const RunResult hy = run_factor(pf, hopts);
+    if (be == 0) {
+      cpu_off = cpu.seconds;
+      hy_off = hy.seconds;
+    }
+    std::printf(
+        "%-14lld %8d | %10.5f %7.2fx %8d %7d | %10.5f %7.2fx %7zu\n",
+        static_cast<long long>(be), kSweepMaxSn, cpu.seconds,
+        cpu_off / cpu.seconds, cpu.stats.batches_formed,
+        cpu.stats.supernodes_batched, hy.seconds, hy_off / hy.seconds,
+        hy.stats.fused_device_launches);
+  }
+  // One more row with the GPU threshold lowered to the batch scale: the
+  // device-eligible batches now cross it as a UNIT and run as fused
+  // batched launch pairs (at dataset scale the modeled device loses to
+  // the batched CPU on fronts this small — the threshold normally keeps
+  // them host-side, exactly as it keeps individual small supernodes).
+  {
+    FactorOptions hopts = gpu_options(Method::kRL, RlbVariant::kStreamed,
+                                      Execution::kGpuHybrid,
+                                      /*thr_rl=*/2000, kThresholdRlb);
+    hopts.cpu_workers = 8;
+    hopts.batch_entries = 512;
+    hopts.batch_max_supernodes = kSweepMaxSn;
+    const RunResult hy = run_factor(pf, hopts);
+    std::printf(
+        "%-14s %8d | %10s %8s %8d %7d | %10.5f %7.2fx %7zu\n",
+        "512 (thr 2k)", kSweepMaxSn, "-", "-", hy.stats.batches_formed,
+        hy.stats.supernodes_batched, hy.seconds, hy_off / hy.seconds,
+        hy.stats.fused_device_launches);
+  }
+  print_rule();
+  std::printf(
+      "cpu(s)/hybrid(s): modeled kCpuParallel / kGpuHybrid factorization "
+      "seconds; speedup: vs batch_entries=0;\nfused: batched device "
+      "launches issued by device-eligible batches crossing the GPU "
+      "threshold (the last row\nlowers gpu_threshold_rl to 2000 so the "
+      "batches cross it as a unit).\n");
   return 0;
 }

@@ -33,8 +33,10 @@ struct PreparedMatrix {
 /// dissection, 25% merge cap, partition refinement).
 PreparedMatrix prepare(const DatasetEntry& entry);
 
-/// The matrices to run: all 21, or a 7-matrix subset when the environment
-/// variable SPCHOL_BENCH_QUICK is set (for iterating on the harness).
+/// The matrices to run: the paper's 21, or a 7-matrix subset when the
+/// environment variable SPCHOL_BENCH_QUICK is set (for iterating on the
+/// harness). Non-paper dataset entries (paper_matrix == false) are
+/// excluded; benches reach them via dataset_entry() where relevant.
 std::vector<const DatasetEntry*> bench_set();
 
 struct RunResult {

@@ -36,7 +36,46 @@ const char* to_string(Execution e) {
   return "?";
 }
 
+namespace {
+
+/// Rejects malformed FactorOptions up front (the PR 3/PR 4 validation
+/// convention) instead of silently clamping them mid-driver.
+void validate_options(const FactorOptions& o) {
+  if (o.cpu_workers < 0) {
+    throw InvalidArgument("FactorOptions::cpu_workers must be >= 0 (0 = "
+                          "hardware concurrency); got " +
+                          std::to_string(o.cpu_workers));
+  }
+  if (o.gpu_streams < 1) {
+    throw InvalidArgument("FactorOptions::gpu_streams must be >= 1; got " +
+                          std::to_string(o.gpu_streams));
+  }
+  if (o.gpu_threshold_rl < 0 || o.gpu_threshold_rlb < 0) {
+    throw InvalidArgument("FactorOptions GPU thresholds must be >= 0");
+  }
+  if (o.assembly_threads < 1) {
+    throw InvalidArgument(
+        "FactorOptions::assembly_threads must be >= 1; got " +
+        std::to_string(o.assembly_threads));
+  }
+  if (o.batch_entries < 0) {
+    throw InvalidArgument(
+        "FactorOptions::batch_entries must be >= 0 (0 disables "
+        "batching); got " +
+        std::to_string(o.batch_entries));
+  }
+  if (o.batch_max_supernodes < 1) {
+    throw InvalidArgument(
+        "FactorOptions::batch_max_supernodes must be >= 1; got " +
+        std::to_string(o.batch_max_supernodes));
+  }
+}
+
+}  // namespace
+
 namespace detail {
+
+thread_local FactorContext::BatchAccum* FactorContext::tl_batch_ = nullptr;
 
 void cpu_factor_panel(FactorContext& ctx, index_t s) {
   const index_t w = ctx.symb.sn_width(s);
@@ -51,18 +90,6 @@ void cpu_factor_panel(FactorContext& ctx, index_t s) {
   if (r > w) {
     ctx.cpu_trsm(r - w, w, panel, r, panel + w, r);
   }
-}
-
-std::vector<std::vector<index_t>> update_contributors(
-    const SymbolicFactor& symb) {
-  const index_t ns = symb.num_supernodes();
-  std::vector<std::vector<index_t>> contrib(static_cast<std::size_t>(ns));
-  for (index_t s = 0; s < ns; ++s) {
-    for (const index_t t : symb.sn_update_targets(s)) {
-      contrib[t].push_back(s);  // ascending: s is the outer loop
-    }
-  }
-  return contrib;
 }
 
 double rl_assemble(FactorContext& ctx, index_t s, const double* u) {
@@ -126,6 +153,7 @@ CholeskyFactor CholeskyFactor::factorize(const CscMatrix& a_lower,
                                          const FactorOptions& opts) {
   SPCHOL_CHECK(a_lower.square() && a_lower.cols() == symb.n(),
                "matrix/symbolic dimension mismatch");
+  validate_options(opts);
   WallTimer timer;
   CholeskyFactor f;
   f.symb_ = std::make_shared<SymbolicFactor>(symb);
@@ -197,6 +225,10 @@ CholeskyFactor CholeskyFactor::factorize(const CscMatrix& a_lower,
   st.gpu_stream_pairs = ctx.gpu_stream_pairs;
   st.gpu_overlap_seconds = dstats.overlap_seconds;
   st.scheduler_resource_waits = ctx.sched_stats.resource_waits;
+  st.scheduler_edges = ctx.sched_stats.edges;
+  st.batches_formed = ctx.batches_formed;
+  st.supernodes_batched = ctx.supernodes_batched;
+  st.fused_device_launches = ctx.fused_device_launches;
   return f;
 }
 

@@ -76,8 +76,9 @@ struct FactorOptions {
   /// Modeled CPU threads for the OpenMP-style parallel assembly loops.
   int assembly_threads = 16;
   /// Real worker threads for the etree task scheduler (kCpuParallel, and
-  /// the CPU side of kGpuHybrid). 0 = hardware concurrency. A value of 1
-  /// keeps the sequential driver (still bitwise identical).
+  /// the CPU side of kGpuHybrid). 0 = hardware concurrency; negative
+  /// values are rejected with InvalidArgument. A value of 1 keeps the
+  /// sequential driver (still bitwise identical).
   int cpu_workers = 0;
   /// Stream/buffer slot pairs available to in-flight GPU supernodes in the
   /// scheduled kGpuHybrid path. Each slot owns its own compute/copy stream
@@ -85,8 +86,23 @@ struct FactorOptions {
   /// supernode, so independent subtree supernodes overlap on the device.
   /// The pool degrades gracefully (down to a single pair — the old chained
   /// pipeline) when device memory cannot hold every slot; values < 1 are
-  /// treated as 1. Results are bitwise identical across stream counts.
+  /// rejected with InvalidArgument. Results are bitwise identical across
+  /// stream counts.
   int gpu_streams = 4;
+  /// Small-supernode batching (an ExecutionPlan transform of the
+  /// scheduled drivers): sibling elimination-tree subtrees whose every
+  /// supernode has fewer dense entries than this coalesce into single
+  /// fused compute+scatter tasks, lifting the per-task and per-kernel
+  /// overhead floor on many-small-supernode matrices (the PFlow_742
+  /// class). In kGpuHybrid a batch of independent leaves whose COMBINED
+  /// entries cross gpu_threshold_* runs as one fused batched device
+  /// launch pair (RL only). 0 disables batching; negative values are
+  /// rejected with InvalidArgument. Factors are bitwise identical with
+  /// batching on or off, for every worker/stream count.
+  offset_t batch_entries = 0;
+  /// Greedy sibling packing stops a batch at this many supernodes
+  /// (>= 1; rejected with InvalidArgument otherwise).
+  index_t batch_max_supernodes = 16;
 };
 
 /// Modeled + measured execution statistics of one factorization.
@@ -132,15 +148,29 @@ struct FactorStats {
   double gpu_overlap_seconds = 0.0;
   /// GPU tasks that were ready but parked waiting for a free slot.
   std::size_t scheduler_resource_waits = 0;
+  /// Dependency edges of the executed task graph (after deduplication);
+  /// batching coarsens the graph, shrinking both tasks and edges.
+  std::size_t scheduler_edges = 0;
+  // --- small-supernode batching counters ---------------------------------
+  /// BATCH plan nodes the scheduled driver executed (0 when batching is
+  /// off or the driver ran sequentially).
+  index_t batches_formed = 0;
+  /// Supernodes coalesced into those batches.
+  index_t supernodes_batched = 0;
+  /// Fused batched device launches issued (kGpuHybrid RL: one panel-factor
+  /// plus one update launch per device-executed batch).
+  std::size_t fused_device_launches = 0;
 };
 
 class CholeskyFactor {
  public:
   /// Factorizes PAPᵀ = LLᵀ where P is symb.permutation() and A is given by
-  /// its lower triangle in the ORIGINAL ordering. Throws
-  /// NotPositiveDefinite (column reported in original indices) or
-  /// gpu::DeviceOutOfMemory (RL on matrices whose update matrix exceeds
-  /// device capacity — the paper's nlpkkt120 row).
+  /// its lower triangle in the ORIGINAL ordering. Throws InvalidArgument
+  /// on malformed options (negative cpu_workers or thresholds,
+  /// gpu_streams or assembly_threads or batch_max_supernodes < 1,
+  /// negative batch_entries), NotPositiveDefinite (column reported in
+  /// original indices), or gpu::DeviceOutOfMemory (RL on matrices whose
+  /// update matrix exceeds device capacity — the paper's nlpkkt120 row).
   static CholeskyFactor factorize(const CscMatrix& a_lower,
                                   const SymbolicFactor& symb,
                                   const FactorOptions& opts = {});

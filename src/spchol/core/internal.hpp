@@ -45,6 +45,9 @@ struct FactorContext {
   std::size_t num_cpu_blas_calls = 0;
   index_t supernodes_on_gpu = 0;
   index_t gpu_stream_pairs = 0;  ///< stream/buffer slots the driver used
+  index_t batches_formed = 0;        ///< BATCH plan nodes executed
+  index_t supernodes_batched = 0;    ///< supernodes coalesced into them
+  std::size_t fused_device_launches = 0;
   SchedulerStats sched_stats{};
 
   FactorContext(const SymbolicFactor& s, std::vector<double>& v,
@@ -77,8 +80,9 @@ struct FactorContext {
     return symb.sn_entries(s) >= threshold;
   }
 
-  /// Stream/buffer slots the scheduled hybrid drivers may keep in flight
-  /// (the option clamped below at the old single-pair behaviour).
+  /// Stream/buffer slots the scheduled hybrid drivers may keep in flight.
+  /// validate_options rejects gpu_streams < 1 before any driver runs;
+  /// the guard below is purely defensive.
   std::size_t gpu_slot_budget() const {
     return opts.gpu_streams > 0 ? static_cast<std::size_t>(opts.gpu_streams)
                                 : 1;
@@ -109,6 +113,40 @@ struct FactorContext {
     FactorContext& ctx_;
   };
 
+  /// Accumulator of the modeled CPU work issued inside one BATCH task.
+  struct BatchAccum {
+    double flops = 0.0;          // combined flops of every member kernel
+    std::size_t calls = 0;       // member kernels issued
+    double entries = 0.0;        // factor entries scatter-assembled
+  };
+
+  /// RAII scope of one fused CPU batch task: while installed (on this
+  /// thread), account_cpu/account_assembly GATHER instead of charging per
+  /// call, and the close charges the whole batch as one fused batched
+  /// call group plus one fused assembly region
+  /// (PerfModel::cpu_batched_kernel_seconds_best) — the modeled
+  /// amortization of per-call and per-fork overheads that batching
+  /// exists to buy. The REAL kernels still run one member at a time in
+  /// ascending order, so the numeric bits never depend on batching.
+  class BatchScope {
+   public:
+    explicit BatchScope(FactorContext& ctx) : ctx_(ctx) {
+      prev_ = tl_batch_;
+      tl_batch_ = &acc_;
+    }
+    ~BatchScope() {
+      tl_batch_ = prev_;
+      ctx_.charge_batched(acc_);
+    }
+    BatchScope(const BatchScope&) = delete;
+    BatchScope& operator=(const BatchScope&) = delete;
+
+   private:
+    FactorContext& ctx_;
+    BatchAccum acc_;
+    BatchAccum* prev_;
+  };
+
   // --- CPU BLAS: execute for real, advance the modeled host clock --------
   //
   // Sequential drivers advance the device host clock inline (exactly the
@@ -119,6 +157,11 @@ struct FactorContext {
   // precisely the overlap win: CPU supernode work no longer delays the
   // issue of device operations.
   void account_cpu(double flops) {
+    if (tl_batch_ != nullptr) {  // gathered; charged fused by BatchScope
+      tl_batch_->flops += flops;
+      tl_batch_->calls++;
+      return;
+    }
     const double t = opts.exec == Execution::kCpuSerial
                          ? dev.model().cpu_kernel_seconds(flops, 1)
                          : dev.model().cpu_kernel_seconds_best(flops);
@@ -158,6 +201,10 @@ struct FactorContext {
 
   /// Models one parallel-assembly region of `entries` scatter-adds.
   void account_assembly(double entries) {
+    if (tl_batch_ != nullptr) {  // gathered; charged fused by BatchScope
+      tl_batch_->entries += entries;
+      return;
+    }
     const double t = dev.model().assembly_seconds(
         entries, opts.assembly_threads);
     if (scheduled) {
@@ -175,6 +222,11 @@ struct FactorContext {
     supernodes_on_gpu++;
   }
 
+  void count_fused_launch() {
+    std::lock_guard<std::mutex> lk(account_mu_);
+    fused_device_launches++;
+  }
+
   /// Folds the modeled time of scheduler-executed CPU work into the
   /// device host clock. Call after the task graph has drained.
   void flush_deferred() {
@@ -183,6 +235,28 @@ struct FactorContext {
   }
 
  private:
+  /// Charges one closed batch: the gathered member kernels as a single
+  /// fused batched call group, the gathered scatter-adds as a single
+  /// fused assembly region. Both sums are order-independent, so the
+  /// modeled time never depends on worker interleaving. Only the
+  /// scheduled drivers run batches, so the deferred fold owns the clock.
+  void charge_batched(const BatchAccum& acc) {
+    double blas = 0.0;
+    if (acc.calls > 0) {
+      blas = dev.model().cpu_batched_kernel_seconds_best(acc.flops,
+                                                         acc.calls);
+    }
+    const double asm_t =
+        dev.model().assembly_seconds(acc.entries, opts.assembly_threads);
+    std::lock_guard<std::mutex> lk(account_mu_);
+    deferred_host_seconds_ += blas + asm_t;
+    cpu_blas_seconds += blas;
+    assembly_seconds += asm_t;
+    num_cpu_blas_calls += acc.calls;
+  }
+
+  static thread_local BatchAccum* tl_batch_;
+
   std::mutex account_mu_;
   double deferred_host_seconds_ = 0.0;
   std::atomic<std::size_t> active_tasks_{0};
@@ -197,12 +271,6 @@ void cpu_factor_panel(FactorContext& ctx, index_t s);
 /// ld = below, holding MINUS the outer product) into the ancestors of s.
 /// Returns the number of entries scattered (for the assembly model).
 double rl_assemble(FactorContext& ctx, index_t s, const double* u);
-
-/// Per-target contributor lists of the update DAG: dag[t] holds, in
-/// ascending order, every supernode whose row structure reaches t (i.e.
-/// that scatters an update into t). Inverse of sn_update_targets().
-std::vector<std::vector<index_t>> update_contributors(
-    const SymbolicFactor& symb);
 
 /// Ready-queue partition of every supernode for the scheduler's
 /// subtree-partitioned queues: whole supernodal-etree subtrees map to one

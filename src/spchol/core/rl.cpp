@@ -9,14 +9,18 @@
 // the compute stream → synchronous D2H(update matrix) → parallel CPU
 // assembly. Small supernodes (entries < threshold) stay on the CPU.
 //
-// Parallel path (ctx.scheduled): every supernode becomes two tasks —
-// COMPUTE (panel factorization + SYRK into a per-supernode update buffer)
-// and SCATTER (assembly into the ancestors). Dependencies come from the
-// supernodal elimination tree: COMPUTE(t) waits for the scatter of t's
-// last contributor, and the scatters of a shared target are chained in
-// ascending source order, which simultaneously (a) makes every target's
-// storage single-writer without locks and (b) reproduces the sequential
-// accumulation order, so results are bitwise identical to kCpuSerial.
+// Parallel path (ctx.scheduled): the driver is a thin EXECUTOR over the
+// shared ExecutionPlan (symbolic/exec_plan.*). The plan's COMPUTE nodes
+// map to panel factorization + SYRK into a per-supernode update buffer,
+// SCATTER nodes to the ancestor assembly, and BATCH nodes to fused
+// compute+scatter sweeps over a run of small sibling subtrees (one fused
+// batched device launch pair when the members are independent leaves
+// whose combined entries cross the GPU threshold). The plan's edges are
+// the supernodal-etree readiness edges plus the per-target ascending
+// scatter chains, which simultaneously (a) make every target's storage
+// single-writer without locks and (b) reproduce the sequential
+// accumulation order, so results are bitwise identical to kCpuSerial for
+// every worker/stream/batch setting.
 //
 // In kGpuHybrid the above-threshold COMPUTE tasks run the §III device
 // pipeline on a slot drawn from a bounded pool: each in-flight GPU
@@ -31,9 +35,11 @@
 #include <cstring>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "spchol/core/internal.hpp"
+#include "spchol/symbolic/exec_plan.hpp"
 
 namespace spchol::detail {
 
@@ -172,6 +178,75 @@ void rl_gpu_compute(FactorContext& ctx, index_t s, RlGpuSlot& slot,
   }
 }
 
+/// Fused batched device pipeline for a BATCH of small, mutually
+/// independent leaf supernodes [first, last]: ONE packed H2D of every
+/// member panel, one fused batched POTRF+TRSM launch, one packed D2H of
+/// the factored panels, one fused batched SYRK launch into a packed
+/// update buffer, one packed D2H, then CPU assembly in ascending member
+/// order — the sequential per-target accumulation order, so results stay
+/// bitwise identical to the unbatched path. The launch latency and
+/// transfer latency are paid once per batch instead of once per
+/// supernode (gpu::perf_model batched-kernel cost). Synchronization is
+/// device-side only, like rl_gpu_compute.
+void rl_gpu_batch(FactorContext& ctx, index_t first, index_t last,
+                  RlGpuSlot& slot) {
+  const SymbolicFactor& symb = ctx.symb;
+  std::vector<gpu::BatchedPanel> panels;
+  panels.reserve(static_cast<std::size_t>(last - first + 1));
+  std::size_t panel_total = 0, update_total = 0;
+  for (index_t s = first; s <= last; ++s) {
+    const index_t w = symb.sn_width(s);
+    const index_t r = symb.sn_nrows(s);
+    const std::size_t below = static_cast<std::size_t>(r - w);
+    panels.push_back({w, r, panel_total, update_total, symb.sn_begin(s)});
+    panel_total += static_cast<std::size_t>(r) * w;
+    update_total += below * below;
+    ctx.count_gpu_supernode();
+  }
+
+  // Pack the member panels into one staging area: one transfer for the
+  // whole batch (the staging memcpy is a simulation detail, like the
+  // eager data movement of the async copies).
+  std::vector<double> stage(panel_total);
+  for (std::size_t i = 0; i < panels.size(); ++i) {
+    const gpu::BatchedPanel& p = panels[i];
+    std::memcpy(stage.data() + p.panel_off,
+                ctx.sn_values(first + static_cast<index_t>(i)),
+                static_cast<std::size_t>(p.r) * p.w * sizeof(double));
+  }
+  // Slot-reuse hazard: chain behind the previous occupant's async D2H.
+  slot.compute.wait(slot.copy.record());
+  gpu::copy_h2d(ctx.dev, slot.compute, slot.panel, 0, stage.data(),
+                panel_total, /*async=*/true);
+  gpu::batched_panel_factor(ctx.dev, slot.compute, panels, slot.panel);
+  ctx.count_fused_launch();
+  slot.copy.wait(slot.compute.record());
+  gpu::copy_d2h(ctx.dev, slot.copy, stage.data(), slot.panel, 0,
+                panel_total, /*async=*/true);
+  for (std::size_t i = 0; i < panels.size(); ++i) {
+    const gpu::BatchedPanel& p = panels[i];
+    std::memcpy(ctx.sn_values(first + static_cast<index_t>(i)),
+                stage.data() + p.panel_off,
+                static_cast<std::size_t>(p.r) * p.w * sizeof(double));
+  }
+  if (update_total == 0) return;
+
+  gpu::batched_syrk_update(ctx.dev, slot.compute, panels, slot.panel,
+                           slot.update);
+  ctx.count_fused_launch();
+  std::vector<double> ustage(update_total);
+  gpu::copy_d2h(ctx.dev, slot.compute, ustage.data(), slot.update, 0,
+                update_total, /*async=*/true);
+  double entries = 0.0;
+  for (std::size_t i = 0; i < panels.size(); ++i) {
+    const gpu::BatchedPanel& p = panels[i];
+    if (p.r == p.w) continue;
+    entries += rl_assemble(ctx, first + static_cast<index_t>(i),
+                           ustage.data() + p.update_off);
+  }
+  ctx.account_assembly(entries);  // one fused assembly region per batch
+}
+
 void run_rl_sequential(FactorContext& ctx) {
   const SymbolicFactor& symb = ctx.symb;
   const index_t ns = symb.num_supernodes();
@@ -226,17 +301,69 @@ void run_rl_scheduled(FactorContext& ctx) {
   const index_t ns = symb.num_supernodes();
   const bool hybrid = ctx.opts.exec == Execution::kGpuHybrid;
 
-  // Per-GPU-supernode buffer needs, ranked descending: slot k only has to
-  // host the k-th largest panel / update among CONCURRENTLY in-flight
-  // supernodes, so N slots cost far less than N copies of the largest —
-  // that is what lets several pairs fit under a tight device memory cap.
+  // Subtree-partitioned ready queues: each supernode's tasks enter the
+  // queue of its etree subtree, keeping a subtree's chain of work on the
+  // worker that ran its children (stealing covers imbalance).
+  TaskScheduler sched;
+  const std::vector<index_t> queue_of =
+      supernode_queue_partition(symb, ctx.workers, sched);
+
+  // The shared task-graph shape: COMPUTE/SCATTER/BATCH nodes + readiness
+  // and per-target chain edges, with small sibling subtrees coalesced
+  // into BATCH nodes (see symbolic/exec_plan.*).
+  std::vector<char> on_gpu(static_cast<std::size_t>(ns), 0);
+  if (hybrid) {
+    for (index_t s = 0; s < ns; ++s) on_gpu[s] = ctx.on_gpu(s) ? 1 : 0;
+  }
+  PlanOptions popts;
+  popts.batch_entries = ctx.opts.batch_entries;
+  popts.batch_max_supernodes = ctx.opts.batch_max_supernodes;
+  const ExecutionPlan plan =
+      ExecutionPlan::build(symb, on_gpu, queue_of, popts);
+  const auto nodes = plan.nodes();
+  ctx.batches_formed = plan.batches_formed();
+  ctx.supernodes_batched = plan.supernodes_batched();
+
+  // Packed buffer needs of one batch (panel entries, update entries).
+  auto batch_needs = [&](const PlanNode& n) {
+    std::size_t p = 0, u = 0;
+    for (index_t s = n.batch_first; s <= n.batch_last; ++s) {
+      const std::size_t below = static_cast<std::size_t>(symb.sn_below(s));
+      p += static_cast<std::size_t>(symb.sn_entries(s));
+      u += below * below;
+    }
+    return std::pair<std::size_t, std::size_t>{p, u};
+  };
+  // Device-batch decision, deterministic from the plan and options alone:
+  // a batch of independent leaves goes to the device when its COMBINED
+  // entries cross the hybrid threshold — individually its members were
+  // GPU-hostile, but one fused launch pair amortizes the latency the
+  // threshold exists to avoid. (Bitwise identity is unaffected: the
+  // device runs the same deterministic kernels in the same order.)
+  std::vector<char> batch_on_dev(nodes.size(), 0);
+
+  // Per-GPU-task buffer needs (supernodes AND device batches), ranked
+  // descending: slot k only has to host the k-th largest panel / update
+  // among CONCURRENTLY in-flight GPU tasks, so N slots cost far less
+  // than N copies of the largest — that is what lets several pairs fit
+  // under a tight device memory cap.
   std::vector<std::size_t> panel_need, update_need;
   if (hybrid) {
-    for (index_t s = 0; s < ns; ++s) {
-      if (!ctx.on_gpu(s)) continue;
-      const std::size_t below = static_cast<std::size_t>(symb.sn_below(s));
-      panel_need.push_back(static_cast<std::size_t>(symb.sn_entries(s)));
-      update_need.push_back(below * below);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const PlanNode& n = nodes[i];
+      if (n.kind == PlanNodeKind::kCompute && n.on_gpu) {
+        const std::size_t below =
+            static_cast<std::size_t>(symb.sn_below(n.sn));
+        panel_need.push_back(
+            static_cast<std::size_t>(symb.sn_entries(n.sn)));
+        update_need.push_back(below * below);
+      } else if (n.kind == PlanNodeKind::kBatch && n.device_eligible) {
+        const auto [p, u] = batch_needs(n);
+        if (static_cast<offset_t>(p) < ctx.opts.gpu_threshold_rl) continue;
+        batch_on_dev[i] = 1;
+        panel_need.push_back(p);
+        update_need.push_back(u);
+      }
     }
     std::sort(panel_need.rbegin(), panel_need.rend());
     std::sort(update_need.rbegin(), update_need.rend());
@@ -244,7 +371,7 @@ void run_rl_scheduled(FactorContext& ctx) {
   const std::size_t num_gpu = panel_need.size();
 
   // Bounded slot pool: one compute/copy stream pair + device buffers per
-  // in-flight GPU supernode. The pool shrinks (down to one pair) when the
+  // in-flight GPU task. The pool shrinks (down to one pair) when the
   // device cannot fit every slot; if not even one fits, the
   // DeviceOutOfMemory (with its available-byte report) propagates rather
   // than leaving GPU tasks waiting on an empty pool forever.
@@ -258,103 +385,154 @@ void run_rl_scheduled(FactorContext& ctx) {
     });
     ctx.gpu_stream_pairs = static_cast<index_t>(pool->size());
   }
+  const std::size_t gpu_res =
+      pool ? sched.add_resource(pool->size()) : TaskScheduler::kNoResource;
 
   // Per-supernode update buffers: allocated by COMPUTE (the device path
   // fills them through its final D2H), consumed and released by SCATTER.
+  // Batches carry their own transient scratch instead.
   std::vector<std::vector<double>> ubuf(static_cast<std::size_t>(ns));
 
-  // Subtree-partitioned ready queues: each supernode's tasks enter the
-  // queue of its etree subtree, keeping a subtree's chain of work on the
-  // worker that ran its children (stealing covers imbalance).
-  TaskScheduler sched;
-  const std::vector<index_t> queue_of =
-      supernode_queue_partition(symb, ctx.workers, sched);
-  const std::size_t gpu_res =
-      pool ? sched.add_resource(pool->size()) : TaskScheduler::kNoResource;
-  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
-  std::vector<std::size_t> t_compute(static_cast<std::size_t>(ns), kNone);
-  std::vector<std::size_t> t_scatter(static_cast<std::size_t>(ns), kNone);
-  const std::size_t prio_scatter_base = 0;   // drain scatters first
-  const std::size_t prio_compute_base = static_cast<std::size_t>(ns);
-
-  std::vector<index_t> scatter_sns;  // every supernode with a SCATTER task
-  for (index_t s = 0; s < ns; ++s) {
-    const index_t w = symb.sn_width(s);
-    const index_t r = symb.sn_nrows(s);
-    const index_t below = r - w;
-    if (hybrid && ctx.on_gpu(s)) {
-      // Device COMPUTE: acquires a slot big enough for this supernode,
-      // runs the §III pipeline, leaves the update matrix in ubuf[s]. The
-      // resource token caps in-flight GPU tasks at the pool size, so
-      // waiting for a FITTING slot is rare and always bounded (slot 0
-      // fits everything).
-      const std::size_t need_panel = static_cast<std::size_t>(r) * w;
-      const std::size_t need_update = static_cast<std::size_t>(below) *
-                                      static_cast<std::size_t>(below);
-      t_compute[s] = sched.add_task(
-          prio_scatter_base + static_cast<std::size_t>(s),
-          [&ctx, &pool, &ubuf, s, need_panel, need_update](std::size_t) {
-            FactorContext::TaskScope scope(ctx);
-            auto lease = pool->acquire([&](const RlGpuSlot& slot) {
-              return slot.panel.size() >= need_panel &&
-                     slot.update.size() >= need_update;
-            });
-            rl_gpu_compute(ctx, s, *lease, ubuf[s]);
-          },
-          gpu_res, static_cast<std::size_t>(queue_of[s]));
-    } else {
-      t_compute[s] = sched.add_task(
-          prio_compute_base + static_cast<std::size_t>(s),
-          [&ctx, &ubuf, s, w, r, below](std::size_t) {
-            FactorContext::TaskScope scope(ctx);
-            cpu_factor_panel(ctx, s);
-            if (below > 0) {
-              const std::size_t ucount = static_cast<std::size_t>(below) *
-                                         static_cast<std::size_t>(below);
-              ubuf[s].assign(ucount, 0.0);
-              ctx.cpu_syrk(below, w, ctx.sn_values(s) + w, r, ubuf[s].data(),
-                           below);
-            }
-          },
-          TaskScheduler::kNoResource, static_cast<std::size_t>(queue_of[s]));
-    }
-    if (below > 0) {
-      t_scatter[s] = sched.add_task(
-          prio_scatter_base + static_cast<std::size_t>(s),
-          [&ctx, &ubuf, s](std::size_t) {
-            FactorContext::TaskScope scope(ctx);
-            ctx.account_assembly(rl_assemble(ctx, s, ubuf[s].data()));
-            std::vector<double>().swap(ubuf[s]);  // free eagerly
-          },
-          TaskScheduler::kNoResource, static_cast<std::size_t>(queue_of[s]));
-      sched.add_edge(t_compute[s], t_scatter[s]);
-      scatter_sns.push_back(s);
+  // --- map plan nodes to scheduler tasks ---------------------------------
+  std::vector<std::size_t> task_of(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const PlanNode& n = nodes[i];
+    switch (n.kind) {
+      case PlanNodeKind::kCompute: {
+        const index_t s = n.sn;
+        const index_t w = symb.sn_width(s);
+        const index_t r = symb.sn_nrows(s);
+        const index_t below = r - w;
+        if (n.on_gpu) {
+          // Device COMPUTE: acquires a slot big enough for this
+          // supernode, runs the §III pipeline, leaves the update matrix
+          // in ubuf[s]. The resource token caps in-flight GPU tasks at
+          // the pool size, so waiting for a FITTING slot is rare and
+          // always bounded (slot 0 fits everything).
+          const std::size_t need_panel = static_cast<std::size_t>(r) * w;
+          const std::size_t need_update =
+              static_cast<std::size_t>(below) *
+              static_cast<std::size_t>(below);
+          task_of[i] = sched.add_task(
+              n.priority,
+              [&ctx, &pool, &ubuf, s, need_panel,
+               need_update](std::size_t) {
+                FactorContext::TaskScope scope(ctx);
+                auto lease = pool->acquire([&](const RlGpuSlot& slot) {
+                  return slot.panel.size() >= need_panel &&
+                         slot.update.size() >= need_update;
+                });
+                rl_gpu_compute(ctx, s, *lease, ubuf[s]);
+              },
+              gpu_res, n.queue);
+        } else {
+          task_of[i] = sched.add_task(
+              n.priority,
+              [&ctx, &ubuf, s, w, r, below](std::size_t) {
+                FactorContext::TaskScope scope(ctx);
+                cpu_factor_panel(ctx, s);
+                if (below > 0) {
+                  const std::size_t ucount =
+                      static_cast<std::size_t>(below) *
+                      static_cast<std::size_t>(below);
+                  ubuf[s].assign(ucount, 0.0);
+                  ctx.cpu_syrk(below, w, ctx.sn_values(s) + w, r,
+                               ubuf[s].data(), below);
+                }
+              },
+              TaskScheduler::kNoResource, n.queue);
+        }
+        break;
+      }
+      case PlanNodeKind::kScatter: {
+        const index_t s = n.sn;
+        task_of[i] = sched.add_task(
+            n.priority,
+            [&ctx, &ubuf, s](std::size_t) {
+              FactorContext::TaskScope scope(ctx);
+              ctx.account_assembly(rl_assemble(ctx, s, ubuf[s].data()));
+              std::vector<double>().swap(ubuf[s]);  // free eagerly
+            },
+            TaskScheduler::kNoResource, n.queue);
+        break;
+      }
+      case PlanNodeKind::kBatch: {
+        const index_t first = n.batch_first;
+        const index_t last = n.batch_last;
+        if (batch_on_dev[i]) {
+          const auto [need_panel, need_update] = batch_needs(n);
+          task_of[i] = sched.add_task(
+              n.priority,
+              [&ctx, &pool, first, last, need_panel,
+               need_update](std::size_t) {
+                FactorContext::TaskScope scope(ctx);
+                auto lease = pool->acquire([&](const RlGpuSlot& slot) {
+                  return slot.panel.size() >= need_panel &&
+                         slot.update.size() >= need_update;
+                });
+                rl_gpu_batch(ctx, first, last, *lease);
+              },
+              gpu_res, n.queue);
+          break;
+        }
+        // Fused CPU sweep: compute then assemble each member in
+        // ascending order — exactly the sequential driver's pattern
+        // (shared scratch, memset per member), so the bits match it.
+        // BatchScope gathers the members' modeled costs and charges the
+        // batch as one fused call group + one fused assembly region.
+        task_of[i] = sched.add_task(
+            n.priority,
+            [&ctx, first, last](std::size_t) {
+              FactorContext::TaskScope scope(ctx);
+              FactorContext::BatchScope batch(ctx);
+              const SymbolicFactor& sb = ctx.symb;
+              std::size_t umax = 0;
+              for (index_t s = first; s <= last; ++s) {
+                const std::size_t below =
+                    static_cast<std::size_t>(sb.sn_below(s));
+                umax = std::max(umax, below * below);
+              }
+              std::vector<double> u(umax);
+              for (index_t s = first; s <= last; ++s) {
+                const index_t w = sb.sn_width(s);
+                const index_t r = sb.sn_nrows(s);
+                const index_t below = r - w;
+                cpu_factor_panel(ctx, s);
+                if (below > 0) {
+                  const std::size_t ucount =
+                      static_cast<std::size_t>(below) *
+                      static_cast<std::size_t>(below);
+                  std::memset(u.data(), 0, ucount * sizeof(double));
+                  ctx.cpu_syrk(below, w, ctx.sn_values(s) + w, r, u.data(),
+                               below);
+                  ctx.account_assembly(rl_assemble(ctx, s, u.data()));
+                }
+              }
+            },
+            TaskScheduler::kNoResource, n.queue);
+        break;
+      }
     }
   }
-
-  // Readiness + write-order edges from the supernodal etree update DAG.
-  // The per-target ascending scatter chains are ALL the ordering the GPU
-  // supernodes need: device COMPUTE tasks run concurrently (bounded by
-  // the slot pool), and assembly determinism comes from the chains.
-  const auto contrib = update_contributors(symb);
-  for (index_t t = 0; t < ns; ++t) {
-    const auto& cs = contrib[t];
-    if (cs.empty()) continue;
-    for (std::size_t i = 1; i < cs.size(); ++i) {
-      sched.add_edge(t_scatter[cs[i - 1]], t_scatter[cs[i]]);
-    }
-    // The chain makes the last contributor's scatter imply all earlier
-    // ones: one edge is the whole atomic-decrement ready count of t.
-    sched.add_edge(t_scatter[cs.back()], t_compute[t]);
+  for (const auto& [from, to] : plan.edges()) {
+    sched.add_edge(task_of[from], task_of[to]);
   }
+
   // Memory throttle: at most ~K update buffers in flight. The edge
   // target's compute may not start until the K-back scatter has freed
   // its buffer; all edges go forward in supernode order, so no cycles.
+  // Batches hold no ubuf (their scratch is task-local), so only the
+  // plan's SCATTER nodes participate.
+  std::vector<std::pair<std::size_t, std::size_t>> throttled;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].kind != PlanNodeKind::kScatter) continue;
+    throttled.emplace_back(task_of[i],
+                           task_of[plan.compute_node(nodes[i].sn)]);
+  }
   const std::size_t kWindow =
       2 * ctx.workers + 2 + (pool ? pool->size() : 0);
-  for (std::size_t j = kWindow; j < scatter_sns.size(); ++j) {
-    sched.add_edge(t_scatter[scatter_sns[j - kWindow]],
-                   t_compute[scatter_sns[j]]);
+  for (std::size_t j = kWindow; j < throttled.size(); ++j) {
+    sched.add_edge(throttled[j - kWindow].first, throttled[j].second);
   }
 
   ctx.sched_stats = sched.run(ctx.workers);

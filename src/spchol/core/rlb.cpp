@@ -16,22 +16,29 @@
 // as it completes; device scratch is a single block pair — the low-memory
 // variant that survives nlpkkt120.
 //
-// Parallel path (ctx.scheduled): COMPUTE(s) = panel factorization,
-// SCATTER(s, t) = the direct block updates of s into ONE target
-// supernode t — one task per (source, target), so the updates of s into
-// different ancestors run concurrently (near the etree root this is most
-// of the recoverable parallelism). Because RLB writes straight into
-// ancestor storage, the per-target contributor chains are what makes the
-// writes safe: a target's storage has exactly one writer at a time, in
-// ascending source order — the sequential accumulation order, so results
-// stay bitwise identical to kCpuSerial. GPU supernodes are fused tasks
-// (device pipeline + their own assembly); each draws a stream-pair/buffer
-// slot from a bounded pool so independent GPU supernodes overlap on the
-// device, while the per-target chains still serialize every shared
-// target's writers. In the scheduled path all synchronization is
-// device-side (deferred_clock): a task must never advance the shared
-// modeled host clock to a stream tail, or the post-drain fold of deferred
-// CPU-task time would count the overlapped transfer wait twice.
+// Parallel path (ctx.scheduled): a thin EXECUTOR over the shared
+// ExecutionPlan (symbolic/exec_plan.*), built in split-scatter mode:
+// COMPUTE(s) = panel factorization, SCATTER(s, t) = the direct block
+// updates of s into ONE target supernode t — one node per (source,
+// target), so the updates of s into different ancestors run concurrently
+// (near the etree root this is most of the recoverable parallelism).
+// Because RLB writes straight into ancestor storage, the plan's
+// per-target contributor chains are what makes the writes safe: a
+// target's storage has exactly one writer at a time, in ascending source
+// order — the sequential accumulation order, so results stay bitwise
+// identical to kCpuSerial. GPU supernodes are fused plan nodes (device
+// pipeline + their own assembly, standing in the chains for every one of
+// their targets); each draws a stream-pair/buffer slot from a bounded
+// pool so independent GPU supernodes overlap on the device. BATCH nodes
+// run fused CPU sweeps over small sibling subtrees (compute + all direct
+// updates per member, ascending) — never on the device: the device
+// variants assemble block products through scratch, a different (though
+// combo-invariant) rounding than the CPU's direct in-place updates, and
+// batching must not change the bits. In the scheduled path all
+// synchronization is device-side (deferred_clock): a task must never
+// advance the shared modeled host clock to a stream tail, or the
+// post-drain fold of deferred CPU-task time would count the overlapped
+// transfer wait twice.
 #include <algorithm>
 #include <cstring>
 #include <memory>
@@ -39,6 +46,7 @@
 #include <vector>
 
 #include "spchol/core/internal.hpp"
+#include "spchol/symbolic/exec_plan.hpp"
 
 namespace spchol::detail {
 
@@ -369,6 +377,28 @@ void run_rlb_scheduled(FactorContext& ctx) {
   const bool hybrid = ctx.opts.exec == Execution::kGpuHybrid;
   const bool batched = ctx.opts.rlb_variant == RlbVariant::kBatched;
 
+  // Subtree-partitioned ready queues (see supernode_queue_partition).
+  TaskScheduler sched;
+  const std::vector<index_t> queue_of =
+      supernode_queue_partition(symb, ctx.workers, sched);
+
+  // The shared task-graph shape, in split-scatter mode with fused GPU
+  // nodes; small sibling subtrees coalesce into BATCH nodes.
+  std::vector<char> on_gpu(static_cast<std::size_t>(ns), 0);
+  if (hybrid) {
+    for (index_t s = 0; s < ns; ++s) on_gpu[s] = ctx.on_gpu(s) ? 1 : 0;
+  }
+  PlanOptions popts;
+  popts.split_scatter_per_target = true;
+  popts.fuse_gpu_scatter = true;
+  popts.batch_entries = ctx.opts.batch_entries;
+  popts.batch_max_supernodes = ctx.opts.batch_max_supernodes;
+  const ExecutionPlan plan =
+      ExecutionPlan::build(symb, on_gpu, queue_of, popts);
+  const auto nodes = plan.nodes();
+  ctx.batches_formed = plan.batches_formed();
+  ctx.supernodes_batched = plan.supernodes_batched();
+
   // Per-GPU-supernode buffer needs (panel; update scratch = below² for
   // the batched variant, largest block pair for the streamed one),
   // ranked descending: slot k only hosts the k-th largest concurrent
@@ -411,100 +441,84 @@ void run_rlb_scheduled(FactorContext& ctx) {
     });
     ctx.gpu_stream_pairs = static_cast<index_t>(pool->size());
   }
-
-  // Subtree-partitioned ready queues (see supernode_queue_partition).
-  TaskScheduler sched;
-  const std::vector<index_t> queue_of =
-      supernode_queue_partition(symb, ctx.workers, sched);
   const std::size_t gpu_res =
       pool ? sched.add_resource(pool->size()) : TaskScheduler::kNoResource;
-  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
-  std::vector<std::size_t> t_compute(static_cast<std::size_t>(ns), kNone);
-  // CPU scatters are SPLIT per target supernode: scat_tasks[s][i] updates
-  // scat_targets[s][i] (== sn_update_targets(s), ascending), so the
-  // scatters of one supernode into different ancestors run concurrently —
-  // near the etree root, where every supernode updates the same few
-  // ancestors, this is most of the recoverable parallelism. GPU
-  // supernodes stay fused (device pipeline + all their updates, one
-  // task); the per-target chains below treat the fused task as the
-  // scatter for every one of its targets.
-  std::vector<std::vector<index_t>> scat_targets(
-      static_cast<std::size_t>(ns));
-  std::vector<std::vector<std::size_t>> scat_tasks(
-      static_cast<std::size_t>(ns));
-  std::vector<char> fused(static_cast<std::size_t>(ns), 0);
-  const std::size_t prio_compute_base = static_cast<std::size_t>(ns);
 
-  for (index_t s = 0; s < ns; ++s) {
-    const std::size_t queue = static_cast<std::size_t>(queue_of[s]);
-    if (hybrid && ctx.on_gpu(s)) {
-      // Fused device task (pipeline + its own assembly) on a pooled slot
-      // big enough for this supernode. No ascending GPU chain: the
-      // per-target contributor chains below are the only ordering
-      // assembly needs, so GPU supernodes in independent subtrees
-      // overlap on the device.
-      const std::size_t need_panel =
-          static_cast<std::size_t>(symb.sn_entries(s));
-      const std::size_t need_update = update_entries(s);
-      t_compute[s] = sched.add_task(
-          static_cast<std::size_t>(s),
-          [&ctx, s, &pool, batched, need_panel, need_update](std::size_t) {
-            FactorContext::TaskScope scope(ctx);
-            auto lease = pool->acquire([&](const RlbGpuState& slot) {
-              return slot.panel_dev.size() >= need_panel &&
-                     slot.update_dev.size() >= need_update;
-            });
-            rlb_gpu_supernode(ctx, s, *lease, batched);
-          },
-          gpu_res, queue);
-      fused[s] = 1;
-      continue;
-    }
-    t_compute[s] = sched.add_task(
-        prio_compute_base + static_cast<std::size_t>(s),
-        [&ctx, s](std::size_t) {
-          FactorContext::TaskScope scope(ctx);
-          cpu_factor_panel(ctx, s);
-        },
-        TaskScheduler::kNoResource, queue);
-    if (symb.sn_below(s) > 0) {
-      scat_targets[s] = symb.sn_update_targets(s);
-      for (const index_t target : scat_targets[s]) {
-        const std::size_t id = sched.add_task(
-            static_cast<std::size_t>(s),
+  // --- map plan nodes to scheduler tasks ---------------------------------
+  std::vector<std::size_t> task_of(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const PlanNode& n = nodes[i];
+    switch (n.kind) {
+      case PlanNodeKind::kCompute: {
+        const index_t s = n.sn;
+        if (n.on_gpu) {
+          // Fused device task (pipeline + its own assembly) on a pooled
+          // slot big enough for this supernode. No ascending GPU chain:
+          // the plan's per-target contributor chains are the only
+          // ordering assembly needs, so GPU supernodes in independent
+          // subtrees overlap on the device.
+          const std::size_t need_panel =
+              static_cast<std::size_t>(symb.sn_entries(s));
+          const std::size_t need_update = update_entries(s);
+          task_of[i] = sched.add_task(
+              n.priority,
+              [&ctx, s, &pool, batched, need_panel,
+               need_update](std::size_t) {
+                FactorContext::TaskScope scope(ctx);
+                auto lease = pool->acquire([&](const RlbGpuState& slot) {
+                  return slot.panel_dev.size() >= need_panel &&
+                         slot.update_dev.size() >= need_update;
+                });
+                rlb_gpu_supernode(ctx, s, *lease, batched);
+              },
+              gpu_res, n.queue);
+        } else {
+          task_of[i] = sched.add_task(
+              n.priority,
+              [&ctx, s](std::size_t) {
+                FactorContext::TaskScope scope(ctx);
+                cpu_factor_panel(ctx, s);
+              },
+              TaskScheduler::kNoResource, n.queue);
+        }
+        break;
+      }
+      case PlanNodeKind::kScatter: {
+        const index_t s = n.sn;
+        const index_t target = n.target;
+        task_of[i] = sched.add_task(
+            n.priority,
             [&ctx, s, target](std::size_t) {
               FactorContext::TaskScope scope(ctx);
               rlb_cpu_updates_target(ctx, s, target);
             },
-            TaskScheduler::kNoResource, queue);
-        scat_tasks[s].push_back(id);
-        sched.add_edge(t_compute[s], id);
+            TaskScheduler::kNoResource, n.queue);
+        break;
+      }
+      case PlanNodeKind::kBatch: {
+        // Fused CPU sweep: panel factorization + ALL direct updates per
+        // member, in ascending order — the sequential driver's exact
+        // operation sequence, so the bits match it. BatchScope charges
+        // the whole batch as one fused call group.
+        const index_t first = n.batch_first;
+        const index_t last = n.batch_last;
+        task_of[i] = sched.add_task(
+            n.priority,
+            [&ctx, first, last](std::size_t) {
+              FactorContext::TaskScope scope(ctx);
+              FactorContext::BatchScope batch(ctx);
+              for (index_t s = first; s <= last; ++s) {
+                cpu_factor_panel(ctx, s);
+                rlb_cpu_updates(ctx, s);
+              }
+            },
+            TaskScheduler::kNoResource, n.queue);
+        break;
       }
     }
   }
-
-  // Scatter task of source s for target t (the fused device task stands
-  // in for every target of a GPU supernode).
-  auto scatter_task = [&](index_t s, index_t t) {
-    if (fused[s]) return t_compute[s];
-    const auto& ts = scat_targets[s];
-    const auto it = std::lower_bound(ts.begin(), ts.end(), t);
-    SPCHOL_CHECK(it != ts.end() && *it == t,
-                 "contributor missing a scatter task for its target");
-    return scat_tasks[s][static_cast<std::size_t>(it - ts.begin())];
-  };
-
-  // Per-target chains in ascending source order: a target's storage has
-  // exactly one writer at a time, in the sequential accumulation order —
-  // bitwise identical results. The chain tail gates the target's compute.
-  const auto contrib = update_contributors(symb);
-  for (index_t t = 0; t < ns; ++t) {
-    const auto& cs = contrib[t];
-    if (cs.empty()) continue;
-    for (std::size_t i = 1; i < cs.size(); ++i) {
-      sched.add_edge(scatter_task(cs[i - 1], t), scatter_task(cs[i], t));
-    }
-    sched.add_edge(scatter_task(cs.back(), t), t_compute[t]);
+  for (const auto& [from, to] : plan.edges()) {
+    sched.add_edge(task_of[from], task_of[to]);
   }
 
   ctx.sched_stats = sched.run(ctx.workers);

@@ -95,6 +95,54 @@ void gemm_nt_minus_beta0(Device& dev, Stream& s, index_t m, index_t n,
   account_kernel(dev, s, dense::flops_gemm(m, n, k));
 }
 
+void batched_panel_factor(Device& dev, Stream& s,
+                          std::span<const BatchedPanel> panels,
+                          DeviceBuffer& buf) {
+  double flops = 0.0;
+  for (const BatchedPanel& p : panels) {
+    try {
+      dense::potrf_lower_parallel(dev.compute_pool(), dev.compute_threads(),
+                                  p.w, buf.data() + p.panel_off, p.r);
+    } catch (const NotPositiveDefinite& e) {
+      throw NotPositiveDefinite(p.first_col + e.column());
+    }
+    flops += dense::flops_potrf(p.w);
+    if (p.r > p.w) {
+      dense::trsm_right_lower_trans_parallel(
+          dev.compute_pool(), dev.compute_threads(), p.r - p.w, p.w,
+          buf.data() + p.panel_off, p.r,
+          buf.data() + p.panel_off + p.w, p.r);
+      flops += dense::flops_trsm(p.r - p.w, p.w);
+    }
+  }
+  const double dur =
+      dev.model().gpu_batched_kernel_seconds(flops, panels.size());
+  dev.advance_host(dev.model().issue_overhead);
+  dev.enqueue(s, dur);
+  dev.note_kernel(dur);
+}
+
+void batched_syrk_update(Device& dev, Stream& s,
+                         std::span<const BatchedPanel> panels,
+                         const DeviceBuffer& pbuf, DeviceBuffer& ubuf) {
+  double flops = 0.0;
+  std::size_t members = 0;
+  for (const BatchedPanel& p : panels) {
+    const index_t below = p.r - p.w;
+    if (below == 0) continue;
+    zero_region(ubuf, p.update_off, below, below, below);
+    dense::syrk_lower_nt_parallel(dev.compute_pool(), dev.compute_threads(),
+                                  below, p.w, pbuf.data() + p.panel_off + p.w,
+                                  p.r, ubuf.data() + p.update_off, below);
+    flops += dense::flops_syrk(below, p.w);
+    members++;
+  }
+  const double dur = dev.model().gpu_batched_kernel_seconds(flops, members);
+  dev.advance_host(dev.model().issue_overhead);
+  dev.enqueue(s, dur);
+  dev.note_kernel(dur);
+}
+
 void zero_fill(Device& dev, Stream& s, DeviceBuffer& buf, std::size_t off,
                std::size_t count) {
   SPCHOL_CHECK(off + count <= buf.size(), "zero_fill out of range");

@@ -3,6 +3,8 @@
 // buffers) and enqueues its modeled duration on a stream.
 #pragma once
 
+#include <span>
+
 #include "spchol/gpu/device.hpp"
 
 namespace spchol::gpu {
@@ -48,5 +50,34 @@ void gemm_nt_minus_beta0(Device& dev, Stream& s, index_t m, index_t n,
 /// bandwidth-bound kernel.
 void zero_fill(Device& dev, Stream& s, DeviceBuffer& buf, std::size_t off,
                std::size_t count);
+
+// --- fused batched launches (small-supernode batching) --------------------
+
+/// One member panel of a fused batched launch, packed column-major at
+/// `panel_off` in the panel buffer (r × w, ld = r); its update matrix
+/// ((r-w)² lower, ld = r-w) lands at `update_off` in the update buffer.
+struct BatchedPanel {
+  index_t w = 0;               ///< supernode width
+  index_t r = 0;               ///< supernode rows (>= w)
+  std::size_t panel_off = 0;   ///< member offset in the packed panel buffer
+  std::size_t update_off = 0;  ///< member offset in the packed update buffer
+  index_t first_col = 0;       ///< global first column (pivot reporting)
+};
+
+/// ONE fused batched panel-factorization launch: DPOTRF + DTRSM of every
+/// member panel, modeled as a single launch whose per-kernel latency is
+/// amortized over the batch (PerfModel::gpu_batched_kernel_seconds) —
+/// the cuBLAS/MAGMA batched-API shape for swarms of small dense blocks.
+/// Throws NotPositiveDefinite with first_col + local column.
+void batched_panel_factor(Device& dev, Stream& s,
+                          std::span<const BatchedPanel> panels,
+                          DeviceBuffer& buf);
+
+/// ONE fused batched update launch: the beta = 0 DSYRK of every member
+/// with r > w, each overwriting its own tile of the packed update buffer.
+/// One modeled launch for the whole batch.
+void batched_syrk_update(Device& dev, Stream& s,
+                         std::span<const BatchedPanel> panels,
+                         const DeviceBuffer& pbuf, DeviceBuffer& ubuf);
 
 }  // namespace spchol::gpu

@@ -36,6 +36,18 @@ double PerfModel::gpu_kernel_seconds(double flops) const {
   return gpu_kernel_launch + flops / rate;
 }
 
+double PerfModel::gpu_batched_kernel_seconds(double total_flops,
+                                             std::size_t count) const {
+  return gpu_kernel_seconds(total_flops) +
+         static_cast<double>(count) * gpu_batch_member_overhead;
+}
+
+double PerfModel::cpu_batched_kernel_seconds_best(double total_flops,
+                                                  std::size_t count) const {
+  return cpu_kernel_seconds_best(total_flops) +
+         static_cast<double>(count) * cpu_batch_member_overhead;
+}
+
 double PerfModel::h2d_seconds(double bytes) const {
   return transfer_latency + bytes / (h2d_gbytes_per_s * 1e9);
 }

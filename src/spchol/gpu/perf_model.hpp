@@ -34,6 +34,7 @@
 //    percent; bandwidth cuts cost proportionally) is preserved.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "spchol/support/common.hpp"
@@ -59,6 +60,15 @@ struct PerfModel {
   /// Host-side cost of issuing an asynchronous operation.
   double issue_overhead = 0.2e-6;
 
+  // --- fused batched launches (the small-supernode batching path) ---
+  /// Per-member dispatch cost inside ONE fused batched device launch
+  /// (cuBLAS/MAGMA batched-API style): the launch latency is paid once
+  /// for the whole batch, each member only its descriptor setup.
+  double gpu_batch_member_overhead = 0.05e-6;
+  /// Per-member dispatch cost inside one fused batched CPU call group
+  /// (MKL batch-API style), replacing the full per-call overhead.
+  double cpu_batch_member_overhead = 0.02e-6;
+
   // --- transfers ---
   double h2d_gbytes_per_s = 90.0;
   double d2h_gbytes_per_s = 80.0;
@@ -76,6 +86,21 @@ struct PerfModel {
   double cpu_kernel_seconds_best(double flops) const;
   /// Modeled time of a device kernel of `flops`.
   double gpu_kernel_seconds(double flops) const;
+  /// Modeled time of ONE fused batched device launch executing `count`
+  /// member kernels of `total_flops` combined work: a single launch
+  /// latency plus per-member dispatch, with the size-dependent efficiency
+  /// earned by the batch TOTAL — batched kernels fill the device where
+  /// the members alone could not (the §III small-supernode floor).
+  double gpu_batched_kernel_seconds(double total_flops,
+                                    std::size_t count) const;
+  /// Modeled time of one fused batched CPU call group of `count` member
+  /// kernels totalling `total_flops`: one call overhead plus per-member
+  /// dispatch, with the thread-scaling grain earned by the total (members
+  /// of a batch run on different threads even when each is tiny). Best
+  /// over cpu_thread_candidates — the scheduled drivers' convention, and
+  /// only they batch.
+  double cpu_batched_kernel_seconds_best(double total_flops,
+                                         std::size_t count) const;
   double h2d_seconds(double bytes) const;
   double d2h_seconds(double bytes) const;
   /// Modeled time of scatter-assembling `entries` factor entries on the

@@ -66,6 +66,15 @@ std::vector<DatasetEntry> build_dataset() {
       [] { return grid3d_wide(40, 28, 22, 2); });
   add("Queen_4147", 4147110, 7158, {89.552, 4.27, 3898}, {121.299, 3.15, 3647},
       "grid3d_vector 29^3 x3dof", [] { return grid3d_vector(29, 29, 29, 3); });
+
+  // Extra (non-paper) regime: the purpose-built many-small-supernode
+  // analog of the PFlow_742 class — thousands of tiny sibling leaf
+  // supernodes under one small root, the shape where per-task and
+  // per-kernel overheads dominate and ExecutionPlan batching pays.
+  add("PFlow_742_small", 0, 0, {}, {},
+      "small_supernode_forest 2400 leaves x12, root 24",
+      [] { return small_supernode_forest(2400, 12, 24); });
+  d.back().paper_matrix = false;
   return d;
 }
 

@@ -40,6 +40,11 @@ struct DatasetEntry {
   PaperRow paper_rlb;      // Table II row
   std::string analog;      // generator description
   std::function<CscMatrix()> make;
+  /// True for the paper's 21 Table I/II matrices; false for extra
+  /// synthetic regimes (e.g. the PFlow_742_small batching analog) that
+  /// carry no paper row and are excluded from the table benches'
+  /// default set (still reachable via dataset_entry()).
+  bool paper_matrix = true;
 };
 
 /// All 21 entries in the paper's table order.

@@ -148,6 +148,38 @@ CscMatrix grid3d_vector(index_t nx, index_t ny, index_t nz, index_t dofs,
   return assemble_spd(n, off, shift);
 }
 
+CscMatrix small_supernode_forest(index_t leaves, index_t leaf_n,
+                                 index_t root_n, double shift) {
+  SPCHOL_CHECK(leaves > 0 && leaf_n > 0 && root_n > 0,
+               "forest dimensions must be positive");
+  const index_t n = leaves * leaf_n + root_n;
+  const index_t root_base = leaves * leaf_n;
+  std::vector<Triplet> off;
+  off.reserve(static_cast<std::size_t>(leaves) *
+                  (static_cast<std::size_t>(leaf_n) * (leaf_n + 1) / 2) +
+              static_cast<std::size_t>(root_n) * (root_n - 1) / 2);
+  for (index_t k = 0; k < leaves; ++k) {
+    const index_t base = k * leaf_n;
+    for (index_t j = 0; j < leaf_n; ++j) {
+      for (index_t i = j + 1; i < leaf_n; ++i) {
+        off.push_back({base + i, base + j, -1.0});
+      }
+      // Couple EVERY leaf column to the same root column: all columns of
+      // the clique share one row structure, so the clique is a single
+      // fundamental supernode (one small front, one below-diagonal row
+      // into the root supernode — its etree parent) under any ordering
+      // that keeps the clique contiguous, with no reliance on merging.
+      off.push_back({root_base + (k % root_n), base + j, -0.5});
+    }
+  }
+  for (index_t j = 0; j < root_n; ++j) {
+    for (index_t i = j + 1; i < root_n; ++i) {
+      off.push_back({root_base + i, root_base + j, -1.0});
+    }
+  }
+  return assemble_spd(n, off, shift);
+}
+
 CscMatrix random_spd(index_t n, index_t extra_per_col, std::uint64_t seed,
                      double shift) {
   SPCHOL_CHECK(n > 0, "dimension must be positive");

@@ -34,6 +34,16 @@ CscMatrix grid3d_wide(index_t nx, index_t ny, index_t nz, index_t range,
 CscMatrix grid3d_vector(index_t nx, index_t ny, index_t nz, index_t dofs,
                         double shift = 0.0);
 
+/// Many-small-supernode analog (the PFlow_742 class): `leaves` dense
+/// cliques of `leaf_n` columns, every column of a clique coupled to one
+/// column of a dense root clique of `root_n` columns (round-robin per
+/// leaf). The supernodal elimination tree is one root supernode with
+/// `leaves` singleton leaf children — wide, shallow, all-small fronts —
+/// the shape where per-task scheduling and per-kernel launch overheads
+/// dominate and sibling-leaf batching pays the most.
+CscMatrix small_supernode_forest(index_t leaves, index_t leaf_n,
+                                 index_t root_n, double shift = 0.0);
+
 /// Random sparse SPD matrix: `extra_per_col` strictly-lower entries per
 /// column at random rows, values in [-1,1], then the dominant diagonal.
 CscMatrix random_spd(index_t n, index_t extra_per_col, std::uint64_t seed,

@@ -15,4 +15,5 @@
 #include "spchol/matrix/dataset.hpp"
 #include "spchol/matrix/generators.hpp"
 #include "spchol/matrix/matrix_market.hpp"
+#include "spchol/symbolic/exec_plan.hpp"
 #include "spchol/symbolic/symbolic_factor.hpp"

@@ -194,9 +194,11 @@ SchedulerStats TaskScheduler::run(std::size_t workers) {
   const std::size_t ntasks = tasks_.size();
 
   // Dedup out-edges and seed the pending counters.
+  std::size_t num_edges = 0;
   for (auto& t : tasks_) {
     std::sort(t.out.begin(), t.out.end());
     t.out.erase(std::unique(t.out.begin(), t.out.end()), t.out.end());
+    num_edges += t.out.size();
   }
   std::vector<std::atomic<std::size_t>> pending(ntasks);
   for (const auto& t : tasks_) {
@@ -333,6 +335,7 @@ SchedulerStats TaskScheduler::run(std::size_t workers) {
   }
 
   stats.tasks_spawned = spawned;
+  stats.edges = num_edges;
   stats.max_ready_depth = rs.max_ready.load();
   stats.resource_waits = rs.resource_waits.load();
   if (rs.error) std::rethrow_exception(rs.error);

@@ -54,6 +54,7 @@ struct SchedulerStats {
   std::size_t partitions = 0;       ///< ready-queue partitions used
   std::size_t steals = 0;           ///< tasks run outside their partition
   std::size_t tasks_spawned = 0;    ///< tasks added dynamically via spawn()
+  std::size_t edges = 0;            ///< dependency edges (after dedup)
 };
 
 class TaskScheduler {

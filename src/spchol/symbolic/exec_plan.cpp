@@ -1,0 +1,250 @@
+#include "spchol/symbolic/exec_plan.hpp"
+
+#include <algorithm>
+
+namespace spchol {
+
+namespace {
+
+/// Per-target contributor lists of the update DAG: contrib[t] holds, in
+/// ascending order, every supernode whose row structure reaches t.
+/// Inverse of sn_update_targets().
+std::vector<std::vector<index_t>> update_contributors(
+    const SymbolicFactor& symb) {
+  const index_t ns = symb.num_supernodes();
+  std::vector<std::vector<index_t>> contrib(static_cast<std::size_t>(ns));
+  for (index_t s = 0; s < ns; ++s) {
+    for (const index_t t : symb.sn_update_targets(s)) {
+      contrib[t].push_back(s);  // ascending: s is the outer loop
+    }
+  }
+  return contrib;
+}
+
+struct BatchDef {
+  index_t first;      // first supernode of the contiguous range
+  index_t last;       // last supernode (inclusive; a packed subtree root)
+  bool leaves_only;   // every packed subtree is a singleton
+};
+
+/// Greedy sibling packing: walks each parent's child list (and the root
+/// list) in ascending order, accumulating ADJACENT subtrees whose every
+/// supernode is small, and flushes a BATCH whenever the next subtree
+/// does not fit (too large, not small throughout, or not adjacent).
+/// Adjacent sibling subtrees of a postordered supernodal etree tile a
+/// contiguous index interval, which is the property that keeps a batch
+/// from ever crossing a target's contributor chain.
+std::vector<BatchDef> pack_batches(const SymbolicFactor& symb,
+                                   std::span<const char> on_gpu,
+                                   const PlanOptions& opts) {
+  std::vector<BatchDef> defs;
+  if (opts.batch_entries <= 0) return defs;
+  const index_t ns = symb.num_supernodes();
+
+  // Subtree sizes and the "small throughout" flag, both bottom-up over
+  // the postorder (children precede parents).
+  std::vector<index_t> size(static_cast<std::size_t>(ns), 1);
+  std::vector<char> small_subtree(static_cast<std::size_t>(ns), 1);
+  for (index_t s = 0; s < ns; ++s) {
+    const bool small = (on_gpu.empty() || !on_gpu[s]) &&
+                       symb.sn_entries(s) < opts.batch_entries;
+    if (!small) small_subtree[s] = 0;
+    const index_t p = symb.sn_parent(s);
+    if (p >= 0) {
+      size[p] += size[s];
+      if (!small_subtree[s]) small_subtree[p] = 0;
+    }
+  }
+
+  // Batches claim whole subtree ranges; a claimed supernode's own child
+  // group must not pack again (a chain would otherwise yield overlapping
+  // batches at every level), so groups are visited TOP-DOWN: the root
+  // list first, then parents in descending postorder index.
+  std::vector<char> claimed(static_cast<std::size_t>(ns), 0);
+  index_t run_first = -1, run_last = -1, run_count = 0;
+  bool run_leaves = true;
+  auto flush = [&]() {
+    // A batch of one supernode saves nothing over the plain task pair.
+    if (run_count >= 2) {
+      defs.push_back({run_first, run_last, run_leaves});
+      for (index_t s = run_first; s <= run_last; ++s) claimed[s] = 1;
+    }
+    run_count = 0;
+    run_leaves = true;
+  };
+  auto pack_children = [&](std::span<const index_t> children) {
+    for (const index_t c : children) {
+      if (!small_subtree[c] || size[c] > opts.batch_max_supernodes) {
+        flush();
+        continue;
+      }
+      const index_t begin = c - size[c] + 1;
+      if (run_count > 0 && (begin != run_last + 1 ||
+                            run_count + size[c] >
+                                opts.batch_max_supernodes)) {
+        flush();
+      }
+      if (run_count == 0) run_first = begin;
+      run_last = c;
+      run_count += size[c];
+      run_leaves = run_leaves && size[c] == 1;
+    }
+    flush();
+  };
+
+  std::vector<index_t> roots;
+  for (index_t s = 0; s < ns; ++s) {
+    if (symb.sn_parent(s) < 0) roots.push_back(s);
+  }
+  pack_children(roots);
+  for (index_t p = ns - 1; p >= 0; --p) {
+    if (claimed[p]) continue;
+    pack_children(symb.sn_children(p));
+  }
+  // Batches are discovered per parent group, so sort them into index
+  // order (ranges are disjoint) for deterministic, ascending emission.
+  std::sort(defs.begin(), defs.end(),
+            [](const BatchDef& a, const BatchDef& b) {
+              return a.first < b.first;
+            });
+  return defs;
+}
+
+}  // namespace
+
+std::size_t ExecutionPlan::scatter_node(index_t sn, index_t target) const {
+  if (batch_of_[sn] != kNoNode) return batch_of_[sn];
+  if (fuse_gpu_scatter_ && nodes_[compute_of_[sn]].on_gpu) {
+    return compute_of_[sn];
+  }
+  const std::size_t lo = scatter_ptr_[sn];
+  const std::size_t hi = scatter_ptr_[sn + 1];
+  if (!split_scatter_) {
+    SPCHOL_CHECK(hi == lo + 1, "supernode missing its scatter node");
+    return scatter_nodes_[lo];
+  }
+  const auto first = scatter_tgts_.begin() + static_cast<offset_t>(lo);
+  const auto last = scatter_tgts_.begin() + static_cast<offset_t>(hi);
+  const auto it = std::lower_bound(first, last, target);
+  SPCHOL_CHECK(it != last && *it == target,
+               "contributor missing a scatter node for its target");
+  return scatter_nodes_[lo + static_cast<std::size_t>(it - first)];
+}
+
+ExecutionPlan ExecutionPlan::build(const SymbolicFactor& symb,
+                                   std::span<const char> on_gpu,
+                                   std::span<const index_t> queue_of,
+                                   const PlanOptions& opts) {
+  const index_t ns = symb.num_supernodes();
+  SPCHOL_CHECK(on_gpu.empty() ||
+                   on_gpu.size() == static_cast<std::size_t>(ns),
+               "on_gpu span size mismatch");
+  SPCHOL_CHECK(queue_of.empty() ||
+                   queue_of.size() == static_cast<std::size_t>(ns),
+               "queue_of span size mismatch");
+  SPCHOL_CHECK(opts.batch_max_supernodes >= 1,
+               "batch_max_supernodes must be >= 1");
+
+  ExecutionPlan plan;
+  plan.split_scatter_ = opts.split_scatter_per_target;
+  plan.fuse_gpu_scatter_ = opts.fuse_gpu_scatter;
+  plan.compute_of_.assign(static_cast<std::size_t>(ns), kNoNode);
+  plan.batch_of_.assign(static_cast<std::size_t>(ns), kNoNode);
+  plan.scatter_ptr_.assign(static_cast<std::size_t>(ns) + 1, 0);
+
+  const std::vector<BatchDef> defs = pack_batches(symb, on_gpu, opts);
+  std::vector<std::size_t> def_of(static_cast<std::size_t>(ns), kNoNode);
+  for (std::size_t d = 0; d < defs.size(); ++d) {
+    for (index_t s = defs[d].first; s <= defs[d].last; ++s) def_of[s] = d;
+    plan.supernodes_batched_ += defs[d].last - defs[d].first + 1;
+  }
+  plan.batches_formed_ = static_cast<index_t>(defs.size());
+
+  auto queue = [&](index_t s) {
+    return queue_of.empty() ? std::size_t{0}
+                            : static_cast<std::size_t>(queue_of[s]);
+  };
+  const std::size_t prio_scatter_base = 0;  // drain scatters first
+  const std::size_t prio_compute_base = static_cast<std::size_t>(ns);
+
+  // --- node emission, ascending in supernode order ------------------------
+  for (index_t s = 0; s < ns; ++s) {
+    const std::size_t d = def_of[s];
+    plan.scatter_ptr_[s] = plan.scatter_nodes_.size();
+    if (d != kNoNode) {
+      if (s == defs[d].first) {
+        PlanNode b;
+        b.kind = PlanNodeKind::kBatch;
+        b.batch_first = defs[d].first;
+        b.batch_last = defs[d].last;
+        b.device_eligible = defs[d].leaves_only;
+        b.priority = prio_scatter_base +
+                     static_cast<std::size_t>(defs[d].last);
+        b.queue = queue(defs[d].first);
+        const std::size_t id = plan.nodes_.size();
+        plan.nodes_.push_back(b);
+        for (index_t m = defs[d].first; m <= defs[d].last; ++m) {
+          plan.batch_of_[m] = id;
+        }
+      }
+      continue;
+    }
+    const bool gpu = !on_gpu.empty() && on_gpu[s] != 0;
+    PlanNode c;
+    c.kind = PlanNodeKind::kCompute;
+    c.sn = s;
+    c.on_gpu = gpu;
+    // GPU computes drain with the scatters (they feed the pipeline);
+    // CPU computes queue behind every runnable scatter.
+    c.priority = (gpu ? prio_scatter_base : prio_compute_base) +
+                 static_cast<std::size_t>(s);
+    c.queue = queue(s);
+    plan.compute_of_[s] = plan.nodes_.size();
+    plan.nodes_.push_back(c);
+    if ((gpu && opts.fuse_gpu_scatter) || symb.sn_below(s) == 0) continue;
+    auto emit_scatter = [&](index_t target) {
+      PlanNode n;
+      n.kind = PlanNodeKind::kScatter;
+      n.sn = s;
+      n.target = target;
+      n.priority = prio_scatter_base + static_cast<std::size_t>(s);
+      n.queue = queue(s);
+      const std::size_t id = plan.nodes_.size();
+      plan.nodes_.push_back(n);
+      plan.scatter_nodes_.push_back(id);
+      plan.scatter_tgts_.push_back(target);
+      plan.edges_.emplace_back(plan.compute_of_[s], id);
+    };
+    if (opts.split_scatter_per_target) {
+      for (const index_t target : symb.sn_update_targets(s)) {
+        emit_scatter(target);
+      }
+    } else {
+      emit_scatter(-1);
+    }
+  }
+  plan.scatter_ptr_[ns] = plan.scatter_nodes_.size();
+
+  // --- per-target contributor chains + readiness edges --------------------
+  const auto contrib = update_contributors(symb);
+  for (index_t t = 0; t < ns; ++t) {
+    const auto& cs = contrib[t];
+    if (cs.empty()) continue;
+    std::size_t prev = kNoNode;
+    for (const index_t c : cs) {
+      const std::size_t w = plan.scatter_node(c, t);
+      if (w == prev) continue;  // consecutive in-batch contributors
+      if (prev != kNoNode) plan.edges_.emplace_back(prev, w);
+      prev = w;
+    }
+    // The chain makes the last contributor's scatter imply all earlier
+    // ones: one edge is the whole ready count of t. A batched target's
+    // contributors are its descendants — all inside its own batch — so
+    // the tail IS the batch node and no edge is needed.
+    const std::size_t entry = plan.compute_node(t);
+    if (prev != entry) plan.edges_.emplace_back(prev, entry);
+  }
+  return plan;
+}
+
+}  // namespace spchol

@@ -1,0 +1,135 @@
+// ExecutionPlan: the shared task-graph shape of the scheduled numeric
+// factorization drivers (RL, RLB, and the hybrid GPU paths).
+//
+// The planner walks the supernodal elimination tree once and produces a
+// DAG of plan nodes:
+//
+//   * COMPUTE(s)      — panel factorization of supernode s (plus, for RL,
+//                       the SYRK producing s's update matrix). `on_gpu`
+//                       marks nodes the hybrid executor runs through the
+//                       device pipeline.
+//   * SCATTER(s)      — assembly of s's updates into its ancestors; in
+//     SCATTER(s, t)     split mode (the RLB CPU shape) one node per
+//                       (source, target) pair so updates of one supernode
+//                       into different ancestors run concurrently.
+//   * BATCH(a..b)     — a fused task executing the compute AND scatter of
+//                       every supernode in the contiguous index range
+//                       [a, b] in ascending order.
+//
+// plus explicit dependency edges:
+//
+//   * COMPUTE(s) → each SCATTER of s;
+//   * per-target contributor chains in ascending source order — every
+//     target's storage has exactly one writer at a time, in the
+//     sequential accumulation order, so factors are bitwise identical to
+//     the serial drivers for every worker/stream/batch setting;
+//   * chain tail → the target's own COMPUTE (readiness).
+//
+// Batching is a plan transform, not an executor concern: sibling subtrees
+// whose every supernode falls below `batch_entries` dense entries are
+// greedily packed (in ascending child order, up to `batch_max_supernodes`
+// supernodes) into BATCH nodes. Because a packed run of adjacent sibling
+// subtrees covers one CONTIGUOUS postorder index interval, the in-batch
+// contributors of any outside target form a contiguous run of that
+// target's ascending contributor chain — the batch node simply replaces
+// the run, never crossing a chain, which is what preserves bitwise
+// identity. A batch's members receive updates only from inside the batch
+// (contributors are descendants), so batches need no incoming readiness
+// edges of their own. `device_eligible` marks batches whose members are
+// all independent leaves (singleton subtrees, no member-to-member
+// updates): those may execute as ONE fused batched device launch pair.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "spchol/symbolic/symbolic_factor.hpp"
+
+namespace spchol {
+
+enum class PlanNodeKind : std::uint8_t { kCompute, kScatter, kBatch };
+
+struct PlanNode {
+  PlanNodeKind kind = PlanNodeKind::kCompute;
+  index_t sn = -1;           ///< kCompute / kScatter: the supernode
+  index_t target = -1;       ///< kScatter in split mode: the target sn
+  index_t batch_first = -1;  ///< kBatch: first supernode of the range
+  index_t batch_last = -1;   ///< kBatch: last supernode (inclusive)
+  bool on_gpu = false;       ///< kCompute: runs the device pipeline
+  /// kBatch: every member is an independent leaf (no member updates
+  /// another member), so the batch may run as one fused device launch.
+  bool device_eligible = false;
+  std::size_t priority = 0;  ///< scheduler priority (lower runs first)
+  std::size_t queue = 0;     ///< ready-queue partition
+};
+
+struct PlanOptions {
+  /// One SCATTER node per (source, target) pair — the RLB CPU shape —
+  /// instead of one SCATTER per source (RL).
+  bool split_scatter_per_target = false;
+  /// GPU COMPUTE nodes absorb their scatters (RLB's fused device tasks):
+  /// the compute node stands in the chains for every one of its targets.
+  bool fuse_gpu_scatter = false;
+  /// Supernodes with fewer dense entries than this are batching
+  /// candidates; 0 disables the batch transform entirely.
+  offset_t batch_entries = 0;
+  /// Greedy sibling packing stops a batch at this many supernodes.
+  index_t batch_max_supernodes = 16;
+};
+
+class ExecutionPlan {
+ public:
+  static constexpr std::size_t kNoNode = static_cast<std::size_t>(-1);
+
+  /// Builds the plan. `on_gpu[s]` marks supernodes the executor will run
+  /// on the device (never batched); `queue_of[s]` assigns ready-queue
+  /// partitions (empty span → all 0). Both spans are indexed by
+  /// supernode and must be empty or of length num_supernodes().
+  static ExecutionPlan build(const SymbolicFactor& symb,
+                             std::span<const char> on_gpu,
+                             std::span<const index_t> queue_of,
+                             const PlanOptions& opts);
+
+  std::span<const PlanNode> nodes() const noexcept { return nodes_; }
+  std::span<const std::pair<std::size_t, std::size_t>> edges()
+      const noexcept {
+    return edges_;
+  }
+
+  /// Node performing the compute of s: its batch node when batched,
+  /// otherwise its COMPUTE node.
+  std::size_t compute_node(index_t sn) const {
+    return batch_of_[sn] != kNoNode ? batch_of_[sn] : compute_of_[sn];
+  }
+  /// Node performing s's scatter into target t: the batch node when s is
+  /// batched, the fused compute node for GPU supernodes in
+  /// fuse_gpu_scatter mode, the (s, t) scatter node in split mode, and
+  /// s's single SCATTER node otherwise.
+  std::size_t scatter_node(index_t sn, index_t target) const;
+  /// True when sn was coalesced into a BATCH node.
+  bool batched(index_t sn) const { return batch_of_[sn] != kNoNode; }
+
+  index_t batches_formed() const noexcept { return batches_formed_; }
+  index_t supernodes_batched() const noexcept {
+    return supernodes_batched_;
+  }
+
+ private:
+  std::vector<PlanNode> nodes_;
+  std::vector<std::pair<std::size_t, std::size_t>> edges_;
+  std::vector<std::size_t> compute_of_;  // per sn; batch members → batch
+  std::vector<std::size_t> batch_of_;    // per sn; kNoNode if unbatched
+  // Scatter-node lookup: ids of s's scatter nodes (with their targets in
+  // split mode) live at [scatter_ptr_[s], scatter_ptr_[s + 1]).
+  std::vector<std::size_t> scatter_ptr_;
+  std::vector<std::size_t> scatter_nodes_;
+  std::vector<index_t> scatter_tgts_;
+  bool split_scatter_ = false;
+  bool fuse_gpu_scatter_ = false;
+  index_t batches_formed_ = 0;
+  index_t supernodes_batched_ = 0;
+};
+
+}  // namespace spchol

@@ -2,8 +2,10 @@
 // diagonal dominance (⇒ SPD) for every family; dataset registry sanity.
 #include <gtest/gtest.h>
 
+#include "spchol/graph/ordering.hpp"
 #include "spchol/matrix/dataset.hpp"
 #include "spchol/matrix/generators.hpp"
+#include "spchol/symbolic/symbolic_factor.hpp"
 
 namespace spchol {
 namespace {
@@ -119,10 +121,36 @@ TEST(Generators, ShiftIncreasesDiagonal) {
   }
 }
 
-TEST(Dataset, HasAll21PaperMatrices) {
-  EXPECT_EQ(dataset().size(), 21u);
+TEST(Dataset, HasAll21PaperMatricesPlusBatchingAnalog) {
+  std::size_t paper = 0;
+  for (const auto& e : dataset()) {
+    if (e.paper_matrix) paper++;
+  }
+  EXPECT_EQ(paper, 21u);
   EXPECT_EQ(dataset().front().name, "CurlCurl_2");
-  EXPECT_EQ(dataset().back().name, "Queen_4147");
+  // Non-paper extras (no Table I/II row) ride behind the paper set.
+  EXPECT_EQ(dataset().back().name, "PFlow_742_small");
+  EXPECT_FALSE(dataset().back().paper_matrix);
+}
+
+TEST(Dataset, SmallSupernodeForestIsTheBatchingRegime) {
+  // The PFlow_742_small analog must actually present the many-small-
+  // supernode shape: a wide, shallow supernodal etree of small fronts.
+  const DatasetEntry& e = dataset_entry("PFlow_742_small");
+  EXPECT_FALSE(e.paper_matrix);
+  const CscMatrix a = small_supernode_forest(50, 8, 12);
+  expect_spd_by_dominance(a);
+  const Permutation fill = compute_ordering(a, OrderingMethod::kNatural);
+  AnalyzeOptions ao;
+  ao.merge_growth_cap = 0.0;  // assert the raw pre-merge shape
+  const SymbolicFactor symb = SymbolicFactor::analyze(a, fill, ao);
+  // One supernode per leaf clique plus the root supernode.
+  EXPECT_GE(symb.num_supernodes(), 50);
+  index_t leaves_seen = 0;
+  for (index_t s = 0; s < symb.num_supernodes(); ++s) {
+    if (symb.sn_children(s).empty()) leaves_seen++;
+  }
+  EXPECT_GE(leaves_seen, 50);
 }
 
 TEST(Dataset, PaperNumbersMatchTableExtremes) {
