@@ -36,11 +36,9 @@ const char* to_string(Execution e) {
   return "?";
 }
 
-namespace {
-
 /// Rejects malformed FactorOptions up front (the PR 3/PR 4 validation
 /// convention) instead of silently clamping them mid-driver.
-void validate_options(const FactorOptions& o) {
+void validate(const FactorOptions& o) {
   if (o.cpu_workers < 0) {
     throw InvalidArgument("FactorOptions::cpu_workers must be >= 0 (0 = "
                           "hardware concurrency); got " +
@@ -71,11 +69,40 @@ void validate_options(const FactorOptions& o) {
   }
 }
 
-}  // namespace
-
 namespace detail {
 
 thread_local FactorContext::BatchAccum* FactorContext::tl_batch_ = nullptr;
+
+PlannedGraph build_planned_graph(const SymbolicFactor& symb,
+                                 const FactorOptions& opts,
+                                 std::size_t workers) {
+  PlannedGraph pg;
+  // Subtree-partitioned ready queues: whole supernodal-etree subtrees map
+  // to one queue, so a supernode's tasks usually land on the worker that
+  // just ran its children (warm caches) and the crew stops contending on
+  // one heap. A locality hint only — never a correctness input.
+  pg.partitions = std::min(std::max<std::size_t>(1, workers),
+                           TaskScheduler::kMaxPartitions);
+  const index_t ns = symb.num_supernodes();
+  std::vector<index_t> parent(static_cast<std::size_t>(ns));
+  for (index_t s = 0; s < ns; ++s) parent[s] = symb.sn_parent(s);
+  pg.queue_of =
+      subtree_partition(parent, static_cast<index_t>(pg.partitions));
+
+  std::vector<char> on_gpu(static_cast<std::size_t>(ns), 0);
+  for (index_t s = 0; s < ns; ++s) {
+    on_gpu[s] = supernode_on_gpu(symb, opts, s) ? 1 : 0;
+  }
+  PlanOptions popts;
+  if (opts.method == Method::kRLB) {
+    popts.split_scatter_per_target = true;
+    popts.fuse_gpu_scatter = true;
+  }
+  popts.batch_entries = opts.batch_entries;
+  popts.batch_max_supernodes = opts.batch_max_supernodes;
+  pg.plan = ExecutionPlan::build(symb, on_gpu, pg.queue_of, popts);
+  return pg;
+}
 
 void cpu_factor_panel(FactorContext& ctx, index_t s) {
   const index_t w = ctx.symb.sn_width(s);
@@ -151,9 +178,18 @@ double rl_assemble(FactorContext& ctx, index_t s, const double* u) {
 CholeskyFactor CholeskyFactor::factorize(const CscMatrix& a_lower,
                                          const SymbolicFactor& symb,
                                          const FactorOptions& opts) {
+  return factorize(a_lower, symb, opts, nullptr);
+}
+
+CholeskyFactor CholeskyFactor::factorize(
+    const CscMatrix& a_lower, const SymbolicFactor& symb,
+    const FactorOptions& opts, const detail::ExecutionResources* res) {
   SPCHOL_CHECK(a_lower.square() && a_lower.cols() == symb.n(),
                "matrix/symbolic dimension mismatch");
-  validate_options(opts);
+  validate(opts);
+  SPCHOL_CHECK(res == nullptr || res->arena == nullptr ||
+                   res->device == &res->arena->device(),
+               "injected arena and device disagree");
   WallTimer timer;
   CholeskyFactor f;
   f.symb_ = std::make_shared<SymbolicFactor>(symb);
@@ -180,7 +216,7 @@ CholeskyFactor CholeskyFactor::factorize(const CscMatrix& a_lower,
     }
   }
 
-  detail::FactorContext ctx(*f.symb_, f.values_, opts);
+  detail::FactorContext ctx(*f.symb_, f.values_, opts, res);
   try {
     switch (opts.method) {
       case Method::kRL:
@@ -199,21 +235,31 @@ CholeskyFactor CholeskyFactor::factorize(const CscMatrix& a_lower,
   }
   ctx.dev.synchronize();
 
+  // Device figures are DELTAS against the baselines snapshotted at
+  // FactorContext construction: on a per-call device the baselines are
+  // zero (numbers unchanged); on a shared long-lived device they carve
+  // this call's marginal contribution out of the combined timeline.
+  // device_peak_bytes stays an absolute watermark (it cannot be
+  // differenced meaningfully). With several factorizations in flight the
+  // shared modeled timeline interleaves their operations, so per-call
+  // modeled seconds are approximate under concurrency — the numeric
+  // values never are (the device executes eagerly).
   FactorStats& st = f.stats_;
   const gpu::DeviceStats dstats = ctx.dev.stats();
-  st.modeled_seconds = ctx.dev.makespan();
+  const gpu::DeviceStats& base = ctx.dev_stats0;
+  st.modeled_seconds = ctx.dev.makespan() - ctx.makespan0;
   st.wall_seconds = timer.seconds();
   st.supernodes_on_gpu = ctx.supernodes_on_gpu;
   st.total_supernodes = symb.num_supernodes();
   st.cpu_blas_seconds = ctx.cpu_blas_seconds;
-  st.gpu_kernel_seconds = dstats.kernel_seconds;
-  st.h2d_seconds = dstats.h2d_seconds;
-  st.d2h_seconds = dstats.d2h_seconds;
+  st.gpu_kernel_seconds = dstats.kernel_seconds - base.kernel_seconds;
+  st.h2d_seconds = dstats.h2d_seconds - base.h2d_seconds;
+  st.d2h_seconds = dstats.d2h_seconds - base.d2h_seconds;
   st.assembly_seconds = ctx.assembly_seconds;
   st.device_peak_bytes = ctx.dev.mem_peak();
-  st.h2d_bytes = dstats.h2d_bytes;
-  st.d2h_bytes = dstats.d2h_bytes;
-  st.num_gpu_kernels = dstats.num_kernels;
+  st.h2d_bytes = dstats.h2d_bytes - base.h2d_bytes;
+  st.d2h_bytes = dstats.d2h_bytes - base.d2h_bytes;
+  st.num_gpu_kernels = dstats.num_kernels - base.num_kernels;
   st.num_cpu_blas_calls = ctx.num_cpu_blas_calls;
   st.flops = symb.flops();
   st.scheduler_tasks = ctx.sched_stats.tasks_run;
@@ -223,7 +269,7 @@ CholeskyFactor CholeskyFactor::factorize(const CscMatrix& a_lower,
   st.scheduler_steals = ctx.sched_stats.steals;
   st.symbolic = symb.stats();
   st.gpu_stream_pairs = ctx.gpu_stream_pairs;
-  st.gpu_overlap_seconds = dstats.overlap_seconds;
+  st.gpu_overlap_seconds = dstats.overlap_seconds - base.overlap_seconds;
   st.scheduler_resource_waits = ctx.sched_stats.resource_waits;
   st.scheduler_edges = ctx.sched_stats.edges;
   st.batches_formed = ctx.batches_formed;

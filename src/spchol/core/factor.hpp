@@ -30,6 +30,10 @@
 
 namespace spchol {
 
+namespace detail {
+struct ExecutionResources;  // internal.hpp: injected runtime services
+}
+
 enum class Method {
   kRL,           ///< right-looking, single update matrix (§II.A)
   kRLB,          ///< right-looking blocked, direct updates (§II.B)
@@ -162,6 +166,14 @@ struct FactorStats {
   std::size_t fused_device_launches = 0;
 };
 
+/// Rejects malformed FactorOptions with InvalidArgument (negative
+/// cpu_workers or thresholds or batch_entries; gpu_streams,
+/// assembly_threads, or batch_max_supernodes < 1). factorize() calls
+/// this itself; CholeskySolver and SolverService call it up front so a
+/// bad option set fails at analyze()/session creation, before any
+/// ordering or symbolic work runs.
+void validate(const FactorOptions& opts);
+
 class CholeskyFactor {
  public:
   /// Factorizes PAPᵀ = LLᵀ where P is symb.permutation() and A is given by
@@ -174,6 +186,20 @@ class CholeskyFactor {
   static CholeskyFactor factorize(const CscMatrix& a_lower,
                                   const SymbolicFactor& symb,
                                   const FactorOptions& opts = {});
+
+  /// Factorizes on injected long-lived runtime services (shared worker
+  /// crew, device arena, per-session scheduler, cached plan) instead of
+  /// per-call constructions — the SolverRuntime/SolverService entry
+  /// point. `res` may be nullptr (identical to the 3-arg overload) and
+  /// any of its fields may individually be nullptr. Injection never
+  /// changes factor bits — only scheduling, resource reuse, and the
+  /// modeled-time attribution (on a shared device the modeled stats
+  /// describe this call's marginal contribution to the combined
+  /// timeline).
+  static CholeskyFactor factorize(const CscMatrix& a_lower,
+                                  const SymbolicFactor& symb,
+                                  const FactorOptions& opts,
+                                  const detail::ExecutionResources* res);
 
   const SymbolicFactor& symbolic() const noexcept { return *symb_; }
   const FactorStats& stats() const noexcept { return stats_; }

@@ -3,18 +3,90 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "spchol/core/factor.hpp"
 #include "spchol/dense/kernels.hpp"
 #include "spchol/gpu/blas.hpp"
+#include "spchol/gpu/device_arena.hpp"
 #include "spchol/support/task_scheduler.hpp"
 #include "spchol/support/thread_pool.hpp"
+#include "spchol/support/worker_crew.hpp"
 #include "spchol/symbolic/etree.hpp"
+#include "spchol/symbolic/exec_plan.hpp"
 
 namespace spchol::detail {
+
+/// True when supernode s runs its BLAS on the device under `opts` — the
+/// hybrid threshold split. Shared by the drivers (FactorContext::on_gpu)
+/// and the plan builder (build_planned_graph), so a cached plan and a
+/// per-call plan can never disagree about device placement.
+inline bool supernode_on_gpu(const SymbolicFactor& symb,
+                             const FactorOptions& opts, index_t s) {
+  if (opts.exec == Execution::kCpuSerial ||
+      opts.exec == Execution::kCpuParallel) {
+    return false;
+  }
+  if (opts.exec == Execution::kGpuOnly) return true;
+  const offset_t threshold = opts.method == Method::kRL
+                                 ? opts.gpu_threshold_rl
+                                 : opts.gpu_threshold_rlb;
+  return symb.sn_entries(s) >= threshold;
+}
+
+/// Everything a scheduled driver derives from (symbolic, options, worker
+/// count) alone — the read-only, reusable half of a scheduled
+/// factorization. SolverService caches one per (pattern, plan options)
+/// fingerprint so repeat same-pattern requests skip the plan build
+/// entirely; the per-call path builds a transient one through the SAME
+/// function, so both paths execute the same graph shape and stay bitwise
+/// identical.
+struct PlannedGraph {
+  ExecutionPlan plan;
+  std::vector<index_t> queue_of;  ///< ready-queue partition per supernode
+  std::size_t partitions = 1;  ///< partition count queue_of was built for
+};
+
+/// Builds the scheduled-driver graph for `symb` under `opts` with
+/// `workers` scheduler workers. Defined in factor.cpp. The plan shape
+/// depends on the worker count only through the ready-queue partition
+/// count — a locality hint, never a correctness input.
+PlannedGraph build_planned_graph(const SymbolicFactor& symb,
+                                 const FactorOptions& opts,
+                                 std::size_t workers);
+
+/// Long-lived execution substrate injected by SolverRuntime/SolverService
+/// into one factorization call. All pointers are optional and non-owning;
+/// a nullptr field falls back to the per-call construction it replaces,
+/// so a default ExecutionResources reproduces the standalone path
+/// exactly. Everything injected here affects scheduling, resource reuse,
+/// and the modeled timeline ONLY — the device executes numerics eagerly
+/// and the task graph fixes every accumulation order, so factors stay
+/// bitwise identical with or without injection.
+struct ExecutionResources {
+  /// Persistent worker complement: the scheduled drivers and staged
+  /// pipelines drain on it (TaskScheduler::run_on) instead of spawning
+  /// dedicated threads per call.
+  WorkerCrew* crew = nullptr;
+  /// Shared long-lived device; must be &arena->device() when arena is
+  /// also set (checked in factorize).
+  gpu::Device* device = nullptr;
+  /// Keyed slot-pool cache decoupling GPU buffer/stream lifetime from
+  /// this one call.
+  gpu::DeviceArena* arena = nullptr;
+  /// Reusable per-session scheduler (reset() and rebuilt each run).
+  TaskScheduler* sched = nullptr;
+  /// Cached plan; must have been built for this call's (symb, opts,
+  /// workers) via build_planned_graph.
+  const PlannedGraph* planned = nullptr;
+  /// Arena cache key fingerprinting the pattern + plan-relevant options;
+  /// the drivers mix in a per-method tag before pool lookup.
+  std::uint64_t pool_key = 0;
+};
 
 /// Everything the RL/RLB kernels need: symbolic data, factor values,
 /// the simulated device (whose host clock is the modeled CPU timeline),
@@ -34,7 +106,10 @@ struct FactorContext {
   const SymbolicFactor& symb;
   std::vector<double>& values;
   const FactorOptions& opts;
-  gpu::Device dev;
+  const ExecutionResources* res;  ///< injected services; may be nullptr
+  /// Per-call device, engaged only when no shared device was injected.
+  std::optional<gpu::Device> own_dev;
+  gpu::Device& dev;
   ThreadPool& pool;            ///< backend for nested parallel kernels
   std::size_t blas_capacity;   ///< pool workers + calling thread
   std::size_t workers;         ///< resolved scheduler worker count
@@ -49,36 +124,40 @@ struct FactorContext {
   index_t supernodes_batched = 0;    ///< supernodes coalesced into them
   std::size_t fused_device_launches = 0;
   SchedulerStats sched_stats{};
+  /// Device stats/timeline at construction. On a shared long-lived
+  /// device the accumulators reflect every run so far; factorize()
+  /// subtracts these baselines so one call's FactorStats report only its
+  /// own contribution (the per-call device makes them zero, so the
+  /// standalone numbers are unchanged).
+  gpu::DeviceStats dev_stats0{};
+  double makespan0 = 0.0;
 
   FactorContext(const SymbolicFactor& s, std::vector<double>& v,
-                const FactorOptions& o)
+                const FactorOptions& o,
+                const ExecutionResources* r = nullptr)
       : symb(s),
         values(v),
         opts(o),
-        dev(o.device),
+        res(r),
+        own_dev(),
+        dev(r != nullptr && r->device != nullptr ? *r->device
+                                                 : own_dev.emplace(o.device)),
         pool(ThreadPool::global()),
         blas_capacity(ThreadPool::global().concurrency()),
         workers(resolve_worker_count(o.cpu_workers)),
         scheduled((o.exec == Execution::kCpuParallel ||
                    o.exec == Execution::kGpuHybrid) &&
-                  workers > 1) {}
+                  workers > 1) {
+    dev_stats0 = dev.stats();
+    makespan0 = dev.makespan();
+  }
 
   double* sn_values(index_t s) {
     return values.data() + symb.sn_values_offset(s);
   }
 
   /// True when supernode s runs its BLAS on the device.
-  bool on_gpu(index_t s) const {
-    if (opts.exec == Execution::kCpuSerial ||
-        opts.exec == Execution::kCpuParallel) {
-      return false;
-    }
-    if (opts.exec == Execution::kGpuOnly) return true;
-    const offset_t threshold = opts.method == Method::kRL
-                                   ? opts.gpu_threshold_rl
-                                   : opts.gpu_threshold_rlb;
-    return symb.sn_entries(s) >= threshold;
-  }
+  bool on_gpu(index_t s) const { return supernode_on_gpu(symb, opts, s); }
 
   /// Stream/buffer slots the scheduled hybrid drivers may keep in flight.
   /// validate_options rejects gpu_streams < 1 before any driver runs;
@@ -271,24 +350,6 @@ void cpu_factor_panel(FactorContext& ctx, index_t s);
 /// ld = below, holding MINUS the outer product) into the ancestors of s.
 /// Returns the number of entries scattered (for the assembly model).
 double rl_assemble(FactorContext& ctx, index_t s, const double* u);
-
-/// Ready-queue partition of every supernode for the scheduler's
-/// subtree-partitioned queues: whole supernodal-etree subtrees map to one
-/// queue, so a supernode's tasks usually land on the worker that just ran
-/// its children (warm caches) and the crew stops contending on one heap.
-/// Also configures `sched` with the partition count it used, so the ids
-/// and the scheduler can never disagree.
-inline std::vector<index_t> supernode_queue_partition(
-    const SymbolicFactor& symb, std::size_t workers, TaskScheduler& sched) {
-  const std::size_t nq =
-      std::min(std::max<std::size_t>(1, workers),
-               TaskScheduler::kMaxPartitions);
-  sched.set_partitions(nq);
-  const index_t ns = symb.num_supernodes();
-  std::vector<index_t> parent(static_cast<std::size_t>(ns));
-  for (index_t s = 0; s < ns; ++s) parent[s] = symb.sn_parent(s);
-  return subtree_partition(parent, static_cast<index_t>(nq));
-}
 
 /// RL / RLB / left-looking drivers (rl.cpp, rlb.cpp, left_looking.cpp).
 /// Each dispatches to a sequential loop (kCpuSerial, kGpuOnly, or a

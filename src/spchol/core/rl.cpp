@@ -300,26 +300,29 @@ void run_rl_scheduled(FactorContext& ctx) {
   const SymbolicFactor& symb = ctx.symb;
   const index_t ns = symb.num_supernodes();
   const bool hybrid = ctx.opts.exec == Execution::kGpuHybrid;
+  const ExecutionResources* res = ctx.res;
 
-  // Subtree-partitioned ready queues: each supernode's tasks enter the
-  // queue of its etree subtree, keeping a subtree's chain of work on the
-  // worker that ran its children (stealing covers imbalance).
-  TaskScheduler sched;
-  const std::vector<index_t> queue_of =
-      supernode_queue_partition(symb, ctx.workers, sched);
+  // Scheduler: the injected per-session one (reset and rebuilt each
+  // run), or a per-call local — identical semantics either way.
+  TaskScheduler own_sched;
+  TaskScheduler& sched =
+      (res != nullptr && res->sched != nullptr) ? *res->sched : own_sched;
+  if (&sched != &own_sched) sched.reset();
 
   // The shared task-graph shape: COMPUTE/SCATTER/BATCH nodes + readiness
   // and per-target chain edges, with small sibling subtrees coalesced
-  // into BATCH nodes (see symbolic/exec_plan.*).
-  std::vector<char> on_gpu(static_cast<std::size_t>(ns), 0);
-  if (hybrid) {
-    for (index_t s = 0; s < ns; ++s) on_gpu[s] = ctx.on_gpu(s) ? 1 : 0;
-  }
-  PlanOptions popts;
-  popts.batch_entries = ctx.opts.batch_entries;
-  popts.batch_max_supernodes = ctx.opts.batch_max_supernodes;
-  const ExecutionPlan plan =
-      ExecutionPlan::build(symb, on_gpu, queue_of, popts);
+  // into BATCH nodes (see symbolic/exec_plan.*), plus the
+  // subtree-partitioned ready-queue assignment. Served from the service's
+  // pattern cache when injected, built per call otherwise — the same
+  // build_planned_graph either way, so both paths execute the same graph.
+  std::optional<PlannedGraph> own_plan;
+  const PlannedGraph* pg =
+      (res != nullptr && res->planned != nullptr)
+          ? res->planned
+          : &own_plan.emplace(
+                build_planned_graph(symb, ctx.opts, ctx.workers));
+  sched.set_partitions(pg->partitions);
+  const ExecutionPlan& plan = pg->plan;
   const auto nodes = plan.nodes();
   ctx.batches_formed = plan.batches_formed();
   ctx.supernodes_batched = plan.supernodes_batched();
@@ -374,15 +377,24 @@ void run_rl_scheduled(FactorContext& ctx) {
   // in-flight GPU task. The pool shrinks (down to one pair) when the
   // device cannot fit every slot; if not even one fits, the
   // DeviceOutOfMemory (with its available-byte report) propagates rather
-  // than leaving GPU tasks waiting on an empty pool forever.
+  // than leaving GPU tasks waiting on an empty pool forever. With an
+  // injected arena the pool is cached under the pattern+options key, so
+  // repeat requests reacquire the same slots instead of reallocating.
   using RlSlotPool = gpu::SlotPool<RlGpuSlot>;
-  std::optional<RlSlotPool> pool;
+  constexpr std::uint64_t kRlPoolTag = 0x524c2d504f4f4cull;  // "RL-POOL"
+  std::shared_ptr<RlSlotPool> pool;
   if (num_gpu > 0) {
     const std::size_t want = std::min(ctx.gpu_slot_budget(), num_gpu);
-    pool.emplace(want, [&](std::size_t k) {
-      return std::make_unique<RlGpuSlot>(ctx.dev, panel_need[k],
-                                         update_need[k]);
-    });
+    auto make_pool = [&] {
+      return std::make_shared<RlSlotPool>(want, [&](std::size_t k) {
+        return std::make_unique<RlGpuSlot>(ctx.dev, panel_need[k],
+                                           update_need[k]);
+      });
+    };
+    pool = (res != nullptr && res->arena != nullptr)
+               ? res->arena->pool<RlSlotPool>(res->pool_key ^ kRlPoolTag,
+                                              make_pool)
+               : make_pool();
     ctx.gpu_stream_pairs = static_cast<index_t>(pool->size());
   }
   const std::size_t gpu_res =
@@ -535,7 +547,13 @@ void run_rl_scheduled(FactorContext& ctx) {
     sched.add_edge(throttled[j - kWindow].first, throttled[j].second);
   }
 
-  ctx.sched_stats = sched.run(ctx.workers);
+  // Drain on the injected persistent crew (caller participates as one
+  // extra worker) or on per-call dedicated threads. Execution-order
+  // freedom is bitwise-neutral by construction, so both produce the same
+  // factors.
+  ctx.sched_stats = (res != nullptr && res->crew != nullptr)
+                        ? sched.run_on(*res->crew)
+                        : sched.run(ctx.workers);
   ctx.flush_deferred();
   ctx.dev.synchronize();
 }

@@ -377,24 +377,27 @@ void run_rlb_scheduled(FactorContext& ctx) {
   const bool hybrid = ctx.opts.exec == Execution::kGpuHybrid;
   const bool batched = ctx.opts.rlb_variant == RlbVariant::kBatched;
 
-  // Subtree-partitioned ready queues (see supernode_queue_partition).
-  TaskScheduler sched;
-  const std::vector<index_t> queue_of =
-      supernode_queue_partition(symb, ctx.workers, sched);
+  const ExecutionResources* res = ctx.res;
+
+  // Scheduler: the injected per-session one (reset and rebuilt each
+  // run), or a per-call local — identical semantics either way.
+  TaskScheduler own_sched;
+  TaskScheduler& sched =
+      (res != nullptr && res->sched != nullptr) ? *res->sched : own_sched;
+  if (&sched != &own_sched) sched.reset();
 
   // The shared task-graph shape, in split-scatter mode with fused GPU
-  // nodes; small sibling subtrees coalesce into BATCH nodes.
-  std::vector<char> on_gpu(static_cast<std::size_t>(ns), 0);
-  if (hybrid) {
-    for (index_t s = 0; s < ns; ++s) on_gpu[s] = ctx.on_gpu(s) ? 1 : 0;
-  }
-  PlanOptions popts;
-  popts.split_scatter_per_target = true;
-  popts.fuse_gpu_scatter = true;
-  popts.batch_entries = ctx.opts.batch_entries;
-  popts.batch_max_supernodes = ctx.opts.batch_max_supernodes;
-  const ExecutionPlan plan =
-      ExecutionPlan::build(symb, on_gpu, queue_of, popts);
+  // nodes; small sibling subtrees coalesce into BATCH nodes. Served from
+  // the service's pattern cache when injected, built per call otherwise
+  // — the same build_planned_graph either way.
+  std::optional<PlannedGraph> own_plan;
+  const PlannedGraph* pg =
+      (res != nullptr && res->planned != nullptr)
+          ? res->planned
+          : &own_plan.emplace(
+                build_planned_graph(symb, ctx.opts, ctx.workers));
+  sched.set_partitions(pg->partitions);
+  const ExecutionPlan& plan = pg->plan;
   const auto nodes = plan.nodes();
   ctx.batches_formed = plan.batches_formed();
   ctx.supernodes_batched = plan.supernodes_batched();
@@ -427,18 +430,27 @@ void run_rlb_scheduled(FactorContext& ctx) {
   // One pipeline state (stream pair + device buffers + host staging) per
   // in-flight GPU supernode, from a bounded pool that shrinks — down to
   // the old single-pipeline behaviour — under device memory pressure.
+  // With an injected arena the pool is cached under the pattern+options
+  // key, so repeat requests reacquire the same slots.
   using RlbSlotPool = gpu::SlotPool<RlbGpuState>;
-  std::optional<RlbSlotPool> pool;
+  constexpr std::uint64_t kRlbPoolTag = 0x524c422d504f4full;  // "RLB-POO"
+  std::shared_ptr<RlbSlotPool> pool;
   if (num_gpu > 0) {
     const std::size_t want = std::min(ctx.gpu_slot_budget(), num_gpu);
-    pool.emplace(want, [&](std::size_t k) {
-      RlbSizes slot_sz;
-      slot_sz.gpu_panel_max = panel_need[k];
-      slot_sz.gpu_update_max = update_need[k];
-      slot_sz.host_update_max = update_need[k];
-      return std::make_unique<RlbGpuState>(ctx, slot_sz, batched,
-                                           /*deferred=*/true);
-    });
+    auto make_pool = [&] {
+      return std::make_shared<RlbSlotPool>(want, [&](std::size_t k) {
+        RlbSizes slot_sz;
+        slot_sz.gpu_panel_max = panel_need[k];
+        slot_sz.gpu_update_max = update_need[k];
+        slot_sz.host_update_max = update_need[k];
+        return std::make_unique<RlbGpuState>(ctx, slot_sz, batched,
+                                             /*deferred=*/true);
+      });
+    };
+    pool = (res != nullptr && res->arena != nullptr)
+               ? res->arena->pool<RlbSlotPool>(res->pool_key ^ kRlbPoolTag,
+                                               make_pool)
+               : make_pool();
     ctx.gpu_stream_pairs = static_cast<index_t>(pool->size());
   }
   const std::size_t gpu_res =
@@ -521,7 +533,12 @@ void run_rlb_scheduled(FactorContext& ctx) {
     sched.add_edge(task_of[from], task_of[to]);
   }
 
-  ctx.sched_stats = sched.run(ctx.workers);
+  // Drain on the injected persistent crew (caller participates as one
+  // extra worker) or on per-call dedicated threads; both produce the
+  // same factors.
+  ctx.sched_stats = (res != nullptr && res->crew != nullptr)
+                        ? sched.run_on(*res->crew)
+                        : sched.run(ctx.workers);
   ctx.flush_deferred();
   ctx.dev.synchronize();
 }

@@ -2,40 +2,75 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "spchol/support/timer.hpp"
 
 namespace spchol {
 
+void validate(const SolverOptions& opts) {
+  validate(opts.ordering_opts);
+  validate(opts.analyze);
+  validate(opts.factor);
+}
+
 void CholeskySolver::analyze(const CscMatrix& a_lower) {
+  validate(opts_);
   const WallTimer timer;
   WallTimer stage;
+  OrderingStats ostats;
   const Permutation fill =
-      compute_ordering(a_lower, opts_.ordering_opts, &ordering_stats_);
-  ordering_seconds_ = stage.seconds();
+      compute_ordering(a_lower, opts_.ordering_opts, &ostats);
+  const double ordering_seconds = stage.seconds();
   stage.reset();
-  symb_ = SymbolicFactor::analyze(a_lower, fill, opts_.analyze);
-  symbolic_seconds_ = stage.seconds();
+  auto symb = std::make_shared<const SymbolicFactor>(
+      SymbolicFactor::analyze(a_lower, fill, opts_.analyze));
+  const double symbolic_seconds = stage.seconds();
+
+  std::lock_guard<std::mutex> lk(mu_);
+  symb_ = std::move(symb);
   factor_.reset();
+  ordering_stats_ = ostats;
+  ordering_seconds_ = ordering_seconds;
+  symbolic_seconds_ = symbolic_seconds;
   factorize_seconds_ = 0.0;  // the old factor's timing no longer applies
   analyze_seconds_ = timer.seconds();
 }
 
 void CholeskySolver::factorize(const CscMatrix& a_lower) {
-  if (!symb_) analyze(a_lower);
+  std::shared_ptr<const SymbolicFactor> symb;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    symb = symb_;
+  }
+  if (!symb) {
+    analyze(a_lower);
+    std::lock_guard<std::mutex> lk(mu_);
+    symb = symb_;
+  }
   const WallTimer timer;
-  factor_ = CholeskyFactor::factorize(a_lower, *symb_, opts_.factor);
+  auto factor = std::make_shared<const CholeskyFactor>(
+      CholeskyFactor::factorize(a_lower, *symb, opts_.factor));
   // One FactorStats describes the whole pipeline: the numeric driver's
   // stats carry the symbolic phase already; graft the ordering stage on.
-  stats_ = factor_->stats();
-  stats_.ordering = ordering_stats_;
+  FactorStats stats = factor->stats();
+
+  std::lock_guard<std::mutex> lk(mu_);
+  stats.ordering = ordering_stats_;
+  factor_ = std::move(factor);
+  stats_ = stats;
   factorize_seconds_ = timer.seconds();
 }
 
 std::vector<double> CholeskySolver::solve(std::span<const double> b) const {
-  SPCHOL_CHECK(factor_.has_value(), "solve requires factorize()");
+  std::shared_ptr<const CholeskyFactor> factor;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    factor = factor_;
+  }
+  SPCHOL_CHECK(factor != nullptr, "solve requires factorize()");
   std::vector<double> x(b.size());
-  factor_->solve(b, x);
+  factor->solve(b, x);
   return x;
 }
 
@@ -47,19 +82,62 @@ std::vector<double> CholeskySolver::solve(const CscMatrix& a_lower,
   return solver.solve(b);
 }
 
+bool CholeskySolver::analyzed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return symb_ != nullptr;
+}
+
+bool CholeskySolver::factorized() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return factor_ != nullptr;
+}
+
 const SymbolicFactor& CholeskySolver::symbolic() const {
-  SPCHOL_CHECK(symb_.has_value(), "analyze() has not been run");
+  std::lock_guard<std::mutex> lk(mu_);
+  SPCHOL_CHECK(symb_ != nullptr, "analyze() has not been run");
   return *symb_;
 }
 
 const CholeskyFactor& CholeskySolver::factor() const {
-  SPCHOL_CHECK(factor_.has_value(), "factorize() has not been run");
+  std::lock_guard<std::mutex> lk(mu_);
+  SPCHOL_CHECK(factor_ != nullptr, "factorize() has not been run");
   return *factor_;
 }
 
-const FactorStats& CholeskySolver::stats() const {
-  SPCHOL_CHECK(factor_.has_value(), "factorize() has not been run");
+FactorStats CholeskySolver::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  SPCHOL_CHECK(factor_ != nullptr, "factorize() has not been run");
   return stats_;
+}
+
+double CholeskySolver::analyze_seconds() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return analyze_seconds_;
+}
+
+double CholeskySolver::ordering_seconds() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return ordering_seconds_;
+}
+
+double CholeskySolver::symbolic_seconds() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return symbolic_seconds_;
+}
+
+double CholeskySolver::factorize_seconds() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return factorize_seconds_;
+}
+
+double CholeskySolver::pipeline_seconds() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return analyze_seconds_ + factorize_seconds_;
+}
+
+OrderingStats CholeskySolver::ordering_stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return ordering_stats_;
 }
 
 double relative_residual(const CscMatrix& a_lower, std::span<const double> x,

@@ -1,9 +1,21 @@
 // High-level facade: ordering → symbolic analysis → numeric factorization
 // → triangular solves, mirroring the paper's full solution pipeline
 // (METIS ND + supernode merging + partition refinement + RL/RLB).
+//
+// Thread-safety: analyze() and factorize() are mutating calls and must
+// not race each other, but every const accessor — solve(), stats(),
+// analyzed()/factorized(), the timing getters — may be called
+// concurrently with them from other threads. Readers snapshot the
+// published factor/symbolic state under an internal mutex and then work
+// on the snapshot outside the lock, so a solve() that started before a
+// concurrent factorize() finished uses the complete previous factor,
+// never a half-written one. This is what lets SolverService sessions
+// serve solves while sibling sessions (or a refactorize of the same
+// session) run.
 #pragma once
 
-#include <optional>
+#include <memory>
+#include <mutex>
 
 #include "spchol/core/factor.hpp"
 #include "spchol/graph/ordering.hpp"
@@ -19,6 +31,13 @@ struct SolverOptions {
   FactorOptions factor{};
 };
 
+/// Validates all three stage option sets (ordering, analyze, factor),
+/// throwing InvalidArgument on the first violation. CholeskySolver
+/// calls this at analyze() and SolverService at session creation, so a
+/// malformed option set fails before any ordering/symbolic work runs
+/// rather than deep inside the numeric driver.
+void validate(const SolverOptions& opts);
+
 class CholeskySolver {
  public:
   explicit CholeskySolver(SolverOptions opts = {}) : opts_(std::move(opts)) {}
@@ -26,13 +45,16 @@ class CholeskySolver {
   const SolverOptions& options() const noexcept { return opts_; }
 
   /// Ordering + symbolic analysis. Reusable across factorizations of
-  /// matrices with the same pattern.
+  /// matrices with the same pattern. Throws InvalidArgument on malformed
+  /// SolverOptions (validated up front, before the ordering runs).
   void analyze(const CscMatrix& a_lower);
 
   /// Numeric factorization (runs analyze() first if it has not been run).
   void factorize(const CscMatrix& a_lower);
 
-  /// Solves A x = b. Requires factorize().
+  /// Solves A x = b. Requires factorize(). Safe to call concurrently
+  /// with factorize()/analyze() on other threads: solves against the
+  /// last fully published factor.
   std::vector<double> solve(std::span<const double> b) const;
 
   /// One-shot convenience.
@@ -40,36 +62,44 @@ class CholeskySolver {
                                    std::span<const double> b,
                                    SolverOptions opts = {});
 
-  bool analyzed() const noexcept { return symb_.has_value(); }
-  bool factorized() const noexcept { return factor_.has_value(); }
+  bool analyzed() const;
+  bool factorized() const;
+  /// The published symbolic factor / numeric factor. The reference stays
+  /// valid until the NEXT analyze()/factorize() call completes (the
+  /// underlying object is shared-ptr owned; concurrent readers that need
+  /// it past that point should copy what they need while it is current).
   const SymbolicFactor& symbolic() const;
   const CholeskyFactor& factor() const;
-  const FactorStats& stats() const;
+  /// Snapshot of the last factorization's stats (factor stats + the
+  /// ordering stage). By value so it is safe to read while another
+  /// thread refactorizes.
+  FactorStats stats() const;
 
   // --- end-to-end wall timing of the pipeline phases ---------------------
   /// Wall seconds of the last analyze() call (ordering + symbolic).
-  double analyze_seconds() const noexcept { return analyze_seconds_; }
+  double analyze_seconds() const;
   /// Wall seconds of the ordering stage of the last analyze().
-  double ordering_seconds() const noexcept { return ordering_seconds_; }
+  double ordering_seconds() const;
   /// Wall seconds of the symbolic stage of the last analyze().
-  double symbolic_seconds() const noexcept { return symbolic_seconds_; }
+  double symbolic_seconds() const;
   /// Wall seconds of the last factorize() call, EXCLUDING the analyze it
   /// may have run first.
-  double factorize_seconds() const noexcept { return factorize_seconds_; }
+  double factorize_seconds() const;
   /// Full solve-pipeline latency so far: analyze + factorize.
-  double pipeline_seconds() const noexcept {
-    return analyze_seconds_ + factorize_seconds_;
-  }
+  double pipeline_seconds() const;
 
-  /// Ordering pipeline statistics of the last analyze().
-  const OrderingStats& ordering_stats() const noexcept {
-    return ordering_stats_;
-  }
+  /// Ordering pipeline statistics of the last analyze() (by value; safe
+  /// to read while another thread re-analyzes).
+  OrderingStats ordering_stats() const;
 
  private:
   SolverOptions opts_;
-  std::optional<SymbolicFactor> symb_;
-  std::optional<CholeskyFactor> factor_;
+  /// Guards every member below. Mutating calls compute the expensive
+  /// pieces into locals and publish under the lock; const accessors
+  /// snapshot under the lock and work outside it.
+  mutable std::mutex mu_;
+  std::shared_ptr<const SymbolicFactor> symb_;
+  std::shared_ptr<const CholeskyFactor> factor_;
   OrderingStats ordering_stats_{};
   FactorStats stats_{};  // factor stats + the ordering stage, see stats()
   double analyze_seconds_ = 0.0;

@@ -1,0 +1,49 @@
+#include "spchol/gpu/device_arena.hpp"
+
+#include <algorithm>
+
+namespace spchol::gpu {
+
+DeviceArena::Stats DeviceArena::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Stats s;
+  s.pools_cached = entries_.size();
+  s.pool_hits = hits_;
+  s.pool_misses = misses_;
+  s.pool_evictions = evictions_;
+  return s;
+}
+
+void DeviceArena::trim() {
+  std::lock_guard<std::mutex> lk(mu_);
+  while (evict_idle_locked()) {
+  }
+}
+
+std::shared_ptr<void> DeviceArena::find_locked(std::uint64_t key) {
+  for (Entry& e : entries_) {
+    if (e.key == key) {
+      e.stamp = ++stamp_;
+      hits_++;
+      return e.pool;
+    }
+  }
+  return nullptr;
+}
+
+bool DeviceArena::evict_idle_locked() {
+  // LRU among the idle entries: use_count() == 1 means only the cache
+  // holds the pool, so dropping it cannot pull slots out from under a
+  // live factorization.
+  auto victim = entries_.end();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->pool.use_count() != 1) continue;
+    if (victim == entries_.end() || it->stamp < victim->stamp) victim = it;
+  }
+  if (victim == entries_.end()) return false;
+  entries_.erase(victim);  // slot destructors release device memory here
+  evictions_++;
+  return true;
+}
+
+}  // namespace spchol::gpu

@@ -114,7 +114,9 @@ class OrderingPipeline {
     };
     sched.add_task(priority_of(root), make_body(std::move(root)),
                    TaskScheduler::kNoResource, 0);
-    const SchedulerStats ss = sched.run(workers_);
+    const SchedulerStats ss = opts_.crew != nullptr
+                                  ? sched.run_on(*opts_.crew)
+                                  : sched.run(workers_);
 
     for (const double d : sched.task_seconds()) st.task_seconds += d;
     st.modeled_parallel_seconds = sched.modeled_makespan(workers_);

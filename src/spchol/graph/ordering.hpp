@@ -15,6 +15,8 @@
 
 namespace spchol {
 
+class WorkerCrew;  // support/worker_crew.hpp: persistent worker threads
+
 enum class OrderingMethod {
   kNatural,           ///< identity (no reordering)
   kRcm,               ///< reverse Cuthill–McKee
@@ -35,6 +37,12 @@ struct OrderingOptions {
   /// sequential whole-graph RCM/MD methods, always take the serial
   /// path).
   int workers = 0;
+  /// Optional persistent worker crew (injected by SolverRuntime). When
+  /// non-null the nested-dissection task DAG runs on these long-lived
+  /// threads plus the calling thread (TaskScheduler::run_on) instead of
+  /// spawning `workers` dedicated threads per call; the permutation is
+  /// identical either way. Non-owning; must outlive the call.
+  WorkerCrew* crew = nullptr;
 };
 
 /// Throws InvalidArgument on invalid OrderingOptions: negative workers,

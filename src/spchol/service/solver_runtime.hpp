@@ -1,0 +1,128 @@
+// SolverRuntime: the long-lived execution substrate shared by every
+// factorization a process runs — one persistent WorkerCrew, one
+// gpu::DeviceArena (shared simulated device + keyed slot-pool cache),
+// and admission control bounding how many factorizations are in flight
+// at once.
+//
+// The per-call drivers construct all of this locally: factorize() spawns
+// `cpu_workers` threads, creates a Device, carves a slot pool out of it,
+// runs, and tears everything down. That is the right shape for one-shot
+// use and stays the default — but a server draining a request stream
+// pays thread spawn/join and pool construction per request, and N
+// uncoordinated concurrent calls each spawn their own full thread
+// complement (N× oversubscription) and each carve private device buffers
+// out of one device. SolverRuntime hoists those resources out of the
+// call: sessions run their task DAGs on the shared crew
+// (TaskScheduler::run_on — the caller participates, so a session is
+// never starved even when the crew is busy), draw device slots from the
+// arena, and pass through an admission gate that caps concurrent
+// in-flight factorizations at RuntimeOptions::max_concurrent.
+//
+// Sharing never changes results: the crew only changes WHICH thread runs
+// a task (the scheduler's deterministic scatter chains fix the order
+// that matters), and the simulated device executes numerics eagerly at
+// enqueue, so factor bits are identical to the per-call path for every
+// crew size / stream count / concurrency level. What DOES become shared
+// is the modeled device timeline: concurrent sessions interleave on one
+// clock, so each call's modeled stats describe its marginal contribution
+// to the combined load rather than an isolated run.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+#include "spchol/gpu/device_arena.hpp"
+#include "spchol/support/worker_crew.hpp"
+
+namespace spchol {
+
+struct RuntimeOptions {
+  /// Persistent worker threads in the shared crew. 0 = hardware
+  /// concurrency; negative values are rejected with InvalidArgument.
+  /// Note the crew REPLACES per-call scheduler threads: a session's
+  /// effective parallelism is crew size + 1 (the calling thread), not
+  /// its FactorOptions::cpu_workers.
+  int workers = 0;
+  /// Maximum factorizations in flight at once across every session of
+  /// this runtime; further admit() calls block until one finishes.
+  /// Values < 1 are rejected with InvalidArgument.
+  int max_concurrent = 4;
+  /// Configuration of the shared simulated device.
+  gpu::DeviceConfig device{};
+};
+
+/// Throws InvalidArgument on invalid RuntimeOptions (negative workers,
+/// max_concurrent < 1). SolverRuntime's constructor calls this.
+void validate(const RuntimeOptions& opts);
+
+/// Service-wide counters (snapshot; arena stats merged in).
+struct RuntimeStats {
+  std::size_t factorizations = 0;   ///< admissions granted so far
+  std::size_t admission_waits = 0;  ///< admissions that had to block
+  std::size_t concurrent_peak = 0;  ///< max factorizations ever in flight
+  std::size_t in_flight = 0;        ///< factorizations running right now
+  std::size_t pools_cached = 0;     ///< arena: slot pools currently held
+  std::size_t pool_hits = 0;        ///< arena: pool() calls served cached
+  std::size_t pool_misses = 0;      ///< arena: pool() calls that built
+  std::size_t pool_evictions = 0;   ///< arena: pools dropped under pressure
+};
+
+class SolverRuntime {
+ public:
+  explicit SolverRuntime(const RuntimeOptions& opts = {});
+  SolverRuntime(const SolverRuntime&) = delete;
+  SolverRuntime& operator=(const SolverRuntime&) = delete;
+
+  /// RAII in-flight token: holding one means the runtime has admitted
+  /// this factorization; its destructor releases the slot and wakes one
+  /// blocked admit(). Move-only.
+  class Admission {
+   public:
+    Admission(Admission&& other) noexcept : rt_(other.rt_) {
+      other.rt_ = nullptr;
+    }
+    Admission& operator=(Admission&&) = delete;
+    Admission(const Admission&) = delete;
+    Admission& operator=(const Admission&) = delete;
+    ~Admission();
+
+   private:
+    friend class SolverRuntime;
+    explicit Admission(SolverRuntime* rt) : rt_(rt) {}
+    SolverRuntime* rt_;
+  };
+
+  /// Blocks until an in-flight slot is free (at most max_concurrent
+  /// factorizations run at once), then claims it.
+  Admission admit();
+
+  WorkerCrew& crew() noexcept { return crew_; }
+  gpu::DeviceArena& arena() noexcept { return arena_; }
+  gpu::Device& device() noexcept { return arena_.device(); }
+  /// Persistent crew threads (effective DAG parallelism is this + 1).
+  std::size_t workers() const noexcept { return crew_.size(); }
+  std::size_t max_concurrent() const noexcept { return max_concurrent_; }
+
+  RuntimeStats stats() const;
+
+ private:
+  void release();
+
+  // Crew before arena: arena-cached slots retain stream bindings to the
+  // arena device, and no crew thread may outlive a scheduler run anyway
+  // (run_on detaches its source before returning), but keeping the
+  // destruction order explicit costs nothing.
+  WorkerCrew crew_;
+  gpu::DeviceArena arena_;
+  std::size_t max_concurrent_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t in_flight_ = 0;
+  std::size_t factorizations_ = 0;
+  std::size_t admission_waits_ = 0;
+  std::size_t concurrent_peak_ = 0;
+};
+
+}  // namespace spchol

@@ -15,5 +15,7 @@
 #include "spchol/matrix/dataset.hpp"
 #include "spchol/matrix/generators.hpp"
 #include "spchol/matrix/matrix_market.hpp"
+#include "spchol/service/solver_runtime.hpp"
+#include "spchol/service/solver_service.hpp"
 #include "spchol/symbolic/exec_plan.hpp"
 #include "spchol/symbolic/symbolic_factor.hpp"

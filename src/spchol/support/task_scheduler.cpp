@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "spchol/support/timer.hpp"
+#include "spchol/support/worker_crew.hpp"
 
 namespace spchol {
 
@@ -34,9 +35,11 @@ HeapEntry heap_pop(std::vector<HeapEntry>& h) {
 
 }  // namespace
 
-/// All coordination state of one run(), on run()'s stack. Hoisted out of
-/// the old run() locals so spawn() — a member called from inside task
-/// bodies — can reach the queues and counters through run_.
+/// All coordination state of one run, on the caller's stack. Hoisted out
+/// of the old run() locals so spawn() — a member called from inside task
+/// bodies — can reach the queues and counters through run_, and so the
+/// same machinery serves both dedicated threads (run) and a shared
+/// WorkerCrew (run_on).
 ///
 /// Spawned tasks live in geometrically-growing chunks behind a fixed
 /// spine (chunk c holds kSpawnChunk << c tasks): pointers to constructed
@@ -59,7 +62,7 @@ struct TaskScheduler::RunState {
   std::array<std::unique_ptr<Task[]>, 48> chunks;
   std::mutex spawn_mu;
   std::atomic<std::size_t> spawned{0};
-  std::size_t base = 0;  // tasks_.size() at run() start
+  std::size_t base = 0;  // tasks_.size() at run start
 
   static std::size_t chunk_of(std::size_t i) {
     return std::bit_width(i / kSpawnChunk + 1) - 1;
@@ -68,7 +71,14 @@ struct TaskScheduler::RunState {
     return (kSpawnChunk << c) - kSpawnChunk;
   }
 
+  // --- graph bookkeeping (seeded by prepare()) ---------------------------
+  std::vector<std::atomic<std::size_t>> pending;  // unmet in-edges per task
+  std::size_t num_edges = 0;                      // after dedup
+  std::vector<std::size_t> runs_by;    // tasks executed, per worker
+  std::vector<std::size_t> steals_by;  // off-partition pops, per worker
+
   // --- ready queues + crew coordination ----------------------------------
+  WorkerCrew* crew = nullptr;  // run_on() only: nudged on every push_ready
   std::vector<Partition> parts;
   std::vector<std::size_t> current;  // running task id per worker
   std::atomic<std::size_t> num_ready{0};
@@ -83,6 +93,42 @@ struct TaskScheduler::RunState {
   std::mutex res_mu;  // guards tokens + parked (GPU tasks only: cold path)
   std::vector<std::size_t> tokens;
   std::vector<std::vector<HeapEntry>> parked;
+};
+
+/// WorkerCrew adapter for one live run_on(). The hazard it manages: crew
+/// workers hold a snapshot reference to the source through the end of
+/// their current sweep, so a run_one() call can arrive after the graph
+/// (whose RunState lives on run_on's stack) is complete. close() flips
+/// `closed` — after which run_one never dereferences ts/rs again — and
+/// waits out the steps that were already in flight, so run_on can only
+/// return once no crew thread can touch the dying RunState.
+struct TaskScheduler::CrewSource : WorkerCrew::Source {
+  TaskScheduler* ts = nullptr;
+  RunState* rs = nullptr;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::atomic<bool> closed{false};
+  std::atomic<std::size_t> inflight{0};
+
+  bool run_one(std::size_t worker) override {
+    // Order matters: publish the in-flight claim BEFORE checking closed,
+    // mirroring close()'s store-closed-then-wait — whichever side runs
+    // second sees the other's write, so a step never outlives close().
+    inflight.fetch_add(1);
+    bool ran = false;
+    if (!closed.load()) ran = ts->step(*rs, worker);
+    if (inflight.fetch_sub(1) == 1 && closed.load()) {
+      { std::lock_guard<std::mutex> lk(mu); }
+      cv.notify_all();
+    }
+    return ran;
+  }
+
+  void close() {
+    closed.store(true);
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return inflight.load() == 0; });
+  }
 };
 
 void TaskScheduler::set_partitions(std::size_t parts) {
@@ -121,7 +167,9 @@ TaskScheduler::Task& TaskScheduler::task(std::size_t id) {
 
 // Makes a runnable task visible: push to its partition queue, then nudge
 // a sleeper. The empty lock/unlock of sleep_mu orders the push against a
-// waiter's predicate check, so the notify cannot be lost.
+// waiter's predicate check, so the notify cannot be lost. Under run_on
+// the crew is nudged too: its idle workers sleep on the crew cv, not on
+// this RunState's.
 void TaskScheduler::push_ready(RunState& rs, std::size_t id) {
   const Task& t = task(id);
   const std::size_t q = t.partition % rs.parts.size();
@@ -136,6 +184,7 @@ void TaskScheduler::push_ready(RunState& rs, std::size_t id) {
   }
   { std::lock_guard<std::mutex> lk(rs.sleep_mu); }
   rs.cv.notify_one();
+  if (rs.crew != nullptr) rs.crew->notify();
 }
 
 // Moves a dependency-free task toward execution: straight into its ready
@@ -189,141 +238,137 @@ std::size_t TaskScheduler::spawn(std::size_t worker, std::size_t priority,
   return id;
 }
 
-SchedulerStats TaskScheduler::run(std::size_t workers) {
-  workers = std::max<std::size_t>(1, workers);
+void TaskScheduler::prepare(RunState& rs) {
+  SPCHOL_CHECK(run_ == nullptr, "a run is already in progress");
+  SPCHOL_CHECK(!completed_,
+               "the scheduler already ran a graph; call reset() first");
+  completed_ = true;
   const std::size_t ntasks = tasks_.size();
+  rs.base = ntasks;
 
   // Dedup out-edges and seed the pending counters.
-  std::size_t num_edges = 0;
+  rs.num_edges = 0;
   for (auto& t : tasks_) {
     std::sort(t.out.begin(), t.out.end());
     t.out.erase(std::unique(t.out.begin(), t.out.end()), t.out.end());
-    num_edges += t.out.size();
+    rs.num_edges += t.out.size();
   }
-  std::vector<std::atomic<std::size_t>> pending(ntasks);
+  rs.pending = std::vector<std::atomic<std::size_t>>(ntasks);
   for (const auto& t : tasks_) {
     for (const std::size_t succ : t.out) {
-      pending[succ].fetch_add(1, std::memory_order_relaxed);
+      rs.pending[succ].fetch_add(1, std::memory_order_relaxed);
     }
   }
 
-  RunState rs(partitions_);
-  rs.base = ntasks;
-  rs.current.assign(workers, kNoResource);
   rs.remaining.store(ntasks);
   rs.tokens = resource_tokens_;
   rs.parked.assign(resource_tokens_.size(), {});
+  rs.runs_by.assign(rs.current.size(), 0);
+  rs.steals_by.assign(rs.current.size(), 0);
   run_ = &rs;
 
   for (std::size_t i = 0; i < ntasks; ++i) {
-    if (pending[i].load(std::memory_order_relaxed) == 0) stage(rs, i);
+    if (rs.pending[i].load(std::memory_order_relaxed) == 0) stage(rs, i);
   }
+}
 
-  SchedulerStats stats;
-  stats.workers = workers;
-  stats.partitions = rs.parts.size();
-  std::mutex stats_mu;
-
-  auto worker_loop = [&](std::size_t worker) {
-    const std::size_t nparts = rs.parts.size();
-    const std::size_t home = worker % nparts;
-    std::size_t my_runs = 0, my_steals = 0;
-    for (;;) {
-      if (rs.cancelled.load() || rs.remaining.load() == 0) break;
-      // Hunt: home queue first, then sweep the others (work stealing).
-      std::size_t id = kNoResource;
-      bool stolen = false;
-      for (std::size_t k = 0; k < nparts && id == kNoResource; ++k) {
-        RunState::Partition& part = rs.parts[(home + k) % nparts];
-        std::lock_guard<std::mutex> lk(part.mu);
-        if (!part.heap.empty()) {
-          id = heap_pop(part.heap).second;
-          stolen = k > 0;
-        }
-      }
-      if (id == kNoResource) {
-        std::unique_lock<std::mutex> lk(rs.sleep_mu);
-        rs.cv.wait(lk, [&] {
-          return rs.cancelled.load() || rs.remaining.load() == 0 ||
-                 rs.num_ready.load() > 0 || rs.live.load() == 0;
-        });
-        if (rs.cancelled.load() || rs.remaining.load() == 0) break;
-        if (rs.live.load() == 0 && rs.remaining.load() > 0) {
-          // Nothing staged, nothing running, tasks remain: the graph can
-          // never complete. Fail loudly instead of deadlocking the crew.
-          rs.cancelled.store(true);
-          rs.error = std::make_exception_ptr(
-              Error("task graph stalled with " +
-                    std::to_string(rs.remaining.load()) +
-                    " tasks remaining (dependency cycle?)"));
-          rs.cv.notify_all();
-          break;
-        }
-        continue;  // something became ready (or a spurious wake): rescan
-      }
-      rs.num_ready.fetch_sub(1);
-      rs.current[worker] = id;
-      const WallTimer timer;
-      try {
-        task(id).fn(worker);
-      } catch (...) {
-        {
-          std::lock_guard<std::mutex> lk(rs.sleep_mu);
-          if (!rs.cancelled.load()) {
-            rs.cancelled.store(true);
-            rs.error = std::current_exception();
-          }
-        }
-        rs.cv.notify_all();
-        break;
-      }
-      task(id).seconds = timer.seconds();
-      rs.current[worker] = kNoResource;
-      my_runs++;
-      if (stolen) my_steals++;
-      // Hand this task's token to the highest-priority parked peer, or
-      // return it to the pool.
-      const std::size_t r = task(id).resource;
-      if (r != kNoResource) {
-        std::size_t next = kNoResource;
-        {
-          std::lock_guard<std::mutex> lk(rs.res_mu);
-          if (!rs.parked[r].empty()) {
-            next = heap_pop(rs.parked[r]).second;
-          } else {
-            rs.tokens[r]++;
-          }
-        }
-        if (next != kNoResource) push_ready(rs, next);
-      }
-      for (const std::size_t succ : task(id).out) {
-        if (pending[succ].fetch_sub(1) == 1) stage(rs, succ);
-      }
-      const std::size_t rem = rs.remaining.fetch_sub(1) - 1;
-      const std::size_t lv = rs.live.fetch_sub(1) - 1;
-      if (rem == 0 || lv == 0) {
-        { std::lock_guard<std::mutex> lk(rs.sleep_mu); }
-        rs.cv.notify_all();
+bool TaskScheduler::step(RunState& rs, std::size_t worker) {
+  if (rs.cancelled.load() || rs.remaining.load() == 0) return false;
+  const std::size_t nparts = rs.parts.size();
+  const std::size_t home = worker % nparts;
+  // Hunt: home queue first, then sweep the others (work stealing).
+  std::size_t id = kNoResource;
+  bool stolen = false;
+  for (std::size_t k = 0; k < nparts && id == kNoResource; ++k) {
+    RunState::Partition& part = rs.parts[(home + k) % nparts];
+    std::lock_guard<std::mutex> lk(part.mu);
+    if (!part.heap.empty()) {
+      id = heap_pop(part.heap).second;
+      stolen = k > 0;
+    }
+  }
+  if (id == kNoResource) return false;
+  rs.num_ready.fetch_sub(1);
+  rs.current[worker] = id;
+  const WallTimer timer;
+  try {
+    task(id).fn(worker);
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lk(rs.sleep_mu);
+      if (!rs.cancelled.load()) {
+        rs.cancelled.store(true);
+        rs.error = std::current_exception();
       }
     }
-    std::lock_guard<std::mutex> lk(stats_mu);
-    stats.tasks_run += my_runs;
-    stats.steals += my_steals;
-    if (my_runs > 0) stats.threads_used++;
-  };
-
-  std::vector<std::thread> crew;
-  crew.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    crew.emplace_back(worker_loop, w);
+    rs.cv.notify_all();
+    if (rs.crew != nullptr) rs.crew->notify();
+    return true;
   }
-  for (auto& t : crew) t.join();
+  task(id).seconds = timer.seconds();
+  rs.current[worker] = kNoResource;
+  rs.runs_by[worker]++;
+  if (stolen) rs.steals_by[worker]++;
+  // Hand this task's token to the highest-priority parked peer, or
+  // return it to the pool.
+  const std::size_t r = task(id).resource;
+  if (r != kNoResource) {
+    std::size_t next = kNoResource;
+    {
+      std::lock_guard<std::mutex> lk(rs.res_mu);
+      if (!rs.parked[r].empty()) {
+        next = heap_pop(rs.parked[r]).second;
+      } else {
+        rs.tokens[r]++;
+      }
+    }
+    if (next != kNoResource) push_ready(rs, next);
+  }
+  for (const std::size_t succ : task(id).out) {
+    if (rs.pending[succ].fetch_sub(1) == 1) stage(rs, succ);
+  }
+  const std::size_t rem = rs.remaining.fetch_sub(1) - 1;
+  const std::size_t lv = rs.live.fetch_sub(1) - 1;
+  if (rem == 0 || lv == 0) {
+    { std::lock_guard<std::mutex> lk(rs.sleep_mu); }
+    rs.cv.notify_all();
+    if (rs.crew != nullptr) rs.crew->notify();
+  }
+  return true;
+}
 
+void TaskScheduler::drain(RunState& rs, std::size_t worker) {
+  for (;;) {
+    if (rs.cancelled.load() || rs.remaining.load() == 0) return;
+    if (step(rs, worker)) continue;
+    std::unique_lock<std::mutex> lk(rs.sleep_mu);
+    rs.cv.wait(lk, [&] {
+      return rs.cancelled.load() || rs.remaining.load() == 0 ||
+             rs.num_ready.load() > 0 || rs.live.load() == 0;
+    });
+    if (rs.cancelled.load() || rs.remaining.load() == 0) return;
+    if (rs.live.load() == 0 && rs.remaining.load() > 0) {
+      // Nothing staged, nothing running, tasks remain: the graph can
+      // never complete. Fail loudly instead of deadlocking the crew.
+      rs.cancelled.store(true);
+      rs.error = std::make_exception_ptr(
+          Error("task graph stalled with " +
+                std::to_string(rs.remaining.load()) +
+                " tasks remaining (dependency cycle?)"));
+      rs.cv.notify_all();
+      if (rs.crew != nullptr) rs.crew->notify();
+      return;
+    }
+    // Something became ready (or a spurious wake): rescan.
+  }
+}
+
+SchedulerStats TaskScheduler::finish(RunState& rs, std::size_t workers) {
   // Fold the spawned tasks into tasks_ (ids align: spawned task i became
   // id base + i) so task_seconds() and modeled_makespan() see the whole
   // executed graph.
   const std::size_t spawned = rs.spawned.load();
-  tasks_.reserve(ntasks + spawned);
+  tasks_.reserve(rs.base + spawned);
   for (std::size_t i = 0; i < spawned; ++i) {
     const std::size_t c = RunState::chunk_of(i);
     tasks_.push_back(std::move(rs.chunks[c][i - RunState::chunk_base(c)]));
@@ -334,14 +379,63 @@ SchedulerStats TaskScheduler::run(std::size_t workers) {
     durations_[id] = tasks_[id].seconds;
   }
 
+  SchedulerStats stats;
+  stats.workers = workers;
+  stats.partitions = rs.parts.size();
+  for (std::size_t w = 0; w < rs.runs_by.size(); ++w) {
+    stats.tasks_run += rs.runs_by[w];
+    stats.steals += rs.steals_by[w];
+    if (rs.runs_by[w] > 0) stats.threads_used++;
+  }
   stats.tasks_spawned = spawned;
-  stats.edges = num_edges;
+  stats.edges = rs.num_edges;
   stats.max_ready_depth = rs.max_ready.load();
   stats.resource_waits = rs.resource_waits.load();
   if (rs.error) std::rethrow_exception(rs.error);
   SPCHOL_CHECK(rs.remaining.load() == 0,
                "task graph did not complete (cycle?)");
   return stats;
+}
+
+SchedulerStats TaskScheduler::run(std::size_t workers) {
+  workers = std::max<std::size_t>(1, workers);
+  RunState rs(partitions_);
+  rs.current.assign(workers, kNoResource);
+  prepare(rs);
+
+  std::vector<std::thread> crew;
+  crew.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    crew.emplace_back([this, &rs, w] { drain(rs, w); });
+  }
+  for (auto& t : crew) t.join();
+  return finish(rs, workers);
+}
+
+SchedulerStats TaskScheduler::run_on(WorkerCrew& crew) {
+  const std::size_t nworkers = crew.size() + 1;
+  RunState rs(partitions_);
+  rs.current.assign(nworkers, kNoResource);
+  rs.crew = &crew;
+  prepare(rs);
+
+  auto src = std::make_shared<CrewSource>();
+  src->ts = this;
+  src->rs = &rs;
+  crew.attach(src);           // crew workers take indices [0, size())
+  drain(rs, crew.size());     // the caller drains as the extra worker
+  src->close();               // no crew step may touch rs past this point
+  crew.detach(src.get());
+  return finish(rs, nworkers);
+}
+
+void TaskScheduler::reset() {
+  SPCHOL_CHECK(run_ == nullptr, "reset() may not be called during a run");
+  tasks_.clear();
+  resource_tokens_.clear();
+  durations_.clear();
+  partitions_ = 1;
+  completed_ = false;
 }
 
 double TaskScheduler::modeled_makespan(std::size_t workers) const {

@@ -28,10 +28,25 @@
 // (warm caches). Correctness never depends on the partitioning: it is a
 // locality/contention hint, and stealing guarantees progress.
 //
-// The worker threads are dedicated std::threads, deliberately NOT taken
-// from ThreadPool::global(): the pool stays free to serve the nested
-// parallel dense kernels that tasks issue (see FactorContext), so a lone
-// ready task near the etree root can still use every core.
+// Execution comes in two shapes:
+//   * run(workers) — dedicated std::threads for this one graph, joined
+//     before it returns (the per-call path). The threads are
+//     deliberately NOT taken from ThreadPool::global(): the pool stays
+//     free to serve the nested parallel dense kernels that tasks issue
+//     (see FactorContext), so a lone ready task near the etree root can
+//     still use every core.
+//   * run_on(crew) — the graph drains on a long-lived WorkerCrew (the
+//     SolverRuntime's persistent complement) with the CALLING thread
+//     participating as one extra worker. Several schedulers may drain
+//     on one crew concurrently; task selection order may differ from
+//     run(), but every execution-order freedom the graph permits is
+//     bitwise-neutral by construction (see above), so results are
+//     identical.
+//
+// A scheduler is single-shot per graph: after run()/run_on() returns,
+// reset() clears it back to an empty build phase so a long-lived
+// per-session scheduler can be reused for the next factorization
+// (partitions are re-bound by the next set_partitions call).
 #pragma once
 
 #include <array>
@@ -43,6 +58,8 @@
 #include "spchol/support/common.hpp"
 
 namespace spchol {
+
+class WorkerCrew;
 
 /// Execution counters surfaced through FactorStats / SymbolicStats.
 struct SchedulerStats {
@@ -110,11 +127,26 @@ class TaskScheduler {
   /// Tasks registered so far (including, after run(), spawned ones).
   std::size_t num_tasks() const noexcept { return tasks_.size(); }
 
-  /// Executes the whole graph on `workers` threads and blocks until every
-  /// task has finished. Rethrows the first task exception (remaining
-  /// tasks are abandoned). The scheduler is single-shot: run() may only
-  /// be called once.
+  /// Executes the whole graph on `workers` dedicated threads and blocks
+  /// until every task has finished. Rethrows the first task exception
+  /// (remaining tasks are abandoned). One graph per scheduler: call
+  /// reset() before building the next one.
   SchedulerStats run(std::size_t workers);
+
+  /// Executes the whole graph on a long-lived WorkerCrew instead of
+  /// dedicated threads: the scheduler attaches itself as a crew work
+  /// source, the CALLING thread drains alongside the crew as one extra
+  /// worker (so progress never depends on the crew being idle), and the
+  /// source is detached — with a handshake that waits out in-flight crew
+  /// steps — before this returns. Several schedulers may run_on one crew
+  /// at the same time. Semantics otherwise match run(); the effective
+  /// worker count is crew.size() + 1.
+  SchedulerStats run_on(WorkerCrew& crew);
+
+  /// Clears the scheduler back to its post-construction state (no tasks,
+  /// no resources, one partition) so a long-lived scheduler can be
+  /// reused for the next graph. Must not be called during a run.
+  void reset();
 
   /// Measured wall seconds of each executed task (indexed by task id;
   /// 0 for tasks abandoned after an error). Valid after run().
@@ -143,17 +175,33 @@ class TaskScheduler {
     double seconds = 0.0;                  // measured by run()
     std::vector<std::size_t> out;          // successor task ids
   };
-  struct RunState;  // live run() coordination + spawned-task store
+  struct RunState;    // live run coordination + spawned-task store
+  struct CrewSource;  // WorkerCrew adapter with the close handshake
 
   Task& task(std::size_t id);
   void push_ready(RunState& rs, std::size_t id);
   void stage(RunState& rs, std::size_t id);
+  /// Seeds the RunState (edge dedup, pending counts, root staging) and
+  /// publishes it through run_. rs.current must already be sized to the
+  /// worker count.
+  void prepare(RunState& rs);
+  /// Pops and executes at most one ready task as `worker`; returns true
+  /// if a task ran (even one that failed — cancellation is recorded in
+  /// the RunState, not signalled through the return value).
+  bool step(RunState& rs, std::size_t worker);
+  /// Worker loop: step until the graph completes or cancels, sleeping on
+  /// the RunState's cv between ready tasks (with stall detection).
+  void drain(RunState& rs, std::size_t worker);
+  /// Folds spawned tasks and durations back into the scheduler, builds
+  /// the stats, clears run_, and rethrows any task error.
+  SchedulerStats finish(RunState& rs, std::size_t workers);
 
   std::vector<Task> tasks_;
   std::vector<std::size_t> resource_tokens_;
   std::vector<double> durations_;
   std::size_t partitions_ = 1;
-  RunState* run_ = nullptr;  // non-null only while run() is draining
+  bool completed_ = false;   // a graph ran; reset() required before reuse
+  RunState* run_ = nullptr;  // non-null only while a run is draining
 };
 
 }  // namespace spchol

@@ -1,0 +1,76 @@
+#include "spchol/support/worker_crew.hpp"
+
+#include <utility>
+
+#include "spchol/support/thread_pool.hpp"
+
+namespace spchol {
+
+WorkerCrew::WorkerCrew(int workers) {
+  const std::size_t n = resolve_worker_count(workers);
+  threads_.reserve(n);
+  for (std::size_t w = 0; w < n; ++w) {
+    threads_.emplace_back([this, w] { loop(w); });
+  }
+}
+
+WorkerCrew::~WorkerCrew() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+    version_++;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerCrew::attach(std::shared_ptr<Source> source) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    sources_.push_back(std::move(source));
+    version_++;
+  }
+  cv_.notify_all();
+}
+
+void WorkerCrew::detach(const Source* source) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto it = sources_.begin(); it != sources_.end(); ++it) {
+    if (it->get() == source) {
+      sources_.erase(it);
+      break;
+    }
+  }
+  version_++;
+}
+
+void WorkerCrew::notify() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    version_++;
+  }
+  cv_.notify_all();
+}
+
+void WorkerCrew::loop(std::size_t worker) {
+  std::vector<std::shared_ptr<Source>> snap;
+  for (;;) {
+    std::uint64_t seen;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (stop_) return;
+      seen = version_;
+      snap = sources_;
+    }
+    bool ran = false;
+    for (const auto& s : snap) {
+      if (s->run_one(worker)) ran = true;
+    }
+    snap.clear();  // drop source refs before sleeping
+    if (ran) continue;
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return stop_ || version_ != seen; });
+  }
+}
+
+}  // namespace spchol

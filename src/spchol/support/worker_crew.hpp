@@ -1,0 +1,85 @@
+// WorkerCrew: a long-lived complement of worker threads shared by many
+// TaskScheduler runs — and by several runs at once.
+//
+// TaskScheduler::run() spawns dedicated std::threads per call: right for
+// a one-shot factorization, wasteful for a service draining a stream of
+// requests (every call pays thread startup, and concurrent calls
+// oversubscribe the machine with stacked crews). A WorkerCrew keeps one
+// complement alive across runs: work providers attach as Sources
+// (TaskScheduler::run_on wraps a live run in one), idle workers
+// round-robin over the attached sources, and notify() wakes them when
+// tasks become ready. Several sources may be attached at once, so
+// concurrent factorization sessions on one SolverRuntime multiplex over
+// a single crew.
+//
+// The sleep protocol is a version counter: a worker snapshots the
+// version under the crew mutex BEFORE sweeping the sources, and sleeps
+// only if the version is unchanged when it re-locks. Any notify() after
+// the snapshot flips the wait predicate; any notify() before it is
+// covered by the sweep the worker is about to do — so a wakeup can
+// never be lost.
+//
+// Like the scheduler's dedicated threads, crew workers are deliberately
+// NOT drawn from ThreadPool::global(): the pool stays free to serve the
+// nested parallel dense kernels that tasks issue (see FactorContext).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spchol {
+
+class WorkerCrew {
+ public:
+  /// One attached provider of work. Implementations must be callable
+  /// from every crew worker concurrently, and must tolerate run_one()
+  /// calls arriving after their work is done (returning false).
+  class Source {
+   public:
+    virtual ~Source() = default;
+    /// Runs at most one task; `worker` is the crew worker index (stable
+    /// per thread, in [0, size())). Returns true if a task ran.
+    virtual bool run_one(std::size_t worker) = 0;
+  };
+
+  /// Starts `workers` persistent threads (0 = hardware concurrency;
+  /// callers validate negatives before construction).
+  explicit WorkerCrew(int workers = 0);
+  ~WorkerCrew();
+  WorkerCrew(const WorkerCrew&) = delete;
+  WorkerCrew& operator=(const WorkerCrew&) = delete;
+
+  std::size_t size() const noexcept { return threads_.size(); }
+
+  /// Attaches a source and wakes the workers. The crew holds the
+  /// shared_ptr until detach(); workers may additionally hold a
+  /// reference through the end of their current sweep, so sources
+  /// coordinate their own teardown (see TaskScheduler::run_on's
+  /// close handshake) before the provider's state goes away.
+  void attach(std::shared_ptr<Source> source);
+
+  /// Detaches: the source receives no NEW sweeps. In-flight run_one()
+  /// calls may still be executing — that is the source's problem.
+  void detach(const Source* source);
+
+  /// Wakes every idle worker to rescan the attached sources. Schedulers
+  /// call this when a task becomes ready.
+  void notify();
+
+ private:
+  void loop(std::size_t worker);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::shared_ptr<Source>> sources_;
+  std::uint64_t version_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace spchol

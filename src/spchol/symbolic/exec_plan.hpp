@@ -87,6 +87,13 @@ class ExecutionPlan {
   /// on the device (never batched); `queue_of[s]` assigns ready-queue
   /// partitions (empty span → all 0). Both spans are indexed by
   /// supernode and must be empty or of length num_supernodes().
+  ///
+  /// Reuse contract: a built plan is an immutable function of
+  /// (symbolic pattern, on_gpu marks, queue partitioning, PlanOptions) —
+  /// it holds no numeric state and the scheduled drivers only read it, so
+  /// one plan may back any number of factorizations, including
+  /// concurrently, as long as those inputs match. SolverService caches
+  /// plans keyed by exactly those inputs (detail::PlannedGraph).
   static ExecutionPlan build(const SymbolicFactor& symb,
                              std::span<const char> on_gpu,
                              std::span<const index_t> queue_of,

@@ -824,7 +824,9 @@ void AnalyzePipeline::run_staged() {
   const auto f_fin = add(kPattern, 0, [this] { finalize_stage(); });
   join(l_rel, f_fin);
 
-  const SchedulerStats ss = sched.run(workers_);
+  const SchedulerStats ss = opts_.crew != nullptr
+                                ? sched.run_on(*opts_.crew)
+                                : sched.run(workers_);
 
   SymbolicStats& stats = sf_.stats_;
   const std::vector<double>& dur = sched.task_seconds();
@@ -843,15 +845,7 @@ void AnalyzePipeline::run_staged() {
   stats.steals = ss.steals;
 }
 
-SymbolicFactor SymbolicFactor::analyze(const CscMatrix& a_lower,
-                                       const Permutation& fill_perm,
-                                       const AnalyzeOptions& opts) {
-  SPCHOL_CHECK(a_lower.square(),
-               "analyze requires a square matrix, got " +
-                   std::to_string(a_lower.rows()) + "x" +
-                   std::to_string(a_lower.cols()));
-  SPCHOL_CHECK(fill_perm.size() == a_lower.cols(),
-               "permutation size mismatch");
+void validate(const AnalyzeOptions& opts) {
   if (!std::isfinite(opts.merge_growth_cap) || opts.merge_growth_cap < 0.0) {
     throw InvalidArgument(
         "AnalyzeOptions::merge_growth_cap must be finite and >= 0, got " +
@@ -861,6 +855,18 @@ SymbolicFactor SymbolicFactor::analyze(const CscMatrix& a_lower,
     throw InvalidArgument("AnalyzeOptions::workers must be >= 0, got " +
                           std::to_string(opts.workers));
   }
+}
+
+SymbolicFactor SymbolicFactor::analyze(const CscMatrix& a_lower,
+                                       const Permutation& fill_perm,
+                                       const AnalyzeOptions& opts) {
+  SPCHOL_CHECK(a_lower.square(),
+               "analyze requires a square matrix, got " +
+                   std::to_string(a_lower.rows()) + "x" +
+                   std::to_string(a_lower.cols()));
+  SPCHOL_CHECK(fill_perm.size() == a_lower.cols(),
+               "permutation size mismatch");
+  validate(opts);
 
   SymbolicFactor sf;
   const index_t n = a_lower.cols();

@@ -27,6 +27,8 @@
 
 namespace spchol {
 
+class WorkerCrew;  // support/worker_crew.hpp: persistent worker threads
+
 struct AnalyzeOptions {
   /// Supernode merging stops when the cumulative growth of factor storage
   /// exceeds this fraction of the unmerged factor (paper: 25%).
@@ -43,7 +45,19 @@ struct AnalyzeOptions {
   /// InvalidArgument. The result is identical for every value (matrices
   /// below an internal size floor always take the serial path).
   int workers = 0;
+  /// Optional persistent worker crew (injected by SolverRuntime). When
+  /// non-null the staged pipeline's task DAG runs on these long-lived
+  /// threads plus the calling thread (TaskScheduler::run_on) instead of
+  /// spawning `workers` dedicated threads per call; the analysis result
+  /// is identical either way. Non-owning; must outlive the call.
+  WorkerCrew* crew = nullptr;
 };
+
+/// Throws InvalidArgument on invalid AnalyzeOptions: negative or
+/// non-finite merge_growth_cap, or negative workers. analyze() calls
+/// this itself; SolverService calls it at session creation so a bad
+/// option set fails before any ordering work runs.
+void validate(const AnalyzeOptions& opts);
 
 /// Execution statistics of one analyze() call. Stage seconds are wall
 /// time on the serial path and summed task time on the scheduled path

@@ -1,0 +1,338 @@
+// SolverRuntime/SolverService coverage: the pattern cache must serve
+// repeated same-pattern sessions with zero analyze/ordering work, the
+// admission gate must bound in-flight factorizations, and concurrent
+// sessions on one shared runtime must produce factors bitwise identical
+// to independent serial per-call CholeskySolver runs for every
+// worker/stream combination. CholeskySolver itself must tolerate
+// concurrent solve()/stats() readers while another thread refactorizes
+// (this file runs under TSan in CI).
+#include <gtest/gtest.h>
+
+#include <latch>
+#include <thread>
+#include <vector>
+
+#include "test_util.hpp"
+
+namespace spchol {
+namespace {
+
+/// Reference factor values from a cold, per-call CholeskySolver run.
+std::vector<double> reference_values(const CscMatrix& a,
+                                     const SolverOptions& opts) {
+  CholeskySolver solver(opts);
+  solver.factorize(a);
+  const auto v = solver.factor().values();
+  return {v.begin(), v.end()};
+}
+
+void expect_bitwise_equal(const std::vector<double>& a,
+                          std::span<const double> b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "value index " << i;
+  }
+}
+
+/// Hybrid options with thresholds low enough that the small test
+/// matrices actually split across CPU and GPU.
+SolverOptions hybrid_options(Method m, int workers, int streams) {
+  SolverOptions so;
+  so.factor.method = m;
+  so.factor.exec = Execution::kGpuHybrid;
+  so.factor.cpu_workers = workers;
+  so.factor.gpu_streams = streams;
+  so.factor.gpu_threshold_rl = 2'000;
+  so.factor.gpu_threshold_rlb = 2'000;
+  return so;
+}
+
+TEST(SolverService, WarmCacheSkipsSymbolicWork) {
+  const CscMatrix a = grid3d_7pt(6, 6, 6);
+  ServiceOptions so;
+  so.runtime.workers = 2;
+  SolverService service(so);
+
+  const auto cold = service.session(a);
+  EXPECT_FALSE(cold->stats().symbolic_cached);
+  EXPECT_GT(cold->stats().analyze_seconds, 0.0);
+
+  const auto warm = service.session(a);
+  EXPECT_TRUE(warm->stats().symbolic_cached);
+  EXPECT_EQ(warm->stats().analyze_seconds, 0.0);
+  // The cached symbolic factor is SHARED, not recomputed.
+  EXPECT_EQ(&cold->symbolic(), &warm->symbolic());
+
+  const ServiceStats st = service.stats();
+  EXPECT_EQ(st.requests, 2u);
+  EXPECT_EQ(st.cache_misses, 1u);
+  EXPECT_EQ(st.cache_hits, 1u);
+  EXPECT_EQ(st.patterns_cached, 1u);
+}
+
+TEST(SolverService, ValueChangesAreCacheHits) {
+  // Same pattern, different values — the refactorize workload. The
+  // second session must hit the cache and still factor ITS values.
+  CscMatrix a = grid2d_5pt(10, 10);
+  ServiceOptions so;
+  so.runtime.workers = 2;
+  SolverService service(so);
+  const auto s1 = service.session(a);
+  s1->factorize(a);
+
+  CscMatrix a2 = a;
+  for (double& v : a2.mutable_values()) v *= 2.0;
+  const auto s2 = service.session(a2);
+  EXPECT_TRUE(s2->stats().symbolic_cached);
+  s2->factorize(a2);
+  expect_bitwise_equal(reference_values(a2, SolverOptions{}),
+                       s2->factor()->values());
+}
+
+TEST(SolverService, DistinctPatternsMissAndEvict) {
+  const CscMatrix a = grid2d_5pt(10, 10);
+  const CscMatrix b = grid2d_5pt(11, 11);
+  ServiceOptions so;
+  so.runtime.workers = 2;
+  so.cache_capacity = 1;
+  SolverService service(so);
+
+  (void)service.session(a);
+  (void)service.session(b);  // evicts a's entry (capacity 1)
+  (void)service.session(a);  // miss again
+  const ServiceStats st = service.stats();
+  EXPECT_EQ(st.cache_misses, 3u);
+  EXPECT_EQ(st.cache_hits, 0u);
+  EXPECT_GE(st.cache_evictions, 2u);
+  EXPECT_EQ(st.patterns_cached, 1u);
+}
+
+TEST(SolverService, SymbolicShapingOptionsKeyTheCache) {
+  const CscMatrix a = grid2d_5pt(10, 10);
+  SolverService service;
+  (void)service.session(a);
+
+  // Worker counts do NOT shape the symbolic result: still a hit.
+  SolverOptions workers_differ;
+  workers_differ.factor.cpu_workers = 2;
+  workers_differ.ordering_opts.workers = 2;
+  workers_differ.analyze.workers = 2;
+  EXPECT_TRUE(service.session(a, workers_differ)->stats().symbolic_cached);
+
+  // A different ordering method does: miss.
+  SolverOptions rcm;
+  rcm.ordering_opts.method = OrderingMethod::kRcm;
+  EXPECT_FALSE(service.session(a, rcm)->stats().symbolic_cached);
+}
+
+TEST(SolverService, CachedPlanAndPoolsAreReused) {
+  const CscMatrix a = grid3d_7pt(6, 6, 6);
+  ServiceOptions so;
+  so.runtime.workers = 2;
+  SolverService service(so);
+  const SolverOptions ho = hybrid_options(Method::kRL, 4, 2);
+
+  const auto s1 = service.session(a, ho);
+  s1->factorize(a);
+  const RuntimeStats r1 = service.runtime().stats();
+  EXPECT_EQ(r1.pool_misses, 1u);
+
+  const auto s2 = service.session(a, ho);
+  s2->factorize(a);
+  s2->factorize(a);
+  const RuntimeStats r2 = service.runtime().stats();
+  EXPECT_EQ(r2.pool_misses, 1u);  // no new pool was ever built
+  EXPECT_GE(r2.pool_hits, 2u);
+  EXPECT_EQ(r2.factorizations, 3u);
+  expect_bitwise_equal(reference_values(a, ho), s2->factor()->values());
+}
+
+TEST(SolverService, WarmSessionsBitwiseMatchPerCallAcrossWorkersAndStreams) {
+  const CscMatrix a = grid3d_7pt(6, 6, 6);
+  ServiceOptions so;
+  so.runtime.workers = 3;
+  SolverService service(so);
+  for (const Method m : {Method::kRL, Method::kRLB}) {
+    for (const int workers : {1, 4, 8}) {
+      for (const int streams : {1, 4}) {
+        SCOPED_TRACE(std::string(to_string(m)) + " workers=" +
+                     std::to_string(workers) + " streams=" +
+                     std::to_string(streams));
+        const SolverOptions ho = hybrid_options(m, workers, streams);
+        const auto s = service.session(a, ho);
+        s->factorize(a);
+        expect_bitwise_equal(reference_values(a, ho), s->factor()->values());
+      }
+    }
+  }
+}
+
+TEST(SolverService, ConcurrentSessionsBitwiseMatchSerialRuns) {
+  // N threads, a mix of same and differing patterns, all factorizing
+  // concurrently on one shared runtime — every factor must match an
+  // independent serial per-call run bitwise.
+  const CscMatrix pats[] = {grid3d_7pt(6, 6, 6), grid2d_5pt(25, 25)};
+  const SolverOptions ho = hybrid_options(Method::kRL, 4, 2);
+  const std::vector<double> refs[] = {reference_values(pats[0], ho),
+                                      reference_values(pats[1], ho)};
+  ServiceOptions so;
+  so.solver = ho;
+  so.runtime.workers = 3;
+  so.runtime.max_concurrent = 2;
+  SolverService service(so);
+
+  constexpr int kThreads = 4;
+  std::latch start(kThreads);
+  std::vector<std::shared_ptr<SolverSession>> sessions(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      start.arrive_and_wait();
+      const CscMatrix& a = pats[t % 2];
+      sessions[t] = service.session(a);
+      sessions[t]->factorize(a);
+      sessions[t]->factorize(a);  // refactorize on the warm path too
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    SCOPED_TRACE(t);
+    expect_bitwise_equal(refs[t % 2], sessions[t]->factor()->values());
+  }
+
+  const ServiceStats st = service.stats();
+  EXPECT_EQ(st.requests, static_cast<std::size_t>(kThreads));
+  EXPECT_EQ(st.runtime.factorizations, 2u * kThreads);
+  EXPECT_LE(st.runtime.concurrent_peak, 2u);  // admission bound held
+  EXPECT_EQ(st.runtime.in_flight, 0u);
+  // Concurrent misses for one pattern may both analyze (the insert
+  // re-check keeps one), so hits can be less than threads - patterns.
+  EXPECT_GE(st.cache_misses, 2u);
+  EXPECT_EQ(st.patterns_cached, 2u);
+}
+
+TEST(SolverRuntime, AdmissionGateBlocksAtCapacity) {
+  RuntimeOptions ro;
+  ro.workers = 1;
+  ro.max_concurrent = 1;
+  SolverRuntime rt(ro);
+  {
+    auto first = rt.admit();
+    EXPECT_EQ(rt.stats().in_flight, 1u);
+    std::thread blocked([&] { const auto second = rt.admit(); });
+    // The second admit must park (bounded in-flight), not run.
+    while (rt.stats().admission_waits == 0) std::this_thread::yield();
+    EXPECT_EQ(rt.stats().in_flight, 1u);
+    { const auto release = std::move(first); }  // frees the slot
+    blocked.join();
+  }
+  const RuntimeStats st = rt.stats();
+  EXPECT_EQ(st.factorizations, 2u);
+  EXPECT_EQ(st.concurrent_peak, 1u);
+  EXPECT_EQ(st.admission_waits, 1u);
+  EXPECT_EQ(st.in_flight, 0u);
+}
+
+TEST(ServiceValidation, BadOptionsRejectedAtConstruction) {
+  {
+    RuntimeOptions ro;
+    ro.workers = -1;
+    EXPECT_THROW(SolverRuntime rt(ro), InvalidArgument);
+  }
+  {
+    RuntimeOptions ro;
+    ro.max_concurrent = 0;
+    EXPECT_THROW(SolverRuntime rt(ro), InvalidArgument);
+  }
+  {
+    ServiceOptions so;
+    so.cache_capacity = 0;
+    EXPECT_THROW(SolverService s(so), InvalidArgument);
+  }
+  {
+    ServiceOptions so;
+    so.solver.factor.cpu_workers = -2;
+    EXPECT_THROW(SolverService s(so), InvalidArgument);
+  }
+}
+
+TEST(ServiceValidation, BadSessionOptionsRejectedBeforeAnyWork) {
+  const CscMatrix a = grid2d_5pt(5, 5);
+  SolverService service;
+  SolverOptions bad;
+  bad.factor.gpu_streams = 0;
+  EXPECT_THROW((void)service.session(a, bad), InvalidArgument);
+  bad = SolverOptions{};
+  bad.analyze.merge_growth_cap = -1.0;
+  EXPECT_THROW((void)service.session(a, bad), InvalidArgument);
+  bad = SolverOptions{};
+  bad.ordering_opts.workers = -1;
+  EXPECT_THROW((void)service.session(a, bad), InvalidArgument);
+  EXPECT_EQ(service.stats().cache_misses, 0u);
+}
+
+TEST(SolverValidation, AnalyzeRejectsBadOptionsUpFront) {
+  // The satellite contract: CholeskySolver::analyze validates ALL stage
+  // options before running the ordering, not deep inside factorize().
+  const CscMatrix a = grid2d_5pt(5, 5);
+  SolverOptions bad;
+  bad.factor.cpu_workers = -1;
+  CholeskySolver solver(bad);
+  EXPECT_THROW(solver.analyze(a), InvalidArgument);
+  EXPECT_FALSE(solver.analyzed());
+}
+
+TEST(SolverThreadSafety, ConcurrentSolveAndStatsDuringRefactorize) {
+  // CholeskySolver readers (solve, stats, flags, timing) must be safe
+  // while another thread refactorizes — the TSan regression of the
+  // shared-runtime satellite.
+  const CscMatrix a = grid2d_5pt(20, 20);
+  const index_t n = a.cols();
+  std::vector<double> b(static_cast<std::size_t>(n), 1.0);
+
+  SolverOptions opts;
+  opts.factor.cpu_workers = 2;
+  CholeskySolver solver(opts);
+  solver.factorize(a);
+  const std::vector<double> x0 = solver.solve(b);
+
+  std::latch start(3);
+  std::thread writer([&] {
+    start.arrive_and_wait();
+    for (int i = 0; i < 5; ++i) solver.factorize(a);
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      start.arrive_and_wait();
+      for (int i = 0; i < 20; ++i) {
+        // Identical matrix values every refactorize ⇒ identical factor
+        // ⇒ the solution never changes, torn reads aside.
+        const std::vector<double> x = solver.solve(b);
+        for (std::size_t k = 0; k < x.size(); ++k) ASSERT_EQ(x[k], x0[k]);
+        ASSERT_TRUE(solver.factorized());
+        const FactorStats st = solver.stats();
+        ASSERT_GT(st.total_supernodes, 0);
+        (void)solver.ordering_stats();
+        (void)solver.pipeline_seconds();
+      }
+    });
+  }
+  writer.join();
+  for (auto& th : readers) th.join();
+}
+
+TEST(SolverService, OneShotSolveMatchesCholeskySolver) {
+  const CscMatrix a = grid2d_5pt(12, 12);
+  const index_t n = a.cols();
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) b[i] = 1.0 + 0.25 * i;
+  SolverService service;
+  const std::vector<double> x = service.solve(a, b);
+  const std::vector<double> want = CholeskySolver::solve(a, b);
+  ASSERT_EQ(x.size(), want.size());
+  for (std::size_t i = 0; i < x.size(); ++i) ASSERT_EQ(x[i], want[i]);
+}
+
+}  // namespace
+}  // namespace spchol
