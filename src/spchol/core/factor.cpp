@@ -69,6 +69,37 @@ void validate(const FactorOptions& o) {
   }
 }
 
+void validate(const SolveOptions& o) {
+  if (o.workers < 0) {
+    throw InvalidArgument("SolveOptions::workers must be >= 0 (0 = "
+                          "hardware concurrency); got " +
+                          std::to_string(o.workers));
+  }
+  if (o.rhs_panel < 1) {
+    throw InvalidArgument("SolveOptions::rhs_panel must be >= 1; got " +
+                          std::to_string(o.rhs_panel));
+  }
+  if (o.gpu_streams < 1) {
+    throw InvalidArgument("SolveOptions::gpu_streams must be >= 1; got " +
+                          std::to_string(o.gpu_streams));
+  }
+  if (o.gpu_threshold < 0) {
+    throw InvalidArgument("SolveOptions::gpu_threshold must be >= 0; got " +
+                          std::to_string(o.gpu_threshold));
+  }
+  if (o.batch_entries < 0) {
+    throw InvalidArgument(
+        "SolveOptions::batch_entries must be >= 0 (0 disables batching); "
+        "got " +
+        std::to_string(o.batch_entries));
+  }
+  if (o.batch_max_supernodes < 1) {
+    throw InvalidArgument(
+        "SolveOptions::batch_max_supernodes must be >= 1; got " +
+        std::to_string(o.batch_max_supernodes));
+  }
+}
+
 namespace detail {
 
 thread_local FactorContext::BatchAccum* FactorContext::tl_batch_ = nullptr;
@@ -305,105 +336,8 @@ CscMatrix CholeskyFactor::to_csc_lower() const {
   return coo.to_csc();
 }
 
-void CholeskyFactor::solve(std::span<const double> b,
-                           std::span<double> x) const {
-  const index_t n = symb_->n();
-  SPCHOL_CHECK(b.size() == static_cast<std::size_t>(n) &&
-                   x.size() == static_cast<std::size_t>(n),
-               "solve vector size mismatch");
-  const Permutation& perm = symb_->permutation();
-  std::vector<double> y(static_cast<std::size_t>(n));
-  for (index_t k = 0; k < n; ++k) y[k] = b[perm.new_to_old(k)];
-
-  // Forward solve L y' = y.
-  for (index_t s = 0; s < symb_->num_supernodes(); ++s) {
-    const auto rows = symb_->sn_rows(s);
-    const index_t w = symb_->sn_width(s);
-    const index_t r = static_cast<index_t>(rows.size());
-    const index_t f = symb_->sn_begin(s);
-    const double* panel = values_.data() + symb_->sn_values_offset(s);
-    for (index_t jl = 0; jl < w; ++jl) {
-      const double* col = panel + static_cast<offset_t>(jl) * r;
-      double v = y[f + jl];
-      v /= col[jl];
-      y[f + jl] = v;
-      for (index_t t = jl + 1; t < w; ++t) y[f + t] -= col[t] * v;
-      for (index_t t = w; t < r; ++t) y[rows[t]] -= col[t] * v;
-    }
-  }
-  // Backward solve Lᵀ x' = y'.
-  for (index_t s = symb_->num_supernodes() - 1; s >= 0; --s) {
-    const auto rows = symb_->sn_rows(s);
-    const index_t w = symb_->sn_width(s);
-    const index_t r = static_cast<index_t>(rows.size());
-    const index_t f = symb_->sn_begin(s);
-    const double* panel = values_.data() + symb_->sn_values_offset(s);
-    for (index_t jl = w - 1; jl >= 0; --jl) {
-      const double* col = panel + static_cast<offset_t>(jl) * r;
-      double v = y[f + jl];
-      for (index_t t = w; t < r; ++t) v -= col[t] * y[rows[t]];
-      for (index_t t = jl + 1; t < w; ++t) v -= col[t] * y[f + t];
-      y[f + jl] = v / col[jl];
-    }
-  }
-  for (index_t k = 0; k < n; ++k) x[perm.new_to_old(k)] = y[k];
-}
-
-void CholeskyFactor::solve_multi(std::span<const double> b,
-                                 std::span<double> x, index_t nrhs) const {
-  const index_t n = symb_->n();
-  SPCHOL_CHECK(nrhs >= 0, "negative nrhs");
-  SPCHOL_CHECK(b.size() == static_cast<std::size_t>(n) * nrhs &&
-                   x.size() == static_cast<std::size_t>(n) * nrhs,
-               "solve_multi size mismatch");
-  const Permutation& perm = symb_->permutation();
-  std::vector<double> y(static_cast<std::size_t>(n) * nrhs);
-  for (index_t q = 0; q < nrhs; ++q) {
-    const double* bq = b.data() + static_cast<std::size_t>(q) * n;
-    double* yq = y.data() + static_cast<std::size_t>(q) * n;
-    for (index_t k = 0; k < n; ++k) yq[k] = bq[perm.new_to_old(k)];
-  }
-  // Forward then backward, panel column reused across all RHS columns.
-  for (index_t s = 0; s < symb_->num_supernodes(); ++s) {
-    const auto rows = symb_->sn_rows(s);
-    const index_t w = symb_->sn_width(s);
-    const index_t r = static_cast<index_t>(rows.size());
-    const index_t f = symb_->sn_begin(s);
-    const double* panel = values_.data() + symb_->sn_values_offset(s);
-    for (index_t jl = 0; jl < w; ++jl) {
-      const double* col = panel + static_cast<offset_t>(jl) * r;
-      for (index_t q = 0; q < nrhs; ++q) {
-        double* yq = y.data() + static_cast<std::size_t>(q) * n;
-        const double v = yq[f + jl] / col[jl];
-        yq[f + jl] = v;
-        for (index_t t = jl + 1; t < w; ++t) yq[f + t] -= col[t] * v;
-        for (index_t t = w; t < r; ++t) yq[rows[t]] -= col[t] * v;
-      }
-    }
-  }
-  for (index_t s = symb_->num_supernodes() - 1; s >= 0; --s) {
-    const auto rows = symb_->sn_rows(s);
-    const index_t w = symb_->sn_width(s);
-    const index_t r = static_cast<index_t>(rows.size());
-    const index_t f = symb_->sn_begin(s);
-    const double* panel = values_.data() + symb_->sn_values_offset(s);
-    for (index_t jl = w - 1; jl >= 0; --jl) {
-      const double* col = panel + static_cast<offset_t>(jl) * r;
-      for (index_t q = 0; q < nrhs; ++q) {
-        double* yq = y.data() + static_cast<std::size_t>(q) * n;
-        double v = yq[f + jl];
-        for (index_t t = w; t < r; ++t) v -= col[t] * yq[rows[t]];
-        for (index_t t = jl + 1; t < w; ++t) v -= col[t] * yq[f + t];
-        yq[f + jl] = v / col[jl];
-      }
-    }
-  }
-  for (index_t q = 0; q < nrhs; ++q) {
-    double* xq = x.data() + static_cast<std::size_t>(q) * n;
-    const double* yq = y.data() + static_cast<std::size_t>(q) * n;
-    for (index_t k = 0; k < n; ++k) xq[perm.new_to_old(k)] = yq[k];
-  }
-}
+// solve() / solve_multi() and the scheduled plan-driven overloads live in
+// core/solve.cpp alongside the SolvePlan executor.
 
 double CholeskyFactor::solve_refined(const CscMatrix& a_lower,
                                      std::span<const double> b,
@@ -414,15 +348,18 @@ double CholeskyFactor::solve_refined(const CscMatrix& a_lower,
                "solve_refined matrix mismatch");
   solve(b, x);
   double best = relative_residual(a_lower, x, b);
+  // All scratch hoisted out of the loop: refinement iterations are
+  // allocation-free (candidate included — it is overwritten wholesale
+  // from x + dx each round).
   std::vector<double> r(static_cast<std::size_t>(n));
   std::vector<double> dx(static_cast<std::size_t>(n));
   std::vector<double> ax(static_cast<std::size_t>(n));
+  std::vector<double> candidate(static_cast<std::size_t>(n));
   for (int it = 0; it < max_iterations; ++it) {
     a_lower.sym_lower_matvec(x, ax);
     for (index_t i = 0; i < n; ++i) r[i] = b[i] - ax[i];
     solve(r, dx);
-    std::vector<double> candidate(x.begin(), x.end());
-    for (index_t i = 0; i < n; ++i) candidate[i] += dx[i];
+    for (index_t i = 0; i < n; ++i) candidate[i] = x[i] + dx[i];
     const double res = relative_residual(a_lower, candidate, b);
     if (res >= best) break;  // refinement stopped helping
     std::copy(candidate.begin(), candidate.end(), x.begin());

@@ -109,6 +109,63 @@ struct FactorOptions {
   index_t batch_max_supernodes = 16;
 };
 
+/// Options of one triangular-solve call (CholeskyFactor::solve /
+/// solve_multi with options, SolverSession::solve). The solve path reuses
+/// the factorization's Execution taxonomy: kCpuSerial is the plain
+/// sweep, kCpuParallel runs the SolvePlan task DAG on worker threads,
+/// kGpuHybrid additionally routes large supernodes through the
+/// stream-pooled device path, kGpuOnly sends every supernode there.
+/// Results are bitwise identical to the serial sweep for EVERY setting.
+struct SolveOptions {
+  Execution exec = Execution::kCpuParallel;
+  /// Scheduler workers. 0 = hardware concurrency; 1 keeps the serial
+  /// sweep; negative values are rejected with InvalidArgument.
+  int workers = 0;
+  /// Right-hand-side columns per panel: each plan node becomes one task
+  /// per panel, so panels are the unit of RHS parallelism and the
+  /// GEMM shape of the supernode solves. >= 1; rejected otherwise.
+  index_t rhs_panel = 8;
+  /// Supernode-entries threshold at or above which a supernode's solve
+  /// runs on the device in kGpuHybrid (fused gather + TRSM + GEMM +
+  /// scatter). Negative values are rejected with InvalidArgument.
+  offset_t gpu_threshold = 60'000;
+  /// Stream/buffer slot pairs for in-flight device solve nodes (>= 1).
+  int gpu_streams = 4;
+  /// Small-supernode batching (same plan transform as the
+  /// factorization): 0 disables; negative rejected.
+  offset_t batch_entries = 0;
+  index_t batch_max_supernodes = 16;
+  /// Simulated device configuration (used only when no shared device is
+  /// injected and the exec mode touches the device).
+  gpu::DeviceConfig device{};
+};
+
+/// Rejects malformed SolveOptions with InvalidArgument (negative
+/// workers, rhs_panel < 1, gpu_streams < 1, negative gpu_threshold or
+/// batch_entries, batch_max_supernodes < 1). Every solve entry point
+/// calls this before touching the right-hand side.
+void validate(const SolveOptions& opts);
+
+/// Execution statistics of one solve / solve_multi call.
+struct SolveStats {
+  double seconds = 0.0;  ///< real wall time of the call
+  /// Sum of measured per-task durations replayed through a greedy list
+  /// schedule at 1 and at `workers` workers — the modeled serial and
+  /// parallel solve times (machine-independent speedup convention; see
+  /// TaskScheduler::modeled_makespan). Zero on the serial path.
+  double modeled_serial_seconds = 0.0;
+  double modeled_parallel_seconds = 0.0;
+  std::size_t tasks = 0;      ///< scheduler tasks executed (0 = serial)
+  std::size_t edges = 0;      ///< dependency edges after deduplication
+  std::size_t steals = 0;     ///< tasks run off their home queue
+  std::size_t workers = 1;    ///< resolved worker count
+  index_t rhs_panels = 0;     ///< RHS panels the plan was instantiated for
+  index_t supernodes_on_gpu = 0;  ///< supernodes solved on the device
+  index_t gpu_stream_pairs = 0;   ///< solve slot pairs actually allocated
+  index_t batches_formed = 0;
+  index_t supernodes_batched = 0;
+};
+
 /// Modeled + measured execution statistics of one factorization.
 struct FactorStats {
   double modeled_seconds = 0.0;  ///< the "runtime" Tables I/II report
@@ -164,6 +221,11 @@ struct FactorStats {
   /// Fused batched device launches issued (kGpuHybrid RL: one panel-factor
   /// plus one update launch per device-executed batch).
   std::size_t fused_device_launches = 0;
+  // --- solve-path accumulators (filled by CholeskySolver, which owns the
+  // solve traffic; zero on a factor that never solved) ---------------------
+  double solve_seconds = 0.0;      ///< wall time summed over solve calls
+  std::size_t solve_calls = 0;     ///< solve / solve_multi calls
+  std::size_t solve_tasks = 0;     ///< scheduled solve tasks executed
 };
 
 /// Rejects malformed FactorOptions with InvalidArgument (negative
@@ -222,6 +284,19 @@ class CholeskyFactor {
   /// so this is cheaper than nrhs separate solve() calls.
   void solve_multi(std::span<const double> b, std::span<double> x,
                    index_t nrhs) const;
+
+  /// Plan-driven scheduled solves: the SolvePlan forward/backward task
+  /// DAGs run on `opts.workers` threads with the RHS blocked into
+  /// `opts.rhs_panel`-column panels (and, in the GPU modes, large
+  /// supernodes solved on the device). Bitwise identical to the serial
+  /// sweep for every worker/stream/panel setting; opts.workers <= 1 or
+  /// Execution::kCpuSerial IS the serial sweep. Throws InvalidArgument
+  /// on malformed options or size mismatches.
+  void solve(std::span<const double> b, std::span<double> x,
+             const SolveOptions& opts, SolveStats* stats = nullptr) const;
+  void solve_multi(std::span<const double> b, std::span<double> x,
+                   index_t nrhs, const SolveOptions& opts,
+                   SolveStats* stats = nullptr) const;
 
   /// Solve with iterative refinement: x ← x + A⁻¹(b − Ax) until the
   /// relative residual stops improving or `max_iterations` is reached.

@@ -18,6 +18,7 @@
 #include "spchol/support/worker_crew.hpp"
 #include "spchol/symbolic/etree.hpp"
 #include "spchol/symbolic/exec_plan.hpp"
+#include "spchol/symbolic/solve_plan.hpp"
 
 namespace spchol::detail {
 
@@ -38,6 +39,20 @@ inline bool supernode_on_gpu(const SymbolicFactor& symb,
   return symb.sn_entries(s) >= threshold;
 }
 
+/// True when supernode s's SOLVE runs on the device under `opts` — the
+/// solve path's threshold split. Shared by the executor (core/solve.cpp)
+/// and build_planned_solve, so a cached solve plan and a per-call plan
+/// can never disagree about device placement.
+inline bool solve_supernode_on_gpu(const SymbolicFactor& symb,
+                                   const SolveOptions& opts, index_t s) {
+  if (opts.exec == Execution::kCpuSerial ||
+      opts.exec == Execution::kCpuParallel) {
+    return false;
+  }
+  if (opts.exec == Execution::kGpuOnly) return true;
+  return symb.sn_entries(s) >= opts.gpu_threshold;
+}
+
 /// Everything a scheduled driver derives from (symbolic, options, worker
 /// count) alone — the read-only, reusable half of a scheduled
 /// factorization. SolverService caches one per (pattern, plan options)
@@ -50,6 +65,24 @@ struct PlannedGraph {
   std::vector<index_t> queue_of;  ///< ready-queue partition per supernode
   std::size_t partitions = 1;  ///< partition count queue_of was built for
 };
+
+/// The solve-path counterpart of PlannedGraph: one SolvePlan (forward +
+/// backward DAGs) plus the partition assignment it was built with.
+/// Immutable after construction; shared by any number of concurrent
+/// solves against any factor of the same pattern.
+struct PlannedSolve {
+  SolvePlan plan;
+  std::vector<index_t> queue_of;  ///< ready-queue partition per supernode
+  std::size_t partitions = 1;  ///< partition count queue_of was built for
+};
+
+/// Builds the scheduled-solve graph for `symb` under `opts` with
+/// `workers` scheduler workers. Defined in solve.cpp. As with
+/// build_planned_graph, the worker count feeds only the ready-queue
+/// partitioning — a locality hint, never a correctness input.
+PlannedSolve build_planned_solve(const SymbolicFactor& symb,
+                                 const SolveOptions& opts,
+                                 std::size_t workers);
 
 /// Builds the scheduled-driver graph for `symb` under `opts` with
 /// `workers` scheduler workers. Defined in factor.cpp. The plan shape
@@ -83,10 +116,26 @@ struct ExecutionResources {
   /// Cached plan; must have been built for this call's (symb, opts,
   /// workers) via build_planned_graph.
   const PlannedGraph* planned = nullptr;
+  /// Cached SOLVE plan; must have been built for this call's (symb,
+  /// SolveOptions, workers) via build_planned_solve. Solve calls ignore
+  /// `planned` and `sched` (each scheduled solve drains its own
+  /// scheduler so concurrent solves never share mutable state).
+  const PlannedSolve* planned_solve = nullptr;
   /// Arena cache key fingerprinting the pattern + plan-relevant options;
   /// the drivers mix in a per-method tag before pool lookup.
   std::uint64_t pool_key = 0;
 };
+
+/// Plan-driven triangular solve executor (solve.cpp): permutes b in,
+/// runs the serial sweeps or the scheduled SolvePlan DAGs per
+/// `opts`/`res`, permutes x out. `b`/`x` are n × nrhs column-major in
+/// the ORIGINAL ordering; aliasing allowed. Bitwise identical to the
+/// serial sweeps for every worker/stream/panel configuration.
+void solve_with_resources(const SymbolicFactor& symb,
+                          std::span<const double> values,
+                          std::span<const double> b, std::span<double> x,
+                          index_t nrhs, const SolveOptions& opts,
+                          const ExecutionResources* res, SolveStats* stats);
 
 /// Everything the RL/RLB kernels need: symbolic data, factor values,
 /// the simulated device (whose host clock is the modeled CPU timeline),

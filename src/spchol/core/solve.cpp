@@ -1,0 +1,560 @@
+// Plan-driven triangular solves (the SolvePlan executor) plus the serial
+// supernode sweeps they must match bitwise.
+//
+// The scheduled path instantiates one task per (plan node, RHS panel):
+// the right-hand side is blocked into SolveOptions::rhs_panel columns, so
+// a supernode's solve becomes a GEMM-shaped operation over the panel and
+// different panels of the same node run concurrently (they touch disjoint
+// RHS columns — no edges between panels). Within one panel the forward
+// DAG serializes every target's accumulations in ascending contributor
+// order and the backward DAG is the forward update relation reversed, so
+// every RHS entry sees exactly the serial sweep's operation sequence —
+// scheduled results are bitwise identical to solve()/solve_multi() for
+// every worker/stream/panel configuration (asserted across the grid in
+// tests/test_solve_parallel.cpp).
+//
+// Device routing (kGpuHybrid / kGpuOnly): supernodes at or above
+// SolveOptions::gpu_threshold run as fused device tasks — gather the
+// supernode's rows of the RHS panel, upload panel + L rectangle, TRSM +
+// solve-GEMM (forward) or transposed pair (backward), scatter back. The
+// backward task writes back ONLY the supernode's own w rows: the below
+// rows were read-only inputs, and writing them back would race with the
+// concurrent readers that own those values. GPU kernels accumulate each
+// entry in the serial order (gpu/blas.cpp solve kernels), so device
+// placement never changes bits either. Slots (stream + L-panel + RHS
+// buffers) come from a ranked SlotPool cached in the DeviceArena under
+// the pattern/options key.
+#include <cstring>
+#include <optional>
+
+#include "spchol/core/internal.hpp"
+#include "spchol/support/timer.hpp"
+
+namespace spchol {
+
+namespace detail {
+
+PlannedSolve build_planned_solve(const SymbolicFactor& symb,
+                                 const SolveOptions& opts,
+                                 std::size_t workers) {
+  PlannedSolve ps;
+  ps.partitions = std::min(std::max<std::size_t>(1, workers),
+                           TaskScheduler::kMaxPartitions);
+  const index_t ns = symb.num_supernodes();
+  std::vector<index_t> parent(static_cast<std::size_t>(ns));
+  for (index_t s = 0; s < ns; ++s) parent[s] = symb.sn_parent(s);
+  ps.queue_of =
+      subtree_partition(parent, static_cast<index_t>(ps.partitions));
+
+  std::vector<char> on_gpu(static_cast<std::size_t>(ns), 0);
+  for (index_t s = 0; s < ns; ++s) {
+    on_gpu[s] = solve_supernode_on_gpu(symb, opts, s) ? 1 : 0;
+  }
+  SolvePlanOptions po;
+  po.batch_entries = opts.batch_entries;
+  po.batch_max_supernodes = opts.batch_max_supernodes;
+  ps.plan = SolvePlan::build(symb, on_gpu, ps.queue_of, po);
+  return ps;
+}
+
+namespace {
+
+// --- the serial sweeps (the bitwise reference) ----------------------------
+//
+// y is n × nrhs column-major in the PERMUTED space. These are the exact
+// loops the pre-plan solve_multi ran; every scheduled task below executes
+// a sub-range of columns / supernodes / rows of these loops with each
+// entry's accumulation order unchanged.
+
+/// Forward step of ONE supernode over RHS columns [q0, q1): the full
+/// serial body (in-panel substitution AND below pushes, interleaved per
+/// pivot exactly as the serial sweep interleaves them).
+void fwd_supernode_full(const SymbolicFactor& symb, const double* values,
+                        double* y, index_t n, index_t s, index_t q0,
+                        index_t q1) {
+  const auto rows = symb.sn_rows(s);
+  const index_t w = symb.sn_width(s);
+  const index_t r = static_cast<index_t>(rows.size());
+  const index_t f = symb.sn_begin(s);
+  const double* panel = values + symb.sn_values_offset(s);
+  for (index_t jl = 0; jl < w; ++jl) {
+    const double* col = panel + static_cast<offset_t>(jl) * r;
+    for (index_t q = q0; q < q1; ++q) {
+      double* yq = y + static_cast<std::size_t>(q) * n;
+      const double v = yq[f + jl] / col[jl];
+      yq[f + jl] = v;
+      for (index_t t = jl + 1; t < w; ++t) yq[f + t] -= col[t] * v;
+      for (index_t t = w; t < r; ++t) yq[rows[t]] -= col[t] * v;
+    }
+  }
+}
+
+/// Backward step of ONE supernode over RHS columns [q0, q1): the full
+/// serial backward body.
+void bwd_supernode_full(const SymbolicFactor& symb, const double* values,
+                        double* y, index_t n, index_t s, index_t q0,
+                        index_t q1) {
+  const auto rows = symb.sn_rows(s);
+  const index_t w = symb.sn_width(s);
+  const index_t r = static_cast<index_t>(rows.size());
+  const index_t f = symb.sn_begin(s);
+  const double* panel = values + symb.sn_values_offset(s);
+  for (index_t jl = w - 1; jl >= 0; --jl) {
+    const double* col = panel + static_cast<offset_t>(jl) * r;
+    for (index_t q = q0; q < q1; ++q) {
+      double* yq = y + static_cast<std::size_t>(q) * n;
+      double v = yq[f + jl];
+      for (index_t t = w; t < r; ++t) v -= col[t] * yq[rows[t]];
+      for (index_t t = jl + 1; t < w; ++t) v -= col[t] * yq[f + t];
+      yq[f + jl] = v / col[jl];
+    }
+  }
+}
+
+void serial_forward(const SymbolicFactor& symb, const double* values,
+                    double* y, index_t n, index_t nrhs) {
+  for (index_t s = 0; s < symb.num_supernodes(); ++s) {
+    fwd_supernode_full(symb, values, y, n, s, 0, nrhs);
+  }
+}
+
+void serial_backward(const SymbolicFactor& symb, const double* values,
+                     double* y, index_t n, index_t nrhs) {
+  for (index_t s = symb.num_supernodes() - 1; s >= 0; --s) {
+    bwd_supernode_full(symb, values, y, n, s, 0, nrhs);
+  }
+}
+
+// --- scheduled task bodies (CPU) ------------------------------------------
+
+/// Forward COMPUTE(s): the serial body restricted to the in-panel rows.
+/// The below pushes (t >= w) are the SCATTER tasks' job; per RHS entry
+/// the two together replay the serial accumulation sequence, because each
+/// below entry's chain of subtractions is independent of the in-panel
+/// interleaving (distinct accumulators).
+void fwd_compute_cpu(const SymbolicFactor& symb, const double* values,
+                     double* y, index_t n, index_t s, index_t q0,
+                     index_t q1) {
+  const index_t w = symb.sn_width(s);
+  const index_t r = symb.sn_nrows(s);
+  const index_t f = symb.sn_begin(s);
+  const double* panel = values + symb.sn_values_offset(s);
+  for (index_t jl = 0; jl < w; ++jl) {
+    const double* col = panel + static_cast<offset_t>(jl) * r;
+    for (index_t q = q0; q < q1; ++q) {
+      double* yq = y + static_cast<std::size_t>(q) * n;
+      const double v = yq[f + jl] / col[jl];
+      yq[f + jl] = v;
+      for (index_t t = jl + 1; t < w; ++t) yq[f + t] -= col[t] * v;
+    }
+  }
+}
+
+/// Forward SCATTER(s → target): the GEMV-shaped push of s's solved panel
+/// into the target's rows [lo, hi) of sn_rows(s). Per target entry the
+/// pivot loop runs ascending — the serial sweep's per-entry subtraction
+/// order (the serial jl-outer interleaving only merges independent
+/// per-entry chains).
+void fwd_scatter_cpu(const SymbolicFactor& symb, const double* values,
+                     double* y, index_t n, index_t s, index_t lo, index_t hi,
+                     index_t q0, index_t q1) {
+  const auto rows = symb.sn_rows(s);
+  const index_t w = symb.sn_width(s);
+  const index_t r = static_cast<index_t>(rows.size());
+  const index_t f = symb.sn_begin(s);
+  const double* panel = values + symb.sn_values_offset(s);
+  for (index_t q = q0; q < q1; ++q) {
+    double* yq = y + static_cast<std::size_t>(q) * n;
+    for (index_t k = lo; k < hi; ++k) {
+      double acc = yq[rows[k]];
+      for (index_t jl = 0; jl < w; ++jl) {
+        acc -= panel[static_cast<offset_t>(jl) * r + k] * yq[f + jl];
+      }
+      yq[rows[k]] = acc;
+    }
+  }
+}
+
+// --- scheduled task bodies (device) ---------------------------------------
+
+/// One in-flight device solve task's resources: a stream plus buffers for
+/// the supernode's L rectangle and the gathered RHS panel block.
+struct SolveGpuSlot {
+  gpu::Stream stream;
+  gpu::DeviceBuffer lpanel;
+  gpu::DeviceBuffer rhs;
+  SolveGpuSlot(gpu::Device& dev, std::size_t l_entries,
+               std::size_t rhs_entries)
+      : stream(dev) {
+    if (l_entries > 0) lpanel = gpu::DeviceBuffer(dev, l_entries);
+    if (rhs_entries > 0) rhs = gpu::DeviceBuffer(dev, rhs_entries);
+  }
+};
+
+/// Fused forward device solve of supernode s over RHS columns [q0, q1):
+/// gather all r rows → upload L → TRSM (in-panel) → solve-GEMM (below
+/// pushes) → scatter all r rows back. Stands in the forward chains for
+/// every one of s's targets. All synchronization is device-side; the
+/// scheduled task never advances the shared host clock to a stream tail.
+void fwd_gpu_node(const SymbolicFactor& symb, const double* values,
+                  double* y, index_t n, gpu::Device& dev, SolveGpuSlot& slot,
+                  index_t s, index_t q0, index_t q1) {
+  const auto rows = symb.sn_rows(s);
+  const index_t w = symb.sn_width(s);
+  const index_t r = static_cast<index_t>(rows.size());
+  const index_t pw = q1 - q0;
+  gpu::Stream& st = slot.stream;
+  gpu::copy_h2d(dev, st, slot.lpanel, 0, values + symb.sn_values_offset(s),
+                static_cast<std::size_t>(symb.sn_entries(s)), /*async=*/true);
+  gpu::gather_rows_h2d(dev, st, rows, y + static_cast<std::size_t>(q0) * n,
+                       n, pw, slot.rhs, 0, /*async=*/true);
+  gpu::trsm_left_lower(dev, st, w, pw, slot.lpanel, 0, r, slot.rhs, 0, r);
+  if (r > w) {
+    gpu::gemm_solve_update(dev, st, r - w, pw, w, slot.lpanel, w, r,
+                           slot.rhs, 0, w, r);
+  }
+  gpu::scatter_rows_d2h(dev, st, rows, r, y + static_cast<std::size_t>(q0) * n,
+                        n, pw, slot.rhs, 0, /*async=*/true);
+}
+
+/// Fused backward device solve: gather all r rows (own panel y values +
+/// already-solved ancestor x values) → transposed solve-GEMM → transposed
+/// TRSM → scatter back ONLY the supernode's own w rows (the below rows
+/// are other supernodes' solution values — inputs, not outputs).
+void bwd_gpu_node(const SymbolicFactor& symb, const double* values,
+                  double* y, index_t n, gpu::Device& dev, SolveGpuSlot& slot,
+                  index_t s, index_t q0, index_t q1) {
+  const auto rows = symb.sn_rows(s);
+  const index_t w = symb.sn_width(s);
+  const index_t r = static_cast<index_t>(rows.size());
+  const index_t pw = q1 - q0;
+  gpu::Stream& st = slot.stream;
+  gpu::copy_h2d(dev, st, slot.lpanel, 0, values + symb.sn_values_offset(s),
+                static_cast<std::size_t>(symb.sn_entries(s)), /*async=*/true);
+  gpu::gather_rows_h2d(dev, st, rows, y + static_cast<std::size_t>(q0) * n,
+                       n, pw, slot.rhs, 0, /*async=*/true);
+  if (r > w) {
+    gpu::gemm_solve_update_trans(dev, st, r - w, pw, w, slot.lpanel, w, r,
+                                 slot.rhs, 0, w, r);
+  }
+  gpu::trsm_left_lower_trans(dev, st, w, pw, slot.lpanel, 0, r, slot.rhs, 0,
+                             r);
+  gpu::scatter_rows_d2h(dev, st, rows.first(static_cast<std::size_t>(w)), r,
+                        y + static_cast<std::size_t>(q0) * n, n, pw,
+                        slot.rhs, 0, /*async=*/true);
+}
+
+// --- the scheduled executor ------------------------------------------------
+
+void scheduled_solve(const SymbolicFactor& symb, const double* values,
+                     double* y, index_t n, index_t nrhs,
+                     const SolveOptions& opts, const ExecutionResources* res,
+                     std::size_t workers, SolveStats* stats) {
+  // Plan: the session's cached one, or a per-call build through the SAME
+  // function — both paths execute the same graph shape.
+  std::optional<PlannedSolve> own_plan;
+  const PlannedSolve* ps =
+      (res != nullptr && res->planned_solve != nullptr)
+          ? res->planned_solve
+          : &own_plan.emplace(build_planned_solve(symb, opts, workers));
+  const SolvePlan& plan = ps->plan;
+  const auto nodes = plan.nodes();
+  constexpr std::size_t kNoNode = SolvePlan::kNoNode;
+
+  // Unlike factorize, a solve NEVER borrows res->sched: SolverSession
+  // guarantees concurrent solves against one published factor, so every
+  // scheduled solve drains its own single-shot scheduler (the crew is
+  // still shared — several schedulers may run_on one crew at once).
+  TaskScheduler sched;
+  sched.set_partitions(ps->partitions);
+
+  const index_t pw = opts.rhs_panel;
+  const index_t npanels = (nrhs + pw - 1) / pw;
+
+  // --- device path setup --------------------------------------------------
+  std::size_t num_gpu_nodes = 0;
+  for (const SolveNode& nd : nodes) {
+    if (nd.kind == SolveNodeKind::kCompute && nd.on_gpu) num_gpu_nodes++;
+  }
+  std::optional<gpu::Device> own_dev;
+  gpu::Device* dev = nullptr;
+  if (num_gpu_nodes > 0) {
+    dev = (res != nullptr && res->device != nullptr)
+              ? res->device
+              : &own_dev.emplace(opts.device);
+  }
+  using SolveSlotPool = gpu::SlotPool<SolveGpuSlot>;
+  constexpr std::uint64_t kSolvePoolTag = 0x534c56504f4f4cull;  // "SLVPOOL"
+  std::shared_ptr<SolveSlotPool> pool;
+  if (num_gpu_nodes > 0) {
+    // Ranked (L entries, RHS entries) needs of every (GPU node, panel)
+    // task, descending: slot k only hosts the k-th largest concurrent
+    // task, so N slots cost far less than N copies of the largest.
+    std::vector<std::size_t> lneed, rneed;
+    for (const SolveNode& nd : nodes) {
+      if (nd.kind != SolveNodeKind::kCompute || !nd.on_gpu) continue;
+      const std::size_t r = static_cast<std::size_t>(symb.sn_nrows(nd.sn));
+      for (index_t p = 0; p < npanels; ++p) {
+        const index_t width = std::min(pw, nrhs - p * pw);
+        lneed.push_back(static_cast<std::size_t>(symb.sn_entries(nd.sn)));
+        rneed.push_back(r * static_cast<std::size_t>(width));
+      }
+    }
+    std::sort(lneed.rbegin(), lneed.rend());
+    std::sort(rneed.rbegin(), rneed.rend());
+    const std::size_t want = std::min(
+        static_cast<std::size_t>(opts.gpu_streams), lneed.size());
+    auto make_pool = [&] {
+      return std::make_shared<SolveSlotPool>(want, [&](std::size_t k) {
+        return std::make_unique<SolveGpuSlot>(*dev, lneed[k], rneed[k]);
+      });
+    };
+    // The solve pool's shape depends on the RHS blocking and the device
+    // routing, so those fold into the arena key next to the pattern key.
+    std::uint64_t key = (res != nullptr ? res->pool_key : 0) ^ kSolvePoolTag;
+    const auto mix = [&key](std::uint64_t v) {
+      key = (key ^ v) * 1099511628211ull;
+    };
+    mix(static_cast<std::uint64_t>(opts.rhs_panel));
+    mix(static_cast<std::uint64_t>(nrhs));
+    mix(static_cast<std::uint64_t>(opts.gpu_streams));
+    mix(static_cast<std::uint64_t>(opts.gpu_threshold));
+    mix(static_cast<std::uint64_t>(opts.exec));
+    pool = (res != nullptr && res->arena != nullptr)
+               ? res->arena->pool<SolveSlotPool>(key, make_pool)
+               : make_pool();
+    if (stats != nullptr) {
+      stats->gpu_stream_pairs = static_cast<index_t>(pool->size());
+    }
+  }
+  const std::size_t gpu_res =
+      pool ? sched.add_resource(pool->size()) : TaskScheduler::kNoResource;
+
+  // --- map (plan node, RHS panel) to scheduler tasks ----------------------
+  // Panels touch disjoint RHS columns, so tasks of different panels never
+  // need edges; queues rotate with the panel to spread panel work.
+  const std::size_t nn = nodes.size();
+  std::vector<std::size_t> fwd_task(nn * static_cast<std::size_t>(npanels));
+  std::vector<std::size_t> bwd_task(nn * static_cast<std::size_t>(npanels),
+                                    kNoNode);
+  for (index_t p = 0; p < npanels; ++p) {
+    const index_t q0 = p * pw;
+    const index_t q1 = std::min(nrhs, q0 + pw);
+    for (std::size_t i = 0; i < nn; ++i) {
+      const SolveNode& nd = nodes[i];
+      const std::size_t queue =
+          (nd.queue + static_cast<std::size_t>(p)) % ps->partitions;
+      const std::size_t at = i * static_cast<std::size_t>(npanels) +
+                             static_cast<std::size_t>(p);
+      switch (nd.kind) {
+        case SolveNodeKind::kCompute: {
+          const index_t s = nd.sn;
+          if (nd.on_gpu) {
+            const std::size_t ln =
+                static_cast<std::size_t>(symb.sn_entries(s));
+            const std::size_t rn =
+                static_cast<std::size_t>(symb.sn_nrows(s)) *
+                static_cast<std::size_t>(q1 - q0);
+            fwd_task[at] = sched.add_task(
+                nd.fwd_priority,
+                [&symb, values, y, n, dev, &pool, s, q0, q1, ln,
+                 rn](std::size_t) {
+                  auto lease = pool->acquire([&](const SolveGpuSlot& sl) {
+                    return sl.lpanel.size() >= ln && sl.rhs.size() >= rn;
+                  });
+                  fwd_gpu_node(symb, values, y, n, *dev, *lease, s, q0, q1);
+                },
+                gpu_res, queue);
+            bwd_task[at] = sched.add_task(
+                nd.bwd_priority,
+                [&symb, values, y, n, dev, &pool, s, q0, q1, ln,
+                 rn](std::size_t) {
+                  auto lease = pool->acquire([&](const SolveGpuSlot& sl) {
+                    return sl.lpanel.size() >= ln && sl.rhs.size() >= rn;
+                  });
+                  bwd_gpu_node(symb, values, y, n, *dev, *lease, s, q0, q1);
+                },
+                gpu_res, queue);
+          } else {
+            fwd_task[at] = sched.add_task(
+                nd.fwd_priority,
+                [&symb, values, y, n, s, q0, q1](std::size_t) {
+                  fwd_compute_cpu(symb, values, y, n, s, q0, q1);
+                },
+                TaskScheduler::kNoResource, queue);
+            bwd_task[at] = sched.add_task(
+                nd.bwd_priority,
+                [&symb, values, y, n, s, q0, q1](std::size_t) {
+                  bwd_supernode_full(symb, values, y, n, s, q0, q1);
+                },
+                TaskScheduler::kNoResource, queue);
+          }
+          break;
+        }
+        case SolveNodeKind::kScatter: {
+          const index_t s = nd.sn;
+          const index_t lo = nd.rows_lo;
+          const index_t hi = nd.rows_hi;
+          fwd_task[at] = sched.add_task(
+              nd.fwd_priority,
+              [&symb, values, y, n, s, lo, hi, q0, q1](std::size_t) {
+                fwd_scatter_cpu(symb, values, y, n, s, lo, hi, q0, q1);
+              },
+              TaskScheduler::kNoResource, queue);
+          break;
+        }
+        case SolveNodeKind::kBatch: {
+          const index_t first = nd.batch_first;
+          const index_t last = nd.batch_last;
+          // Fused sweeps over the members: ascending forward, descending
+          // backward — the serial orders.
+          fwd_task[at] = sched.add_task(
+              nd.fwd_priority,
+              [&symb, values, y, n, first, last, q0, q1](std::size_t) {
+                for (index_t s = first; s <= last; ++s) {
+                  fwd_supernode_full(symb, values, y, n, s, q0, q1);
+                }
+              },
+              TaskScheduler::kNoResource, queue);
+          bwd_task[at] = sched.add_task(
+              nd.bwd_priority,
+              [&symb, values, y, n, first, last, q0, q1](std::size_t) {
+                for (index_t s = last; s >= first; --s) {
+                  bwd_supernode_full(symb, values, y, n, s, q0, q1);
+                }
+              },
+              TaskScheduler::kNoResource, queue);
+          break;
+        }
+      }
+    }
+    // Forward DAG, the fwd → bwd phase pivot per node, and the backward
+    // DAG (the forward update relation reversed), all within this panel.
+    const std::size_t base = static_cast<std::size_t>(p);
+    auto fid = [&](std::size_t node) {
+      return fwd_task[node * static_cast<std::size_t>(npanels) + base];
+    };
+    auto bid = [&](std::size_t node) {
+      return bwd_task[node * static_cast<std::size_t>(npanels) + base];
+    };
+    for (const auto& [from, to] : plan.forward_edges()) {
+      sched.add_edge(fid(from), fid(to));
+    }
+    for (std::size_t i = 0; i < nn; ++i) {
+      if (bwd_task[i * static_cast<std::size_t>(npanels) + base] != kNoNode) {
+        sched.add_edge(fid(i), bid(i));
+      }
+    }
+    for (const auto& [from, to] : plan.backward_edges()) {
+      sched.add_edge(bid(from), bid(to));
+    }
+  }
+
+  const SchedulerStats st = (res != nullptr && res->crew != nullptr)
+                                ? sched.run_on(*res->crew)
+                                : sched.run(workers);
+  if (own_dev.has_value()) own_dev->synchronize();
+
+  if (stats != nullptr) {
+    stats->tasks = st.tasks_run;
+    stats->edges = st.edges;
+    stats->steals = st.steals;
+    stats->rhs_panels = npanels;
+    stats->supernodes_on_gpu = static_cast<index_t>(num_gpu_nodes);
+    stats->batches_formed = plan.batches_formed();
+    stats->supernodes_batched = plan.supernodes_batched();
+    stats->modeled_serial_seconds = sched.modeled_makespan(1);
+    stats->modeled_parallel_seconds = sched.modeled_makespan(workers);
+  }
+}
+
+}  // namespace
+
+void solve_with_resources(const SymbolicFactor& symb,
+                          std::span<const double> values,
+                          std::span<const double> b, std::span<double> x,
+                          index_t nrhs, const SolveOptions& opts,
+                          const ExecutionResources* res, SolveStats* stats) {
+  validate(opts);
+  const index_t n = symb.n();
+  SPCHOL_CHECK(nrhs >= 0, "negative nrhs");
+  SPCHOL_CHECK(b.size() == static_cast<std::size_t>(n) * nrhs &&
+                   x.size() == static_cast<std::size_t>(n) * nrhs,
+               "solve size mismatch");
+  WallTimer timer;
+  if (stats != nullptr) *stats = SolveStats{};
+
+  const std::size_t workers =
+      (res != nullptr && res->crew != nullptr)
+          ? res->crew->size() + 1
+          : resolve_worker_count(opts.workers);
+  const bool scheduled = opts.exec != Execution::kCpuSerial &&
+                         resolve_worker_count(opts.workers) > 1 &&
+                         nrhs > 0 && symb.num_supernodes() > 0;
+
+  // Permute in (b may alias x; y is a private buffer either way).
+  const Permutation& perm = symb.permutation();
+  std::vector<double> y(static_cast<std::size_t>(n) * nrhs);
+  for (index_t q = 0; q < nrhs; ++q) {
+    const double* bq = b.data() + static_cast<std::size_t>(q) * n;
+    double* yq = y.data() + static_cast<std::size_t>(q) * n;
+    for (index_t k = 0; k < n; ++k) yq[k] = bq[perm.new_to_old(k)];
+  }
+
+  if (scheduled) {
+    scheduled_solve(symb, values.data(), y.data(), n, nrhs, opts, res,
+                    workers, stats);
+  } else if (nrhs > 0 && symb.num_supernodes() > 0) {
+    serial_forward(symb, values.data(), y.data(), n, nrhs);
+    serial_backward(symb, values.data(), y.data(), n, nrhs);
+  }
+
+  for (index_t q = 0; q < nrhs; ++q) {
+    double* xq = x.data() + static_cast<std::size_t>(q) * n;
+    const double* yq = y.data() + static_cast<std::size_t>(q) * n;
+    for (index_t k = 0; k < n; ++k) xq[perm.new_to_old(k)] = yq[k];
+  }
+  if (stats != nullptr) {
+    stats->workers = scheduled ? workers : 1;
+    stats->seconds = timer.seconds();
+  }
+}
+
+}  // namespace detail
+
+// --- CholeskyFactor entry points ------------------------------------------
+
+void CholeskyFactor::solve(std::span<const double> b,
+                           std::span<double> x) const {
+  SolveOptions o;
+  o.exec = Execution::kCpuSerial;
+  o.workers = 1;
+  detail::solve_with_resources(*symb_, values(), b, x, 1, o, nullptr,
+                               nullptr);
+}
+
+void CholeskyFactor::solve_multi(std::span<const double> b,
+                                 std::span<double> x, index_t nrhs) const {
+  SolveOptions o;
+  o.exec = Execution::kCpuSerial;
+  o.workers = 1;
+  detail::solve_with_resources(*symb_, values(), b, x, nrhs, o, nullptr,
+                               nullptr);
+}
+
+void CholeskyFactor::solve(std::span<const double> b, std::span<double> x,
+                           const SolveOptions& opts,
+                           SolveStats* stats) const {
+  detail::solve_with_resources(*symb_, values(), b, x, 1, opts, nullptr,
+                               stats);
+}
+
+void CholeskyFactor::solve_multi(std::span<const double> b,
+                                 std::span<double> x, index_t nrhs,
+                                 const SolveOptions& opts,
+                                 SolveStats* stats) const {
+  detail::solve_with_resources(*symb_, values(), b, x, nrhs, opts, nullptr,
+                               stats);
+}
+
+}  // namespace spchol

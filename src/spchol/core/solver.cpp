@@ -12,6 +12,7 @@ void validate(const SolverOptions& opts) {
   validate(opts.ordering_opts);
   validate(opts.analyze);
   validate(opts.factor);
+  validate(opts.solve);
 }
 
 void CholeskySolver::analyze(const CscMatrix& a_lower) {
@@ -60,9 +61,19 @@ void CholeskySolver::factorize(const CscMatrix& a_lower) {
   factor_ = std::move(factor);
   stats_ = stats;
   factorize_seconds_ = timer.seconds();
+  // A new factor starts a new solve epoch.
+  solve_seconds_ = 0.0;
+  solve_calls_ = 0;
+  solve_tasks_ = 0;
+  last_solve_ = SolveStats{};
 }
 
 std::vector<double> CholeskySolver::solve(std::span<const double> b) const {
+  return solve_multi(b, 1);
+}
+
+std::vector<double> CholeskySolver::solve_multi(std::span<const double> b,
+                                                index_t nrhs) const {
   std::shared_ptr<const CholeskyFactor> factor;
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -70,7 +81,14 @@ std::vector<double> CholeskySolver::solve(std::span<const double> b) const {
   }
   SPCHOL_CHECK(factor != nullptr, "solve requires factorize()");
   std::vector<double> x(b.size());
-  factor->solve(b, x);
+  SolveStats sstats;
+  factor->solve_multi(b, x, nrhs, opts_.solve, &sstats);
+
+  std::lock_guard<std::mutex> lk(mu_);
+  solve_seconds_ += sstats.seconds;
+  solve_calls_++;
+  solve_tasks_ += sstats.tasks;
+  last_solve_ = sstats;
   return x;
 }
 
@@ -107,7 +125,13 @@ const CholeskyFactor& CholeskySolver::factor() const {
 FactorStats CholeskySolver::stats() const {
   std::lock_guard<std::mutex> lk(mu_);
   SPCHOL_CHECK(factor_ != nullptr, "factorize() has not been run");
-  return stats_;
+  FactorStats stats = stats_;
+  // Graft the solve-side accumulators on, mirroring how factorize()
+  // grafts the ordering stage.
+  stats.solve_seconds = solve_seconds_;
+  stats.solve_calls = solve_calls_;
+  stats.solve_tasks = solve_tasks_;
+  return stats;
 }
 
 double CholeskySolver::analyze_seconds() const {
@@ -133,6 +157,16 @@ double CholeskySolver::factorize_seconds() const {
 double CholeskySolver::pipeline_seconds() const {
   std::lock_guard<std::mutex> lk(mu_);
   return analyze_seconds_ + factorize_seconds_;
+}
+
+double CholeskySolver::solve_seconds() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return solve_seconds_;
+}
+
+SolveStats CholeskySolver::last_solve_stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return last_solve_;
 }
 
 OrderingStats CholeskySolver::ordering_stats() const {

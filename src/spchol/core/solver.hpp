@@ -29,6 +29,9 @@ struct SolverOptions {
   OrderingOptions ordering_opts{};
   AnalyzeOptions analyze{};
   FactorOptions factor{};
+  /// Solve-stage configuration (scheduled SolvePlan execution, RHS panel
+  /// blocking, device routing). Used by solve()/solve_multi().
+  SolveOptions solve{};
 };
 
 /// Validates all three stage option sets (ordering, analyze, factor),
@@ -54,8 +57,16 @@ class CholeskySolver {
 
   /// Solves A x = b. Requires factorize(). Safe to call concurrently
   /// with factorize()/analyze() on other threads: solves against the
-  /// last fully published factor.
+  /// last fully published factor. Runs the plan-driven scheduled solve
+  /// configured by SolverOptions::solve (bitwise identical to the serial
+  /// sweep) and accumulates solve timing into stats().
   std::vector<double> solve(std::span<const double> b) const;
+
+  /// Solves A X = B for nrhs column-major right-hand sides, with the RHS
+  /// blocked into SolverOptions::solve.rhs_panel panels. Same concurrency
+  /// and identity guarantees as solve().
+  std::vector<double> solve_multi(std::span<const double> b,
+                                  index_t nrhs) const;
 
   /// One-shot convenience.
   static std::vector<double> solve(const CscMatrix& a_lower,
@@ -87,6 +98,12 @@ class CholeskySolver {
   double factorize_seconds() const;
   /// Full solve-pipeline latency so far: analyze + factorize.
   double pipeline_seconds() const;
+  /// Wall seconds summed over every solve()/solve_multi() call against
+  /// the current factor (reset by factorize()) — the solve-side
+  /// counterpart of factorize_seconds().
+  double solve_seconds() const;
+  /// Stats of the most recent solve()/solve_multi() call (by value).
+  SolveStats last_solve_stats() const;
 
   /// Ordering pipeline statistics of the last analyze() (by value; safe
   /// to read while another thread re-analyzes).
@@ -106,6 +123,12 @@ class CholeskySolver {
   double ordering_seconds_ = 0.0;
   double symbolic_seconds_ = 0.0;
   double factorize_seconds_ = 0.0;
+  // Solve-side accumulators (mutable: solve() is const and publishes its
+  // timing under mu_ like every other reader-visible field).
+  mutable double solve_seconds_ = 0.0;
+  mutable std::size_t solve_calls_ = 0;
+  mutable std::size_t solve_tasks_ = 0;
+  mutable SolveStats last_solve_{};
 };
 
 /// ‖b − A x‖∞ / (‖A‖∞·‖x‖∞ + ‖b‖∞), A given by its lower triangle.

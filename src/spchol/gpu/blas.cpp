@@ -143,6 +143,136 @@ void batched_syrk_update(Device& dev, Stream& s,
   dev.note_kernel(dur);
 }
 
+namespace {
+
+void account_solve_kernel(Device& dev, Stream& s, double flops) {
+  const double dur = dev.model().gpu_solve_kernel_seconds(flops);
+  dev.advance_host(dev.model().issue_overhead);
+  dev.enqueue(s, dur);
+  dev.note_kernel(dur);
+}
+
+}  // namespace
+
+void trsm_left_lower(Device& dev, Stream& s, index_t n, index_t nrhs,
+                     const DeviceBuffer& lbuf, std::size_t l_off, index_t ldl,
+                     DeviceBuffer& bbuf, std::size_t b_off, index_t ldb) {
+  const double* l = lbuf.data() + l_off;
+  double* b = bbuf.data() + b_off;
+  // Serial accumulation order per entry: identical to the serial forward
+  // sweep's in-panel loops (jl outer ascending, t inner ascending).
+  for (index_t q = 0; q < nrhs; ++q) {
+    double* bq = b + static_cast<std::size_t>(q) * ldb;
+    for (index_t jl = 0; jl < n; ++jl) {
+      const double* col = l + static_cast<std::size_t>(jl) * ldl;
+      double v = bq[jl];
+      v /= col[jl];
+      bq[jl] = v;
+      for (index_t t = jl + 1; t < n; ++t) bq[t] -= col[t] * v;
+    }
+  }
+  account_solve_kernel(dev, s, dense::flops_trsm(nrhs, n));
+}
+
+void trsm_left_lower_trans(Device& dev, Stream& s, index_t n, index_t nrhs,
+                           const DeviceBuffer& lbuf, std::size_t l_off,
+                           index_t ldl, DeviceBuffer& bbuf, std::size_t b_off,
+                           index_t ldb) {
+  const double* l = lbuf.data() + l_off;
+  double* b = bbuf.data() + b_off;
+  // Serial backward in-panel order: jl descending, in-panel subtractions
+  // ascending in t, then the division.
+  for (index_t q = 0; q < nrhs; ++q) {
+    double* bq = b + static_cast<std::size_t>(q) * ldb;
+    for (index_t jl = n - 1; jl >= 0; --jl) {
+      const double* col = l + static_cast<std::size_t>(jl) * ldl;
+      double v = bq[jl];
+      for (index_t t = jl + 1; t < n; ++t) v -= col[t] * bq[t];
+      bq[jl] = v / col[jl];
+    }
+  }
+  account_solve_kernel(dev, s, dense::flops_trsm(nrhs, n));
+}
+
+void gemm_solve_update(Device& dev, Stream& s, index_t m, index_t nrhs,
+                       index_t k, const DeviceBuffer& lbuf, std::size_t l_off,
+                       index_t ldl, DeviceBuffer& bbuf, std::size_t b1_off,
+                       std::size_t b2_off, index_t ldb) {
+  const double* l = lbuf.data() + l_off;
+  for (index_t q = 0; q < nrhs; ++q) {
+    const double* b1 = bbuf.data() + b1_off + static_cast<std::size_t>(q) * ldb;
+    double* b2 = bbuf.data() + b2_off + static_cast<std::size_t>(q) * ldb;
+    for (index_t t = 0; t < m; ++t) {
+      double acc = b2[t];
+      for (index_t jl = 0; jl < k; ++jl) {
+        acc -= l[t + static_cast<std::size_t>(jl) * ldl] * b1[jl];
+      }
+      b2[t] = acc;
+    }
+  }
+  account_solve_kernel(dev, s, dense::flops_gemm(m, nrhs, k));
+}
+
+void gemm_solve_update_trans(Device& dev, Stream& s, index_t m, index_t nrhs,
+                             index_t k, const DeviceBuffer& lbuf,
+                             std::size_t l_off, index_t ldl,
+                             DeviceBuffer& bbuf, std::size_t b1_off,
+                             std::size_t b2_off, index_t ldb) {
+  const double* l = lbuf.data() + l_off;
+  for (index_t q = 0; q < nrhs; ++q) {
+    double* b1 = bbuf.data() + b1_off + static_cast<std::size_t>(q) * ldb;
+    const double* b2 = bbuf.data() + b2_off + static_cast<std::size_t>(q) * ldb;
+    for (index_t jl = 0; jl < k; ++jl) {
+      const double* col = l + static_cast<std::size_t>(jl) * ldl;
+      double acc = b1[jl];
+      for (index_t t = 0; t < m; ++t) acc -= col[t] * b2[t];
+      b1[jl] = acc;
+    }
+  }
+  account_solve_kernel(dev, s, dense::flops_gemm(m, nrhs, k));
+}
+
+void gather_rows_h2d(Device& dev, Stream& s, std::span<const index_t> rows,
+                     const double* y, offset_t ld_y, index_t ncols,
+                     DeviceBuffer& dst, std::size_t off, bool async) {
+  const std::size_t nr = rows.size();
+  SPCHOL_CHECK(off + nr * static_cast<std::size_t>(ncols) <= dst.size(),
+               "gather_rows_h2d out of range");
+  for (index_t q = 0; q < ncols; ++q) {
+    double* col = dst.data() + off + static_cast<std::size_t>(q) * nr;
+    const double* yq = y + static_cast<offset_t>(q) * ld_y;
+    for (std::size_t i = 0; i < nr; ++i) col[i] = yq[rows[i]];
+  }
+  const std::size_t bytes =
+      nr * static_cast<std::size_t>(ncols) * sizeof(double);
+  const double dur = dev.model().h2d_seconds(static_cast<double>(bytes));
+  dev.advance_host(dev.model().issue_overhead);
+  dev.enqueue(s, dur);
+  dev.note_h2d(bytes, dur);
+  if (!async) s.synchronize();
+}
+
+void scatter_rows_d2h(Device& dev, Stream& s, std::span<const index_t> rows,
+                      index_t ld, double* y, offset_t ld_y, index_t ncols,
+                      const DeviceBuffer& src, std::size_t off, bool async) {
+  const std::size_t nr = rows.size();
+  SPCHOL_CHECK(nr <= static_cast<std::size_t>(ld), "scatter rows exceed ld");
+  SPCHOL_CHECK(off + static_cast<std::size_t>(ld) * ncols <= src.size(),
+               "scatter_rows_d2h out of range");
+  for (index_t q = 0; q < ncols; ++q) {
+    const double* col = src.data() + off + static_cast<std::size_t>(q) * ld;
+    double* yq = y + static_cast<offset_t>(q) * ld_y;
+    for (std::size_t i = 0; i < nr; ++i) yq[rows[i]] = col[i];
+  }
+  const std::size_t bytes =
+      nr * static_cast<std::size_t>(ncols) * sizeof(double);
+  const double dur = dev.model().d2h_seconds(static_cast<double>(bytes));
+  dev.advance_host(dev.model().issue_overhead);
+  dev.enqueue(s, dur);
+  dev.note_d2h(bytes, dur);
+  if (!async) s.synchronize();
+}
+
 void zero_fill(Device& dev, Stream& s, DeviceBuffer& buf, std::size_t off,
                std::size_t count) {
   SPCHOL_CHECK(off + count <= buf.size(), "zero_fill out of range");

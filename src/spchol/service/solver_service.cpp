@@ -79,6 +79,26 @@ bool scheduled_execution(const FactorOptions& fo) {
          resolve_worker_count(fo.cpu_workers) > 1;
 }
 
+/// Fingerprint of the SolveOptions that shape a SolvePlan and its arena
+/// slot pool: execution mode + GPU threshold (the on_gpu marks), stream
+/// count (pool width), and batching (graph coarsening). rhs_panel is
+/// EXCLUDED — the plan is per-panel and identical for every panel width
+/// (the executor replicates it across panels at solve time).
+std::uint64_t solve_plan_fingerprint(const SolveOptions& so) {
+  Fnv f;
+  f.pod(so.exec);
+  f.pod(so.gpu_threshold);
+  f.pod(so.gpu_streams);
+  f.pod(so.batch_entries);
+  f.pod(so.batch_max_supernodes);
+  return f.hash();
+}
+
+bool scheduled_solve(const SolveOptions& so) {
+  return so.exec != Execution::kCpuSerial &&
+         resolve_worker_count(so.workers) > 1;
+}
+
 }  // namespace
 
 void validate(const ServiceOptions& opts) {
@@ -92,15 +112,17 @@ void validate(const ServiceOptions& opts) {
 
 // --- SolverSession -------------------------------------------------------
 
-SolverSession::SolverSession(SolverRuntime* runtime, SolverOptions opts,
-                             std::shared_ptr<const SymbolicFactor> symb,
-                             std::shared_ptr<const detail::PlannedGraph> planned,
-                             std::uint64_t pool_key, bool cached,
-                             double analyze_seconds)
+SolverSession::SolverSession(
+    SolverRuntime* runtime, SolverOptions opts,
+    std::shared_ptr<const SymbolicFactor> symb,
+    std::shared_ptr<const detail::PlannedGraph> planned,
+    std::shared_ptr<const detail::PlannedSolve> planned_solve,
+    std::uint64_t pool_key, bool cached, double analyze_seconds)
     : runtime_(runtime),
       opts_(std::move(opts)),
       symb_(std::move(symb)),
       planned_(std::move(planned)),
+      planned_solve_(std::move(planned_solve)),
       pool_key_(pool_key) {
   stats_.symbolic_cached = cached;
   stats_.analyze_seconds = analyze_seconds;
@@ -130,16 +152,37 @@ void SolverSession::factorize(const CscMatrix& a_lower) {
 }
 
 std::vector<double> SolverSession::solve(std::span<const double> b) const {
+  return solve_multi(b, 1);
+}
+
+std::vector<double> SolverSession::solve_multi(std::span<const double> b,
+                                               index_t nrhs) const {
   std::shared_ptr<const CholeskyFactor> factor;
   {
     std::lock_guard<std::mutex> lk(mu_);
     factor = factor_;
   }
   SPCHOL_CHECK(factor != nullptr, "solve requires factorize()");
+  // Scheduled solves draw on the shared runtime: crew, device, arena,
+  // and the session's cached SolvePlan. No scheduler is injected — each
+  // solve drains its own, so concurrent solves (and a concurrent
+  // refactorize on this session's scheduler) never share mutable
+  // scheduler state.
+  detail::ExecutionResources res;
+  res.crew = &runtime_->crew();
+  res.device = &runtime_->device();
+  res.arena = &runtime_->arena();
+  res.planned_solve = planned_solve_.get();
+  res.pool_key = pool_key_;
   std::vector<double> x(b.size());
-  factor->solve(b, x);
+  SolveStats sstats;
+  detail::solve_with_resources(factor->symbolic(), factor->values(), b, x,
+                               nrhs, opts_.solve, &res, &sstats);
   std::lock_guard<std::mutex> lk(mu_);
   stats_.solves++;
+  stats_.solve_seconds += sstats.seconds;
+  stats_.solve_tasks += sstats.tasks;
+  stats_.last_solve = sstats;
   return x;
 }
 
@@ -172,6 +215,9 @@ struct SolverService::Entry {
   std::vector<std::pair<std::uint64_t,
                         std::shared_ptr<const detail::PlannedGraph>>>
       plans;
+  std::vector<std::pair<std::uint64_t,
+                        std::shared_ptr<const detail::PlannedSolve>>>
+      solve_plans;
   std::uint64_t stamp = 0;  // bumped on every hit: LRU eviction order
 };
 
@@ -286,15 +332,48 @@ std::shared_ptr<SolverSession> SolverService::session(
     }
   }
 
+  // Solve-plan resolution, same shape as the factor plans: reuse a
+  // cached SolvePlan of matching fingerprint, building outside the lock
+  // on a miss. Serial-solve sessions carry no solve plan.
+  std::shared_ptr<const detail::PlannedSolve> planned_solve;
+  const std::uint64_t solve_fp = solve_plan_fingerprint(solver_opts.solve);
+  if (scheduled_solve(solver_opts.solve)) {
+    const auto find_solve_plan_locked =
+        [&]() -> std::shared_ptr<const detail::PlannedSolve> {
+      for (const auto& [fp, plan] : entry->solve_plans) {
+        if (fp == solve_fp) return plan;
+      }
+      return nullptr;
+    };
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      planned_solve = find_solve_plan_locked();
+    }
+    if (planned_solve == nullptr) {
+      auto built = std::make_shared<const detail::PlannedSolve>(
+          detail::build_planned_solve(*entry->symb, solver_opts.solve,
+                                      runtime_.workers() + 1));
+      std::lock_guard<std::mutex> lk(mu_);
+      planned_solve = find_solve_plan_locked();
+      if (planned_solve == nullptr) {
+        entry->solve_plans.emplace_back(solve_fp, built);
+        planned_solve = std::move(built);
+      }
+    }
+  }
+
   // Arena pools are keyed by pattern AND plan shape (an RL pool must
-  // never serve an RLB request, nor a different stream count).
+  // never serve an RLB request, nor a different stream count). The solve
+  // executor mixes its own solve-shape fingerprint in on top, so factor
+  // and solve pools of one session never alias.
   Fnv pk;
   pk.pod(key);
   pk.pod(plan_fp);
 
   return std::shared_ptr<SolverSession>(new SolverSession(
-      &runtime_, solver_opts, entry->symb, std::move(planned), pk.hash(),
-      cached, cached ? 0.0 : entry->analyze_seconds));
+      &runtime_, solver_opts, entry->symb, std::move(planned),
+      std::move(planned_solve), pk.hash(), cached,
+      cached ? 0.0 : entry->analyze_seconds));
 }
 
 std::vector<double> SolverService::solve(const CscMatrix& a_lower,

@@ -19,10 +19,13 @@
 // Per cached pattern the service also caches ExecutionPlans (the
 // scheduled drivers' task-graph blueprint), keyed by the plan-shaping
 // FactorOptions (method, execution mode, GPU thresholds, stream count,
-// batching). A warm session therefore runs ZERO symbolic work: it
-// admits, reuses the cached plan, runs the numeric factorization on the
-// shared crew drawing device slots from the arena, and returns — with
-// factors bitwise identical to a cold, per-call CholeskySolver run.
+// batching), and SolvePlans keyed by the plan-shaping SolveOptions
+// (execution mode, GPU threshold, stream count, batching). A warm
+// session therefore runs ZERO symbolic work: it admits, reuses the
+// cached plans, runs the numeric factorization — and every subsequent
+// solve()/solve_multi() — on the shared crew drawing device slots from
+// the arena, with results bitwise identical to a cold, per-call
+// CholeskySolver run.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +41,7 @@ namespace spchol {
 
 namespace detail {
 struct PlannedGraph;  // core/internal.hpp: reusable plan + partitioning
+struct PlannedSolve;  // core/internal.hpp: reusable SolvePlan + partitioning
 }
 
 struct ServiceOptions {
@@ -63,12 +67,18 @@ struct SessionStats {
   /// (true ⇒ the session ran no ordering/analysis work at all).
   bool symbolic_cached = false;
   std::size_t factorizations = 0;  ///< numeric factorizations run
-  std::size_t solves = 0;          ///< solve() calls served
+  std::size_t solves = 0;          ///< solve()/solve_multi() calls served
   /// Ordering + symbolic seconds this session actually spent (0.0 when
   /// the symbolic factor was served from the cache).
   double analyze_seconds = 0.0;
   double last_factorize_seconds = 0.0;  ///< wall time of last factorize()
   FactorStats last_factor{};            ///< stats of the last factorization
+  /// Wall seconds summed over every solve served by this session.
+  double solve_seconds = 0.0;
+  /// Scheduled solve tasks executed across those solves (0 when every
+  /// solve ran the serial sweep).
+  std::size_t solve_tasks = 0;
+  SolveStats last_solve{};  ///< stats of the most recent solve
 };
 
 /// Service-wide counters.
@@ -103,8 +113,17 @@ class SolverSession {
 
   /// Solves A x = b against the last published factor. Requires a
   /// completed factorize(); concurrent with refactorizes it serves the
-  /// previous complete factor, never a partial one.
+  /// previous complete factor, never a partial one. Scheduled solves run
+  /// on the runtime crew from the session's cached SolvePlan (warm
+  /// sessions build no solve plan) and are bitwise identical to the
+  /// serial sweep.
   std::vector<double> solve(std::span<const double> b) const;
+
+  /// Solves A X = B for nrhs column-major right-hand sides with RHS
+  /// panel blocking (SolverOptions::solve.rhs_panel). Same concurrency
+  /// and identity guarantees as solve().
+  std::vector<double> solve_multi(std::span<const double> b,
+                                  index_t nrhs) const;
 
   bool factorized() const;
   /// The session's (possibly cache-shared) symbolic factor.
@@ -120,12 +139,15 @@ class SolverSession {
   SolverSession(SolverRuntime* runtime, SolverOptions opts,
                 std::shared_ptr<const SymbolicFactor> symb,
                 std::shared_ptr<const detail::PlannedGraph> planned,
+                std::shared_ptr<const detail::PlannedSolve> planned_solve,
                 std::uint64_t pool_key, bool cached, double analyze_seconds);
 
   SolverRuntime* runtime_;
   SolverOptions opts_;
   std::shared_ptr<const SymbolicFactor> symb_;
   std::shared_ptr<const detail::PlannedGraph> planned_;  // null = unscheduled
+  /// Cached solve-DAG blueprint; null when solves run the serial sweep.
+  std::shared_ptr<const detail::PlannedSolve> planned_solve_;
   std::uint64_t pool_key_;
 
   /// Serializes this session's factorize() calls (the session-owned

@@ -21,24 +21,14 @@ std::vector<std::vector<index_t>> update_contributors(
   return contrib;
 }
 
-struct BatchDef {
-  index_t first;      // first supernode of the contiguous range
-  index_t last;       // last supernode (inclusive; a packed subtree root)
-  bool leaves_only;   // every packed subtree is a singleton
-};
+}  // namespace
 
-/// Greedy sibling packing: walks each parent's child list (and the root
-/// list) in ascending order, accumulating ADJACENT subtrees whose every
-/// supernode is small, and flushes a BATCH whenever the next subtree
-/// does not fit (too large, not small throughout, or not adjacent).
-/// Adjacent sibling subtrees of a postordered supernodal etree tile a
-/// contiguous index interval, which is the property that keeps a batch
-/// from ever crossing a target's contributor chain.
-std::vector<BatchDef> pack_batches(const SymbolicFactor& symb,
-                                   std::span<const char> on_gpu,
-                                   const PlanOptions& opts) {
-  std::vector<BatchDef> defs;
-  if (opts.batch_entries <= 0) return defs;
+std::vector<SubtreeBatch> pack_subtree_batches(const SymbolicFactor& symb,
+                                               std::span<const char> on_gpu,
+                                               offset_t batch_entries,
+                                               index_t batch_max_supernodes) {
+  std::vector<SubtreeBatch> defs;
+  if (batch_entries <= 0) return defs;
   const index_t ns = symb.num_supernodes();
 
   // Subtree sizes and the "small throughout" flag, both bottom-up over
@@ -47,7 +37,7 @@ std::vector<BatchDef> pack_batches(const SymbolicFactor& symb,
   std::vector<char> small_subtree(static_cast<std::size_t>(ns), 1);
   for (index_t s = 0; s < ns; ++s) {
     const bool small = (on_gpu.empty() || !on_gpu[s]) &&
-                       symb.sn_entries(s) < opts.batch_entries;
+                       symb.sn_entries(s) < batch_entries;
     if (!small) small_subtree[s] = 0;
     const index_t p = symb.sn_parent(s);
     if (p >= 0) {
@@ -74,14 +64,13 @@ std::vector<BatchDef> pack_batches(const SymbolicFactor& symb,
   };
   auto pack_children = [&](std::span<const index_t> children) {
     for (const index_t c : children) {
-      if (!small_subtree[c] || size[c] > opts.batch_max_supernodes) {
+      if (!small_subtree[c] || size[c] > batch_max_supernodes) {
         flush();
         continue;
       }
       const index_t begin = c - size[c] + 1;
       if (run_count > 0 && (begin != run_last + 1 ||
-                            run_count + size[c] >
-                                opts.batch_max_supernodes)) {
+                            run_count + size[c] > batch_max_supernodes)) {
         flush();
       }
       if (run_count == 0) run_first = begin;
@@ -104,13 +93,11 @@ std::vector<BatchDef> pack_batches(const SymbolicFactor& symb,
   // Batches are discovered per parent group, so sort them into index
   // order (ranges are disjoint) for deterministic, ascending emission.
   std::sort(defs.begin(), defs.end(),
-            [](const BatchDef& a, const BatchDef& b) {
+            [](const SubtreeBatch& a, const SubtreeBatch& b) {
               return a.first < b.first;
             });
   return defs;
 }
-
-}  // namespace
 
 std::size_t ExecutionPlan::scatter_node(index_t sn, index_t target) const {
   if (batch_of_[sn] != kNoNode) return batch_of_[sn];
@@ -152,7 +139,8 @@ ExecutionPlan ExecutionPlan::build(const SymbolicFactor& symb,
   plan.batch_of_.assign(static_cast<std::size_t>(ns), kNoNode);
   plan.scatter_ptr_.assign(static_cast<std::size_t>(ns) + 1, 0);
 
-  const std::vector<BatchDef> defs = pack_batches(symb, on_gpu, opts);
+  const std::vector<SubtreeBatch> defs = pack_subtree_batches(
+      symb, on_gpu, opts.batch_entries, opts.batch_max_supernodes);
   std::vector<std::size_t> def_of(static_cast<std::size_t>(ns), kNoNode);
   for (std::size_t d = 0; d < defs.size(); ++d) {
     for (index_t s = defs[d].first; s <= defs[d].last; ++s) def_of[s] = d;

@@ -65,6 +65,29 @@ struct PlanNode {
   std::size_t queue = 0;     ///< ready-queue partition
 };
 
+/// A contiguous postorder run of small sibling subtrees — the unit of the
+/// batching transform. Shared by the factorization planner
+/// (ExecutionPlan) and the solve planner (SolvePlan) so both coarsen a
+/// given pattern identically under the same batching options.
+struct SubtreeBatch {
+  index_t first;     ///< first supernode of the contiguous range
+  index_t last;      ///< last supernode (inclusive; a packed subtree root)
+  bool leaves_only;  ///< every packed subtree is a singleton
+};
+
+/// Greedy sibling packing: walks each parent's child list (and the root
+/// list) in ascending order, accumulating ADJACENT subtrees whose every
+/// supernode has fewer than `batch_entries` dense entries (and is not
+/// marked on_gpu), flushing a batch whenever the next subtree does not
+/// fit. Adjacent sibling subtrees of a postordered supernodal etree tile
+/// a contiguous index interval — the property that keeps a batch from
+/// ever crossing a target's contributor chain. Returns disjoint ranges
+/// sorted ascending; empty when batch_entries <= 0.
+std::vector<SubtreeBatch> pack_subtree_batches(const SymbolicFactor& symb,
+                                               std::span<const char> on_gpu,
+                                               offset_t batch_entries,
+                                               index_t batch_max_supernodes);
+
 struct PlanOptions {
   /// One SCATTER node per (source, target) pair — the RLB CPU shape —
   /// instead of one SCATTER per source (RL).
