@@ -88,7 +88,7 @@ Column run_warm(const CscMatrix& a0, const ServiceOptions& so,
 /// modeled column replays the measured task durations through the greedy
 /// list schedule at 1 vs the scheduler's worker count, the same
 /// machine-independent speedup convention the factorization benches use.
-void run_solve_amortized() {
+void run_solve_amortized(JsonReport& report) {
   constexpr index_t kNrhs = 32;
   std::printf("\nAmortized solve latency per RHS column: warm scheduled "
               "solve_multi vs per-column serial solves (%d columns)\n\n",
@@ -145,6 +145,11 @@ void run_solve_amortized() {
     std::printf("%-18s %11.3f ms %11.3f ms %8.2fx %8.2fx %9zu\n", name,
                 serial_per_col * 1e3, multi_per_col * 1e3,
                 serial_per_col / multi_per_col, modeled, st.tasks);
+    report.row("solve_amortized", name,
+               {{"serial_per_col_seconds", serial_per_col},
+                {"multi_per_col_seconds", multi_per_col},
+                {"speedup", serial_per_col / multi_per_col},
+                {"modeled_speedup", modeled}});
   }
   std::printf("\nserial/col = mean of %d independent serial solves; "
               "multi/col = one scheduled solve_multi / %d;\nmodeled = "
@@ -153,7 +158,7 @@ void run_solve_amortized() {
               static_cast<int>(kNrhs), static_cast<int>(kNrhs), 4);
 }
 
-void run() {
+void run(JsonReport& report) {
   std::printf("SolverService amortized request latency, warm vs cold "
               "symbolic cache\n");
   std::printf("%d requests per matrix; values change every request, the "
@@ -186,6 +191,12 @@ void run() {
                 name, cold.first * 1e3, cold.amortized * 1e3,
                 warm.first * 1e3, warm.amortized * 1e3,
                 cold.amortized / warm.amortized);
+    report.row("warm_vs_cold", name,
+               {{"cold_first_seconds", cold.first},
+                {"cold_amortized_seconds", cold.amortized},
+                {"warm_first_seconds", warm.first},
+                {"warm_amortized_seconds", warm.amortized},
+                {"speedup", cold.amortized / warm.amortized}});
     std::printf("%-18s cache %zu hit / %zu miss; arena pool %zu hit / "
                 "%zu miss\n",
                 "", stats.cache_hits, stats.cache_misses,
@@ -201,7 +212,9 @@ void run() {
 }  // namespace spchol::bench
 
 int main() {
-  spchol::bench::run();
-  spchol::bench::run_solve_amortized();
+  spchol::bench::JsonReport report("service");
+  spchol::bench::run(report);
+  spchol::bench::run_solve_amortized(report);
+  report.write("BENCH_service.json");
   return 0;
 }

@@ -78,4 +78,37 @@ void print_rule(char c, int width) {
   std::putchar('\n');
 }
 
+void JsonReport::row(
+    const std::string& section, const std::string& matrix,
+    std::initializer_list<std::pair<const char*, double>> fields) {
+  std::string r = "{\"section\": \"" + section + "\", \"matrix\": \"" +
+                  matrix + "\"";
+  char buf[64];
+  for (const auto& [key, value] : fields) {
+    if (value != value) {  // NaN (the OOM rows)
+      std::snprintf(buf, sizeof buf, "null");
+    } else {
+      std::snprintf(buf, sizeof buf, "%.9g", value);
+    }
+    r += std::string(", \"") + key + "\": " + buf;
+  }
+  r += "}";
+  rows_.push_back(std::move(r));
+}
+
+void JsonReport::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "JsonReport: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\"bench\": \"%s\", \"rows\": [\n", bench_.c_str());
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    std::fprintf(f, "  %s%s\n", rows_[i].c_str(),
+                 i + 1 < rows_.size() ? "," : "");
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+}
+
 }  // namespace spchol::bench

@@ -1,7 +1,9 @@
 // Shared infrastructure for the table/figure reproduction benches.
 #pragma once
 
+#include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "spchol/spchol.hpp"
@@ -61,5 +63,25 @@ FactorOptions gpu_options(Method method, RlbVariant variant,
 
 /// Prints "name  value" aligned table cells.
 void print_rule(char c = '-', int width = 100);
+
+/// Machine-readable bench output: rows of {section, matrix, numeric
+/// fields} accumulated while the human-readable tables print, written as
+/// one JSON document ({"bench": ..., "rows": [...]}) so CI can track the
+/// modeled/real seconds and speedups across PRs.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+  /// Appends one row; NaN values (OOM rows) are emitted as null.
+  void row(const std::string& section, const std::string& matrix,
+           std::initializer_list<std::pair<const char*, double>> fields);
+
+  /// Writes the document to `path` (overwriting).
+  void write(const std::string& path) const;
+
+ private:
+  std::string bench_;
+  std::vector<std::string> rows_;
+};
 
 }  // namespace spchol::bench

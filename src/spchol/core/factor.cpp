@@ -48,6 +48,10 @@ void validate(const FactorOptions& o) {
     throw InvalidArgument("FactorOptions::gpu_streams must be >= 1; got " +
                           std::to_string(o.gpu_streams));
   }
+  if (o.gpu_devices < 1) {
+    throw InvalidArgument("FactorOptions::gpu_devices must be >= 1; got " +
+                          std::to_string(o.gpu_devices));
+  }
   if (o.gpu_threshold_rl < 0 || o.gpu_threshold_rlb < 0) {
     throw InvalidArgument("FactorOptions GPU thresholds must be >= 0");
   }
@@ -82,6 +86,10 @@ void validate(const SolveOptions& o) {
   if (o.gpu_streams < 1) {
     throw InvalidArgument("SolveOptions::gpu_streams must be >= 1; got " +
                           std::to_string(o.gpu_streams));
+  }
+  if (o.gpu_devices < 1) {
+    throw InvalidArgument("SolveOptions::gpu_devices must be >= 1; got " +
+                          std::to_string(o.gpu_devices));
   }
   if (o.gpu_threshold < 0) {
     throw InvalidArgument("SolveOptions::gpu_threshold must be >= 0; got " +
@@ -131,7 +139,22 @@ PlannedGraph build_planned_graph(const SymbolicFactor& symb,
   }
   popts.batch_entries = opts.batch_entries;
   popts.batch_max_supernodes = opts.batch_max_supernodes;
-  pg.plan = ExecutionPlan::build(symb, on_gpu, pg.queue_of, popts);
+  // Separator-tree device sharding: assign each top-level ND subtree
+  // (and its enclosed supernodes) to a device ordinal; the plan nodes
+  // carry the assignment so the executors can route without re-deriving
+  // it. Single-device plans skip the pass entirely (device_of empty).
+  pg.devices = static_cast<index_t>(std::max(1, opts.gpu_devices));
+  if (pg.devices > 1 && (opts.exec == Execution::kGpuHybrid ||
+                         opts.exec == Execution::kGpuOnly)) {
+    // RL additionally runs spine supernodes cooperatively (device -1):
+    // its per-supernode kernels decompose cleanly into block rounds. RLB
+    // keeps whole-supernode placement (its fused per-block-pair updates
+    // do not), so spine supernodes follow their heaviest child there.
+    pg.device_of = assign_devices(symb, on_gpu, pg.devices,
+                                  /*coop_spine=*/opts.method == Method::kRL);
+  }
+  pg.plan =
+      ExecutionPlan::build(symb, on_gpu, pg.queue_of, popts, pg.device_of);
   return pg;
 }
 
@@ -264,7 +287,9 @@ CholeskyFactor CholeskyFactor::factorize(
     // Report the column in ORIGINAL indices.
     throw NotPositiveDefinite(symb.permutation().new_to_old(e.column()));
   }
-  ctx.dev.synchronize();
+  for (std::size_t d = 0; d < ctx.ndev; ++d) {
+    ctx.device(static_cast<index_t>(d)).synchronize();
+  }
 
   // Device figures are DELTAS against the baselines snapshotted at
   // FactorContext construction: on a per-call device the baselines are
@@ -275,22 +300,56 @@ CholeskyFactor CholeskyFactor::factorize(
   // shared modeled timeline interleaves their operations, so per-call
   // modeled seconds are approximate under concurrency — the numeric
   // values never are (the device executes eagerly).
+  //
+  // Multi-device runs report per_device deltas plus summed aggregates;
+  // the modeled makespan is the MAX over devices (they run concurrently;
+  // device 0 additionally carries the deferred host floor). With one
+  // device every aggregate reduces to the single-device number, so the
+  // stats are byte-compatible with prior releases.
   FactorStats& st = f.stats_;
-  const gpu::DeviceStats dstats = ctx.dev.stats();
-  const gpu::DeviceStats& base = ctx.dev_stats0;
-  st.modeled_seconds = ctx.dev.makespan() - ctx.makespan0;
+  st.gpu_devices_used = static_cast<int>(ctx.ndev);
+  st.per_device.resize(ctx.ndev);
+  st.modeled_seconds = 0.0;
+  st.gpu_kernel_seconds = 0.0;
+  st.h2d_seconds = 0.0;
+  st.d2h_seconds = 0.0;
+  st.gpu_overlap_seconds = 0.0;
+  st.device_peak_bytes = 0;
+  st.h2d_bytes = 0;
+  st.d2h_bytes = 0;
+  st.num_gpu_kernels = 0;
+  for (std::size_t d = 0; d < ctx.ndev; ++d) {
+    gpu::Device& dd = ctx.device(static_cast<index_t>(d));
+    const gpu::DeviceStats ds = dd.stats();
+    const gpu::DeviceStats& b0 = ctx.dev_stats0_of[d];
+    DeviceBreakdown& pd = st.per_device[d];
+    pd.kernel_seconds = ds.kernel_seconds - b0.kernel_seconds;
+    pd.h2d_seconds = ds.h2d_seconds - b0.h2d_seconds;
+    pd.d2h_seconds = ds.d2h_seconds - b0.d2h_seconds;
+    pd.overlap_seconds = ds.overlap_seconds - b0.overlap_seconds;
+    pd.modeled_seconds = dd.makespan() - ctx.makespan0_of[d];
+    pd.peak_bytes = dd.mem_peak();
+    pd.num_kernels = ds.num_kernels - b0.num_kernels;
+    pd.supernodes = ctx.gpu_supernodes_of[d];
+    st.modeled_seconds = std::max(st.modeled_seconds, pd.modeled_seconds);
+    st.gpu_kernel_seconds += pd.kernel_seconds;
+    st.h2d_seconds += pd.h2d_seconds;
+    st.d2h_seconds += pd.d2h_seconds;
+    st.gpu_overlap_seconds += pd.overlap_seconds;
+    st.device_peak_bytes += pd.peak_bytes;
+    st.h2d_bytes += ds.h2d_bytes - b0.h2d_bytes;
+    st.d2h_bytes += ds.d2h_bytes - b0.d2h_bytes;
+    st.num_gpu_kernels += ds.num_kernels - b0.num_kernels;
+  }
+  st.cross_device_assembly_seconds = ctx.cross_device_assembly_seconds;
+  st.cross_device_transfer_bytes = ctx.cross_device_transfer_bytes;
+  st.num_cross_device_transfers = ctx.num_cross_device_transfers;
+  st.coop_supernodes = ctx.coop_supernodes;
   st.wall_seconds = timer.seconds();
   st.supernodes_on_gpu = ctx.supernodes_on_gpu;
   st.total_supernodes = symb.num_supernodes();
   st.cpu_blas_seconds = ctx.cpu_blas_seconds;
-  st.gpu_kernel_seconds = dstats.kernel_seconds - base.kernel_seconds;
-  st.h2d_seconds = dstats.h2d_seconds - base.h2d_seconds;
-  st.d2h_seconds = dstats.d2h_seconds - base.d2h_seconds;
   st.assembly_seconds = ctx.assembly_seconds;
-  st.device_peak_bytes = ctx.dev.mem_peak();
-  st.h2d_bytes = dstats.h2d_bytes - base.h2d_bytes;
-  st.d2h_bytes = dstats.d2h_bytes - base.d2h_bytes;
-  st.num_gpu_kernels = dstats.num_kernels - base.num_kernels;
   st.num_cpu_blas_calls = ctx.num_cpu_blas_calls;
   st.flops = symb.flops();
   st.scheduler_tasks = ctx.sched_stats.tasks_run;
@@ -300,7 +359,6 @@ CholeskyFactor CholeskyFactor::factorize(
   st.scheduler_steals = ctx.sched_stats.steals;
   st.symbolic = symb.stats();
   st.gpu_stream_pairs = ctx.gpu_stream_pairs;
-  st.gpu_overlap_seconds = dstats.overlap_seconds - base.overlap_seconds;
   st.scheduler_resource_waits = ctx.sched_stats.resource_waits;
   st.scheduler_edges = ctx.sched_stats.edges;
   st.batches_formed = ctx.batches_formed;

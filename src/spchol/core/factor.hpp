@@ -23,6 +23,7 @@
 
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "spchol/gpu/device.hpp"
 #include "spchol/graph/ordering.hpp"
@@ -77,6 +78,26 @@ struct FactorOptions {
   offset_t gpu_threshold_rlb = 75'000;
   /// Simulated device configuration (memory capacity, performance model).
   gpu::DeviceConfig device{};
+  /// Number of simulated devices the scheduled GPU paths shard across
+  /// (each a copy of `device`). The planner assigns top-level
+  /// separator-tree subtrees to devices (symbolic/exec_plan.hpp
+  /// assign_devices) and the executors route each GPU supernode to its
+  /// assigned device's stream/slot resources; cross-device separator
+  /// assembly is modeled as explicit D2H→H2D transfers
+  /// (FactorStats::cross_device_assembly_seconds). Factors are bitwise
+  /// identical to serial at EVERY device count. Default 1 preserves
+  /// single-device behaviour exactly; values < 1 are rejected with
+  /// InvalidArgument. When factorizing on an injected runtime the
+  /// effective count is capped by the runtime's device registry size.
+  int gpu_devices = 1;
+  /// Models the paper's device-resident factor storage: each GPU
+  /// supernode's factored panel stays allocated on its assigned device
+  /// until the factorization completes (scheduled kGpuHybrid paths
+  /// only). This is the 40 GB bound that fails nlpkkt120 in Table I —
+  /// and the capacity pressure multi-device sharding relieves, since
+  /// each device holds only its shard's panels. Default off: transient
+  /// buffers only, the pre-sharding accounting.
+  bool device_resident_factor = false;
   /// Modeled CPU threads for the OpenMP-style parallel assembly loops.
   int assembly_threads = 16;
   /// Real worker threads for the etree task scheduler (kCpuParallel, and
@@ -131,6 +152,11 @@ struct SolveOptions {
   offset_t gpu_threshold = 60'000;
   /// Stream/buffer slot pairs for in-flight device solve nodes (>= 1).
   int gpu_streams = 4;
+  /// Devices the scheduled GPU solve shards across, sharing the
+  /// factorization's separator-tree assignment contract (>= 1; rejected
+  /// with InvalidArgument otherwise). Results are bitwise identical to
+  /// the serial sweep at every device count.
+  int gpu_devices = 1;
   /// Small-supernode batching (same plan transform as the
   /// factorization): 0 disables; negative rejected.
   offset_t batch_entries = 0;
@@ -141,9 +167,9 @@ struct SolveOptions {
 };
 
 /// Rejects malformed SolveOptions with InvalidArgument (negative
-/// workers, rhs_panel < 1, gpu_streams < 1, negative gpu_threshold or
-/// batch_entries, batch_max_supernodes < 1). Every solve entry point
-/// calls this before touching the right-hand side.
+/// workers, rhs_panel < 1, gpu_streams < 1, gpu_devices < 1, negative
+/// gpu_threshold or batch_entries, batch_max_supernodes < 1). Every
+/// solve entry point calls this before touching the right-hand side.
 void validate(const SolveOptions& opts);
 
 /// Execution statistics of one solve / solve_multi call.
@@ -164,6 +190,24 @@ struct SolveStats {
   index_t gpu_stream_pairs = 0;   ///< solve slot pairs actually allocated
   index_t batches_formed = 0;
   index_t supernodes_batched = 0;
+};
+
+/// Per-device slice of one factorization's modeled GPU activity (deltas
+/// of that device's timeline across the call; peak bytes absolute).
+/// Single-device runs have exactly one entry whose values equal the
+/// aggregate FactorStats fields — the aggregate stays byte-compatible
+/// with pre-sharding consumers.
+struct DeviceBreakdown {
+  double kernel_seconds = 0.0;
+  double h2d_seconds = 0.0;
+  double d2h_seconds = 0.0;
+  double overlap_seconds = 0.0;
+  /// This device's modeled makespan contribution (max of its host floor
+  /// and stream tails, as a delta over the call).
+  double modeled_seconds = 0.0;
+  std::size_t peak_bytes = 0;
+  std::size_t num_kernels = 0;
+  index_t supernodes = 0;  ///< GPU supernodes routed to this device
 };
 
 /// Modeled + measured execution statistics of one factorization.
@@ -221,6 +265,26 @@ struct FactorStats {
   /// Fused batched device launches issued (kGpuHybrid RL: one panel-factor
   /// plus one update launch per device-executed batch).
   std::size_t fused_device_launches = 0;
+  // --- multi-device sharding counters -------------------------------------
+  /// Devices the run actually sharded across (1 on every single-device
+  /// path; aggregate fields above sum over all of them).
+  int gpu_devices_used = 1;
+  /// Per-device activity slices, size gpu_devices_used.
+  std::vector<DeviceBreakdown> per_device;
+  /// Modeled seconds of cross-device separator assembly: contributor
+  /// update matrices computed on one device and assembled into a target
+  /// owned by another pay an explicit D2H→H2D transfer. Zero when
+  /// single-device. Part of the modeled host floor — the measured price
+  /// of sharding.
+  double cross_device_assembly_seconds = 0.0;
+  std::size_t cross_device_transfer_bytes = 0;
+  std::size_t num_cross_device_transfers = 0;
+  /// Supernodes executed through the cooperative all-device pipeline
+  /// (top separators the planner marked device -1: their kernels are
+  /// block-distributed across every engaged device with p2p panel
+  /// broadcasts, because no single shard can absorb them without capping
+  /// the run's scaling). Zero on single-device runs; RL hybrid only.
+  index_t coop_supernodes = 0;
   // --- solve-path accumulators (filled by CholeskySolver, which owns the
   // solve traffic; zero on a factor that never solved) ---------------------
   double solve_seconds = 0.0;      ///< wall time summed over solve calls
@@ -229,7 +293,7 @@ struct FactorStats {
 };
 
 /// Rejects malformed FactorOptions with InvalidArgument (negative
-/// cpu_workers or thresholds or batch_entries; gpu_streams,
+/// cpu_workers or thresholds or batch_entries; gpu_streams, gpu_devices,
 /// assembly_threads, or batch_max_supernodes < 1). factorize() calls
 /// this itself; CholeskySolver and SolverService call it up front so a
 /// bad option set fails at analyze()/session creation, before any

@@ -64,6 +64,12 @@ struct PlannedGraph {
   ExecutionPlan plan;
   std::vector<index_t> queue_of;  ///< ready-queue partition per supernode
   std::size_t partitions = 1;  ///< partition count queue_of was built for
+  /// Per-supernode device assignment (assign_devices); empty when the
+  /// plan was built for one device. The executors read it to price
+  /// cross-device separator assembly (plan nodes carry their own copy
+  /// of the routing ordinal).
+  std::vector<index_t> device_of;
+  index_t devices = 1;  ///< device count the plan was built for
 };
 
 /// The solve-path counterpart of PlannedGraph: one SolvePlan (forward +
@@ -74,6 +80,7 @@ struct PlannedSolve {
   SolvePlan plan;
   std::vector<index_t> queue_of;  ///< ready-queue partition per supernode
   std::size_t partitions = 1;  ///< partition count queue_of was built for
+  index_t devices = 1;  ///< device count the plan was built for
 };
 
 /// Builds the scheduled-solve graph for `symb` under `opts` with
@@ -105,8 +112,10 @@ struct ExecutionResources {
   /// pipelines drain on it (TaskScheduler::run_on) instead of spawning
   /// dedicated threads per call.
   WorkerCrew* crew = nullptr;
-  /// Shared long-lived device; must be &arena->device() when arena is
-  /// also set (checked in factorize).
+  /// Shared long-lived device; must be &arena->device() (the arena
+  /// registry's device 0) when arena is also set (checked in factorize).
+  /// Multi-device runs reach the other devices through the arena's
+  /// DeviceRegistry; a bare injected device caps the run at one device.
   gpu::Device* device = nullptr;
   /// Keyed slot-pool cache decoupling GPU buffer/stream lifetime from
   /// this one call.
@@ -156,13 +165,22 @@ struct FactorContext {
   std::vector<double>& values;
   const FactorOptions& opts;
   const ExecutionResources* res;  ///< injected services; may be nullptr
-  /// Per-call device, engaged only when no shared device was injected.
-  std::optional<gpu::Device> own_dev;
+  /// Per-call device registry, engaged only when no shared registry or
+  /// device was injected; sized from opts.gpu_devices.
+  std::optional<gpu::DeviceRegistry> own_reg;
+  /// Registry GPU work shards across: the injected arena's when one was
+  /// given, own_reg otherwise. Null only when a bare device (no arena)
+  /// was injected — that configuration is pinned to one device.
+  gpu::DeviceRegistry* reg;
+  /// Device 0 — the primary device. It carries the modeled host clock
+  /// (the deferred CPU/assembly floor folds here exactly once), so every
+  /// single-device code path and stat is unchanged by the registry.
   gpu::Device& dev;
   ThreadPool& pool;            ///< backend for nested parallel kernels
   std::size_t blas_capacity;   ///< pool workers + calling thread
   std::size_t workers;         ///< resolved scheduler worker count
   bool scheduled;              ///< task scheduler drives this run
+  std::size_t ndev;            ///< effective device count for this run
 
   double cpu_blas_seconds = 0.0;
   double assembly_seconds = 0.0;
@@ -172,6 +190,16 @@ struct FactorContext {
   index_t batches_formed = 0;        ///< BATCH plan nodes executed
   index_t supernodes_batched = 0;    ///< supernodes coalesced into them
   std::size_t fused_device_launches = 0;
+  /// Cross-device separator assembly, modeled: when a contributor's
+  /// update matrix was produced on one device and its target panel lives
+  /// on another, the scatter pays an explicit D2H→H2D hop (the factor
+  /// panels themselves are assembled on the host in the fixed per-target
+  /// order, so the BITS never depend on the hop — only the timeline).
+  double cross_device_assembly_seconds = 0.0;
+  std::size_t cross_device_transfer_bytes = 0;
+  std::size_t num_cross_device_transfers = 0;
+  /// Supernodes executed through the cooperative all-device pipeline.
+  index_t coop_supernodes = 0;
   SchedulerStats sched_stats{};
   /// Device stats/timeline at construction. On a shared long-lived
   /// device the accumulators reflect every run so far; factorize()
@@ -180,6 +208,12 @@ struct FactorContext {
   /// standalone numbers are unchanged).
   gpu::DeviceStats dev_stats0{};
   double makespan0 = 0.0;
+  /// Per-effective-device baselines (index = device ordinal < ndev);
+  /// entry 0 duplicates dev_stats0/makespan0.
+  std::vector<gpu::DeviceStats> dev_stats0_of;
+  std::vector<double> makespan0_of;
+  /// GPU supernodes routed to each device ordinal (stats breakdown).
+  std::vector<index_t> gpu_supernodes_of;
 
   FactorContext(const SymbolicFactor& s, std::vector<double>& v,
                 const FactorOptions& o,
@@ -188,17 +222,55 @@ struct FactorContext {
         values(v),
         opts(o),
         res(r),
-        own_dev(),
+        own_reg(),
+        reg(r != nullptr && r->arena != nullptr
+                ? &r->arena->registry()
+                : (r != nullptr && r->device != nullptr
+                       ? nullptr
+                       : &own_reg.emplace(
+                             o.device,
+                             static_cast<std::size_t>(
+                                 o.gpu_devices > 0 ? o.gpu_devices : 1)))),
         dev(r != nullptr && r->device != nullptr ? *r->device
-                                                 : own_dev.emplace(o.device)),
+                                                 : reg->device(0)),
         pool(ThreadPool::global()),
         blas_capacity(ThreadPool::global().concurrency()),
         workers(resolve_worker_count(o.cpu_workers)),
         scheduled((o.exec == Execution::kCpuParallel ||
                    o.exec == Execution::kGpuHybrid) &&
-                  workers > 1) {
+                  workers > 1),
+        ndev(reg == nullptr
+                 ? std::size_t{1}
+                 : std::min(reg->size(),
+                            static_cast<std::size_t>(
+                                o.gpu_devices > 0 ? o.gpu_devices : 1))) {
     dev_stats0 = dev.stats();
     makespan0 = dev.makespan();
+    dev_stats0_of.reserve(ndev);
+    makespan0_of.reserve(ndev);
+    for (std::size_t d = 0; d < ndev; ++d) {
+      gpu::Device& dd = device(static_cast<index_t>(d));
+      dev_stats0_of.push_back(dd.stats());
+      makespan0_of.push_back(dd.makespan());
+    }
+    gpu_supernodes_of.assign(ndev, 0);
+  }
+
+  /// Device a plan-node ordinal resolves to. Plans may have been built
+  /// for more devices than this run can reach (fewer registry devices,
+  /// or a bare injected device); the modulo fold keeps routing total.
+  /// Negative ordinals (cooperative plan nodes) fold to device 0 — the
+  /// owner of a cooperative supernode's buffers. Numerics never depend
+  /// on the fold — assembly order is fixed by the plan, so a degraded
+  /// run stays bitwise identical.
+  gpu::Device& device(index_t ordinal) {
+    if (reg == nullptr || ndev <= 1 || ordinal < 0) return dev;
+    return reg->device(static_cast<std::size_t>(ordinal) % ndev);
+  }
+  /// The effective ordinal `device(ordinal)` resolved to.
+  index_t device_ordinal(index_t ordinal) const {
+    if (reg == nullptr || ndev <= 1 || ordinal < 0) return 0;
+    return static_cast<index_t>(static_cast<std::size_t>(ordinal) % ndev);
   }
 
   double* sn_values(index_t s) {
@@ -345,9 +417,36 @@ struct FactorContext {
     }
   }
 
-  void count_gpu_supernode() {
+  void count_gpu_supernode(index_t device_ord = 0) {
     std::lock_guard<std::mutex> lk(account_mu_);
     supernodes_on_gpu++;
+    const std::size_t d = device_ord < 0
+                              ? 0
+                              : static_cast<std::size_t>(device_ord) % ndev;
+    if (d < gpu_supernodes_of.size()) gpu_supernodes_of[d]++;
+  }
+
+  /// One supernode executed through the cooperative (all-device) pipeline.
+  void count_coop_supernode() {
+    std::lock_guard<std::mutex> lk(account_mu_);
+    coop_supernodes++;
+  }
+
+  /// Models the D2H→H2D hop of one cross-device scatter: `entries`
+  /// update-matrix entries produced on the contributor's device, shipped
+  /// to the host, re-staged onto the target's device. Order-independent
+  /// deferred sum folded into the host floor by flush_deferred() — the
+  /// measured price of sharding the separator tree. Only the scheduled
+  /// drivers route across devices, so the deferred fold owns the clock.
+  void account_cross_device(double entries) {
+    const double bytes = entries * static_cast<double>(sizeof(double));
+    const auto& m = dev.model();
+    const double t = m.d2h_seconds(bytes) + m.h2d_seconds(bytes);
+    std::lock_guard<std::mutex> lk(account_mu_);
+    deferred_host_seconds_ += t;
+    cross_device_assembly_seconds += t;
+    cross_device_transfer_bytes += static_cast<std::size_t>(bytes);
+    num_cross_device_transfers++;
   }
 
   void count_fused_launch() {

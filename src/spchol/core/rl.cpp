@@ -136,9 +136,11 @@ void rl_gpu_supernode(FactorContext& ctx, index_t s, gpu::Stream& compute,
 /// (b) every synchronization is DEVICE-side (stream waits on events) —
 /// a scheduled task must never advance the shared modeled host clock to a
 /// stream tail, or the post-drain fold of deferred CPU-task time would
-/// count the overlapped transfer wait twice.
-void rl_gpu_compute(FactorContext& ctx, index_t s, RlGpuSlot& slot,
-                    std::vector<double>& u) {
+/// count the overlapped transfer wait twice. `dev` is the device the
+/// planner assigned this supernode to (the slot's owner); `dev_ord` its
+/// effective ordinal, recorded for the per-device stats breakdown.
+void rl_gpu_compute(FactorContext& ctx, gpu::Device& dev, index_t dev_ord,
+                    index_t s, RlGpuSlot& slot, std::vector<double>& u) {
   const SymbolicFactor& symb = ctx.symb;
   const index_t w = symb.sn_width(s);
   const index_t r = symb.sn_nrows(s);
@@ -147,34 +149,80 @@ void rl_gpu_compute(FactorContext& ctx, index_t s, RlGpuSlot& slot,
   const std::size_t ucount =
       static_cast<std::size_t>(below) * static_cast<std::size_t>(below);
 
-  ctx.count_gpu_supernode();
+  ctx.count_gpu_supernode(dev_ord);
   // Slot-reuse hazard: the previous occupant's async panel D2H is still
   // draining the copy stream; chain behind it on the device timeline.
   slot.compute.wait(slot.copy.record());
   const std::size_t entries = static_cast<std::size_t>(r) * w;
-  gpu::copy_h2d(ctx.dev, slot.compute, slot.panel, 0, panel, entries,
+  gpu::copy_h2d(dev, slot.compute, slot.panel, 0, panel, entries,
                 /*async=*/true);
   try {
-    gpu::potrf_lower(ctx.dev, slot.compute, w, slot.panel, 0, r);
+    gpu::potrf_lower(dev, slot.compute, w, slot.panel, 0, r);
   } catch (const NotPositiveDefinite& e) {
     throw NotPositiveDefinite(symb.sn_begin(s) + e.column());
   }
   if (below > 0) {
-    gpu::trsm_right_lower_trans(ctx.dev, slot.compute, below, w, slot.panel,
+    gpu::trsm_right_lower_trans(dev, slot.compute, below, w, slot.panel,
                                 0, r, w, r);
   }
   slot.copy.wait(slot.compute.record());
-  gpu::copy_d2h(ctx.dev, slot.copy, panel, slot.panel, 0, entries,
+  gpu::copy_d2h(dev, slot.copy, panel, slot.panel, 0, entries,
                 /*async=*/true);
   if (below > 0) {
-    gpu::syrk_lower_nt_beta0(ctx.dev, slot.compute, below, w, slot.panel, w,
+    gpu::syrk_lower_nt_beta0(dev, slot.compute, below, w, slot.panel, w,
                              r, slot.update, 0, below);
     // Into the per-supernode buffer: the update-buffer reuse hazard is
     // covered by FIFO order on the compute stream (the next occupant's
     // SYRK queues behind this transfer).
     u.resize(ucount);
-    gpu::copy_d2h(ctx.dev, slot.compute, u.data(), slot.update, 0, ucount,
+    gpu::copy_d2h(dev, slot.compute, u.data(), slot.update, 0, ucount,
                   /*async=*/true);
+  }
+}
+
+/// Cooperative device pipeline for one SPINE supernode (plan device
+/// ordinal -1): the wide separator panels near the root that no single
+/// device shard can absorb without serializing the critical path. The
+/// numerics run once, on device 0 (the owner) — the identical §III call
+/// sequence, so factors stay bitwise independent of the device count —
+/// while the modeled timeline block-distributes the POTRF trailing
+/// updates, the TRSM, and the SYRK across ALL devices of the registry
+/// via gpu::coop_panel_factor / coop_syrk_update_d2h (p2p panel
+/// broadcast, phase barriers, per-device D2H update slices).
+void rl_gpu_compute_coop(FactorContext& ctx, gpu::Device& dev,
+                         gpu::Stream& coop_s, index_t s, RlGpuSlot& slot,
+                         std::vector<double>& u,
+                         std::span<const gpu::CoopPeer> peers) {
+  const SymbolicFactor& symb = ctx.symb;
+  const index_t w = symb.sn_width(s);
+  const index_t r = symb.sn_nrows(s);
+  const index_t below = r - w;
+  double* panel = ctx.sn_values(s);
+  const std::size_t ucount =
+      static_cast<std::size_t>(below) * static_cast<std::size_t>(below);
+
+  ctx.count_gpu_supernode(0);
+  ctx.count_coop_supernode();
+  // The owner's share of the cooperative timeline rides `coop_s`, a
+  // dedicated device-0 stream — NOT the slot's compute stream — so the
+  // all-to-all phase fences never capture an unrelated supernode that
+  // later reuses a pool slot. Only the slot's copy stream touches the
+  // mesh: the buffer-reuse hazard against the previous coop occupant's
+  // panel download, and this occupant's own async panel download.
+  coop_s.wait(slot.copy.record());
+  const std::size_t entries = static_cast<std::size_t>(r) * w;
+  gpu::coop_copy_h2d(dev, coop_s, peers, slot.panel, 0, panel, entries);
+  try {
+    gpu::coop_panel_factor(dev, coop_s, peers, w, slot.panel, 0, r);
+  } catch (const NotPositiveDefinite& e) {
+    throw NotPositiveDefinite(symb.sn_begin(s) + e.column());
+  }
+  slot.copy.wait(coop_s.record());
+  gpu::coop_copy_d2h(dev, slot.copy, peers, panel, slot.panel, 0, entries);
+  if (below > 0) {
+    u.resize(ucount);
+    gpu::coop_syrk_update_d2h(dev, coop_s, peers, below, w, slot.panel, w,
+                              r, slot.update, u.data());
   }
 }
 
@@ -188,8 +236,8 @@ void rl_gpu_compute(FactorContext& ctx, index_t s, RlGpuSlot& slot,
 /// transfer latency are paid once per batch instead of once per
 /// supernode (gpu::perf_model batched-kernel cost). Synchronization is
 /// device-side only, like rl_gpu_compute.
-void rl_gpu_batch(FactorContext& ctx, index_t first, index_t last,
-                  RlGpuSlot& slot) {
+void rl_gpu_batch(FactorContext& ctx, gpu::Device& dev, index_t dev_ord,
+                  index_t first, index_t last, RlGpuSlot& slot) {
   const SymbolicFactor& symb = ctx.symb;
   std::vector<gpu::BatchedPanel> panels;
   panels.reserve(static_cast<std::size_t>(last - first + 1));
@@ -201,7 +249,7 @@ void rl_gpu_batch(FactorContext& ctx, index_t first, index_t last,
     panels.push_back({w, r, panel_total, update_total, symb.sn_begin(s)});
     panel_total += static_cast<std::size_t>(r) * w;
     update_total += below * below;
-    ctx.count_gpu_supernode();
+    ctx.count_gpu_supernode(dev_ord);
   }
 
   // Pack the member panels into one staging area: one transfer for the
@@ -216,12 +264,12 @@ void rl_gpu_batch(FactorContext& ctx, index_t first, index_t last,
   }
   // Slot-reuse hazard: chain behind the previous occupant's async D2H.
   slot.compute.wait(slot.copy.record());
-  gpu::copy_h2d(ctx.dev, slot.compute, slot.panel, 0, stage.data(),
+  gpu::copy_h2d(dev, slot.compute, slot.panel, 0, stage.data(),
                 panel_total, /*async=*/true);
-  gpu::batched_panel_factor(ctx.dev, slot.compute, panels, slot.panel);
+  gpu::batched_panel_factor(dev, slot.compute, panels, slot.panel);
   ctx.count_fused_launch();
   slot.copy.wait(slot.compute.record());
-  gpu::copy_d2h(ctx.dev, slot.copy, stage.data(), slot.panel, 0,
+  gpu::copy_d2h(dev, slot.copy, stage.data(), slot.panel, 0,
                 panel_total, /*async=*/true);
   for (std::size_t i = 0; i < panels.size(); ++i) {
     const gpu::BatchedPanel& p = panels[i];
@@ -231,11 +279,11 @@ void rl_gpu_batch(FactorContext& ctx, index_t first, index_t last,
   }
   if (update_total == 0) return;
 
-  gpu::batched_syrk_update(ctx.dev, slot.compute, panels, slot.panel,
+  gpu::batched_syrk_update(dev, slot.compute, panels, slot.panel,
                            slot.update);
   ctx.count_fused_launch();
   std::vector<double> ustage(update_total);
-  gpu::copy_d2h(ctx.dev, slot.compute, ustage.data(), slot.update, 0,
+  gpu::copy_d2h(dev, slot.compute, ustage.data(), slot.update, 0,
                 update_total, /*async=*/true);
   double entries = 0.0;
   for (std::size_t i = 0; i < panels.size(); ++i) {
@@ -345,60 +393,185 @@ void run_rl_scheduled(FactorContext& ctx) {
   // device runs the same deterministic kernels in the same order.)
   std::vector<char> batch_on_dev(nodes.size(), 0);
 
-  // Per-GPU-task buffer needs (supernodes AND device batches), ranked
-  // descending: slot k only has to host the k-th largest panel / update
-  // among CONCURRENTLY in-flight GPU tasks, so N slots cost far less
-  // than N copies of the largest — that is what lets several pairs fit
-  // under a tight device memory cap.
-  std::vector<std::size_t> panel_need, update_need;
+  // Effective ordinal a plan-node device assignment resolves to on THIS
+  // run (mod-folded when the plan was built for more devices than the
+  // registry provides).
+  const std::size_t ndev = hybrid ? ctx.ndev : 1;
+  auto ord = [&ctx](index_t dv) {
+    return static_cast<std::size_t>(ctx.device_ordinal(dv));
+  };
+
+  // Per-device, per-GPU-task buffer needs (supernodes AND device
+  // batches), ranked descending: slot k only has to host the k-th
+  // largest panel / update among CONCURRENTLY in-flight GPU tasks on
+  // that device, so N slots cost far less than N copies of the largest —
+  // that is what lets several pairs fit under a tight device memory cap.
+  // Needs never mix devices, so one device's pool sizing cannot be
+  // inflated by another shard's supernodes.
+  // Cooperative spine supernodes (plan ordinal -1, with more than one
+  // device engaged) bypass the pools entirely: they get ONE dedicated
+  // slot sized for the largest coop panel/update, so the all-to-all
+  // fences of the cooperative mesh never couple into pool-slot reuse by
+  // unrelated supernodes. With one device the -1 clamps to ordinal 0 and
+  // they run the plain pipeline from the ordinary pool.
+  const bool coop_run = hybrid && ndev > 1;
+  std::size_t coop_panel_max = 0, coop_update_max = 0;
+  std::vector<std::vector<std::size_t>> panel_need(ndev), update_need(ndev);
   if (hybrid) {
     for (std::size_t i = 0; i < nodes.size(); ++i) {
       const PlanNode& n = nodes[i];
       if (n.kind == PlanNodeKind::kCompute && n.on_gpu) {
         const std::size_t below =
             static_cast<std::size_t>(symb.sn_below(n.sn));
-        panel_need.push_back(
+        if (coop_run && n.device < 0) {
+          coop_panel_max = std::max(
+              coop_panel_max,
+              static_cast<std::size_t>(symb.sn_entries(n.sn)));
+          coop_update_max = std::max(coop_update_max, below * below);
+          continue;
+        }
+        panel_need[ord(n.device)].push_back(
             static_cast<std::size_t>(symb.sn_entries(n.sn)));
-        update_need.push_back(below * below);
+        update_need[ord(n.device)].push_back(below * below);
       } else if (n.kind == PlanNodeKind::kBatch && n.device_eligible) {
         const auto [p, u] = batch_needs(n);
         if (static_cast<offset_t>(p) < ctx.opts.gpu_threshold_rl) continue;
         batch_on_dev[i] = 1;
-        panel_need.push_back(p);
-        update_need.push_back(u);
+        panel_need[ord(n.device)].push_back(p);
+        update_need[ord(n.device)].push_back(u);
       }
     }
-    std::sort(panel_need.rbegin(), panel_need.rend());
-    std::sort(update_need.rbegin(), update_need.rend());
+    for (std::size_t d = 0; d < ndev; ++d) {
+      std::sort(panel_need[d].rbegin(), panel_need[d].rend());
+      std::sort(update_need[d].rbegin(), update_need[d].rend());
+    }
   }
-  const std::size_t num_gpu = panel_need.size();
 
-  // Bounded slot pool: one compute/copy stream pair + device buffers per
-  // in-flight GPU task. The pool shrinks (down to one pair) when the
-  // device cannot fit every slot; if not even one fits, the
-  // DeviceOutOfMemory (with its available-byte report) propagates rather
-  // than leaving GPU tasks waiting on an empty pool forever. With an
-  // injected arena the pool is cached under the pattern+options key, so
-  // repeat requests reacquire the same slots instead of reallocating.
+  // Device-resident factor storage (opt-in): the paper's multi-GPU
+  // runs keep each shard's factor panels resident on its device for the
+  // whole factorization, so one device must hold the SUM of its assigned
+  // GPU panels — the 40 GB bound a nlpkkt120-class factor breaks on one
+  // device and fits when two devices each hold half. Modeled as one
+  // held reservation per engaged device; DeviceOutOfMemory propagates
+  // exactly where the real allocation would fail.
+  std::vector<gpu::DeviceBuffer> resident;
+  if (hybrid && ctx.opts.device_resident_factor) {
+    const std::span<const index_t> devof = pg->device_of;
+    std::vector<std::size_t> resident_entries(ndev, 0);
+    for (index_t s = 0; s < ns; ++s) {
+      if (!ctx.on_gpu(s)) continue;
+      // Cooperative spine supernodes (ordinal -1) have no single home;
+      // their resident panels are charged block-cyclically so the spine
+      // weight spreads across the registry instead of piling onto the
+      // owner.
+      const std::size_t d =
+          devof.empty() ? 0
+          : devof[s] < 0 ? static_cast<std::size_t>(s) % ndev
+                         : ord(devof[s]);
+      resident_entries[d] += static_cast<std::size_t>(symb.sn_entries(s));
+    }
+    for (std::size_t d = 0; d < ndev; ++d) {
+      if (resident_entries[d] == 0) continue;
+      resident.emplace_back(ctx.device(static_cast<index_t>(d)),
+                            resident_entries[d]);
+    }
+  }
+
+  // Bounded per-device slot pools: one compute/copy stream pair + device
+  // buffers per in-flight GPU task, on the device the planner assigned.
+  // A pool shrinks (down to one pair) when its device cannot fit every
+  // slot; if not even one fits, the DeviceOutOfMemory (with its
+  // available-byte report) propagates rather than leaving GPU tasks
+  // waiting on an empty pool forever. With an injected arena each pool
+  // is cached under the pattern+options key MIXED with its device
+  // ordinal, so cached slots can never migrate across devices; ordinal 0
+  // keeps the legacy key, so single-device sessions rehit their old
+  // pools. Each device also gets its own scheduler counting resource, so
+  // one saturated device never blocks another's issue.
   using RlSlotPool = gpu::SlotPool<RlGpuSlot>;
   constexpr std::uint64_t kRlPoolTag = 0x524c2d504f4f4cull;  // "RL-POOL"
-  std::shared_ptr<RlSlotPool> pool;
-  if (num_gpu > 0) {
-    const std::size_t want = std::min(ctx.gpu_slot_budget(), num_gpu);
-    auto make_pool = [&] {
-      return std::make_shared<RlSlotPool>(want, [&](std::size_t k) {
-        return std::make_unique<RlGpuSlot>(ctx.dev, panel_need[k],
-                                           update_need[k]);
+  constexpr std::uint64_t kDevKeyMix = 0x9e3779b97f4a7c15ull;
+
+  // Cooperative spine support: when the plan marks supernodes with
+  // device ordinal -1 (and more than one device is engaged), their
+  // kernels are block-distributed across the whole registry. Device 0
+  // (the owner, where the numerics run) gets one dedicated stream for
+  // its share of the cooperative timeline, every peer device one more;
+  // the coop chain's buffers live in a dedicated single-slot pool
+  // (arena-cached under its own tag) with its own scheduler resource —
+  // the spine is a chain, so one in-flight coop task is the natural cap.
+  // Allocated BEFORE the per-device pools: the coop slot is mandatory
+  // (no smaller fallback exists for the spine), so the shrinkable pools
+  // below must size themselves around it, not the other way round —
+  // otherwise a run that fits on one device could OOM on four.
+  const bool has_coop = coop_run && coop_panel_max > 0;
+  std::vector<std::unique_ptr<gpu::Stream>> coop_streams;
+  std::vector<gpu::CoopPeer> coop_peers;
+  std::shared_ptr<RlSlotPool> coop_pool;
+  std::size_t coop_res = TaskScheduler::kNoResource;
+  if (has_coop) {
+    for (std::size_t d = 0; d < ndev; ++d) {
+      gpu::Device& dv = ctx.device(static_cast<index_t>(d));
+      coop_streams.push_back(std::make_unique<gpu::Stream>(dv));
+      if (d > 0) {
+        gpu::Stream* mesh = coop_streams.back().get();
+        coop_streams.push_back(std::make_unique<gpu::Stream>(dv));
+        coop_peers.push_back({&dv, mesh, coop_streams.back().get()});
+      }
+    }
+    constexpr std::uint64_t kCoopPoolTag = 0x434f4f502d534c54ull;  // "COOP"
+    auto make_coop_pool = [&] {
+      return std::make_shared<RlSlotPool>(1, [&](std::size_t) {
+        return std::make_unique<RlGpuSlot>(ctx.device(0), coop_panel_max,
+                                           coop_update_max);
       });
     };
-    pool = (res != nullptr && res->arena != nullptr)
-               ? res->arena->pool<RlSlotPool>(res->pool_key ^ kRlPoolTag,
-                                              make_pool)
-               : make_pool();
-    ctx.gpu_stream_pairs = static_cast<index_t>(pool->size());
+    coop_pool = (res != nullptr && res->arena != nullptr)
+                    ? res->arena->pool<RlSlotPool>(
+                          res->pool_key ^ kCoopPoolTag, make_coop_pool)
+                    : make_coop_pool();
+    coop_res = sched.add_resource(1);
   }
-  const std::size_t gpu_res =
-      pool ? sched.add_resource(pool->size()) : TaskScheduler::kNoResource;
+
+  std::vector<std::shared_ptr<RlSlotPool>> pools(ndev);
+  std::vector<std::size_t> gpu_res(ndev, TaskScheduler::kNoResource);
+  std::size_t pool_slots = 0;
+  for (std::size_t d = 0; d < ndev; ++d) {
+    const std::size_t num_gpu = panel_need[d].size();
+    if (num_gpu == 0) continue;
+    gpu::Device& dv = ctx.device(static_cast<index_t>(d));
+    const std::size_t want = std::min(ctx.gpu_slot_budget(), num_gpu);
+    auto make_pool = [&] {
+      return std::make_shared<RlSlotPool>(want, [&, d](std::size_t k) {
+        return std::make_unique<RlGpuSlot>(dv, panel_need[d][k],
+                                           update_need[d][k]);
+      });
+    };
+    const std::uint64_t key =
+        res != nullptr ? res->pool_key ^ kRlPoolTag ^ (kDevKeyMix * d) : 0;
+    try {
+      pools[d] = (res != nullptr && res->arena != nullptr)
+                     ? res->arena->pool<RlSlotPool>(key, make_pool)
+                     : make_pool();
+    } catch (const gpu::DeviceOutOfMemory&) {
+      // Device 0 under extreme pressure: the mandatory coop slot left no
+      // room for even one regular slot. When the coop slot also covers
+      // device 0's largest regular need, share it — regular tasks and
+      // the spine serialize on the one slot (acquire blocks), degrading
+      // throughput instead of failing a run that fits on fewer devices.
+      if (d != 0 || !has_coop || coop_panel_max < panel_need[0][0] ||
+          coop_update_max < update_need[0][0]) {
+        throw;
+      }
+      pools[0] = coop_pool;
+      gpu_res[0] = sched.add_resource(1);
+      continue;
+    }
+    gpu_res[d] = sched.add_resource(pools[d]->size());
+    pool_slots += pools[d]->size();
+  }
+  ctx.gpu_stream_pairs = static_cast<index_t>(pool_slots);
+  if (has_coop) ctx.gpu_stream_pairs += 1;
 
   // Per-supernode update buffers: allocated by COMPUTE (the device path
   // fills them through its final D2H), consumed and released by SCATTER.
@@ -417,26 +590,46 @@ void run_rl_scheduled(FactorContext& ctx) {
         const index_t below = r - w;
         if (n.on_gpu) {
           // Device COMPUTE: acquires a slot big enough for this
-          // supernode, runs the §III pipeline, leaves the update matrix
-          // in ubuf[s]. The resource token caps in-flight GPU tasks at
-          // the pool size, so waiting for a FITTING slot is rare and
-          // always bounded (slot 0 fits everything).
+          // supernode from ITS OWN device's pool, runs the §III pipeline
+          // there, leaves the update matrix in ubuf[s]. The per-device
+          // resource token caps in-flight GPU tasks at that pool's size,
+          // so waiting for a FITTING slot is rare and always bounded
+          // (slot 0 fits everything).
           const std::size_t need_panel = static_cast<std::size_t>(r) * w;
           const std::size_t need_update =
               static_cast<std::size_t>(below) *
               static_cast<std::size_t>(below);
+          const std::size_t dord = ord(n.device);
+          if (has_coop && n.device < 0) {
+            task_of[i] = sched.add_task(
+                n.priority,
+                [&ctx, &coop_pool, &coop_streams, &coop_peers, &ubuf,
+                 s](std::size_t) {
+                  FactorContext::TaskScope scope(ctx);
+                  auto lease = coop_pool->acquire(
+                      [](const RlGpuSlot&) { return true; });
+                  rl_gpu_compute_coop(ctx, ctx.device(0), *coop_streams[0],
+                                      s, *lease, ubuf[s], coop_peers);
+                },
+                coop_res, n.queue);
+            break;
+          }
           task_of[i] = sched.add_task(
               n.priority,
-              [&ctx, &pool, &ubuf, s, need_panel,
-               need_update](std::size_t) {
+              [&ctx, &pools, &ubuf, s, need_panel, need_update,
+               dord](std::size_t) {
                 FactorContext::TaskScope scope(ctx);
-                auto lease = pool->acquire([&](const RlGpuSlot& slot) {
-                  return slot.panel.size() >= need_panel &&
-                         slot.update.size() >= need_update;
-                });
-                rl_gpu_compute(ctx, s, *lease, ubuf[s]);
+                auto lease = pools[dord]->acquire(
+                    [&](const RlGpuSlot& slot) {
+                      return slot.panel.size() >= need_panel &&
+                             slot.update.size() >= need_update;
+                    });
+                rl_gpu_compute(ctx,
+                               ctx.device(static_cast<index_t>(dord)),
+                               static_cast<index_t>(dord), s, *lease,
+                               ubuf[s]);
               },
-              gpu_res, n.queue);
+              gpu_res[dord], n.queue);
         } else {
           task_of[i] = sched.add_task(
               n.priority,
@@ -458,10 +651,45 @@ void run_rl_scheduled(FactorContext& ctx) {
       }
       case PlanNodeKind::kScatter: {
         const index_t s = n.sn;
+        // Cross-device separator assembly: the slice of s's update
+        // matrix aimed at GPU targets on OTHER devices pays an explicit
+        // D2H→H2D hop (deterministic from the plan, so priced here at
+        // build time). The assembly itself still runs on the host in the
+        // plan's fixed per-target ascending order — the hop changes the
+        // modeled timeline, never the bits.
+        double xentries = 0.0;
+        // Cooperative supernodes (ordinal -1) assemble on the host from
+        // their per-device D2H slices and re-broadcast on the next
+        // panel's upload, so neither a coop contributor nor a coop
+        // target pays the explicit cross-device hop.
+        if (ndev > 1 && !pg->device_of.empty() && ctx.on_gpu(s) &&
+            pg->device_of[s] >= 0) {
+          const std::span<const index_t> devof = pg->device_of;
+          const index_t w = symb.sn_width(s);
+          const index_t below = symb.sn_below(s);
+          const auto rows = symb.sn_rows(s);
+          const std::size_t sd = ord(devof[s]);
+          index_t b0 = 0;
+          while (b0 < below) {
+            const index_t target = symb.col_to_sn(rows[w + b0]);
+            index_t b1 = b0;
+            while (b1 < below && symb.col_to_sn(rows[w + b1]) == target) {
+              ++b1;
+            }
+            if (ctx.on_gpu(target) && devof[target] >= 0 &&
+                ord(devof[target]) != sd) {
+              xentries += 0.5 * static_cast<double>(b1 - b0) *
+                          static_cast<double>((below - b0) +
+                                              (below - b1 + 1));
+            }
+            b0 = b1;
+          }
+        }
         task_of[i] = sched.add_task(
             n.priority,
-            [&ctx, &ubuf, s](std::size_t) {
+            [&ctx, &ubuf, s, xentries](std::size_t) {
               FactorContext::TaskScope scope(ctx);
+              if (xentries > 0.0) ctx.account_cross_device(xentries);
               ctx.account_assembly(rl_assemble(ctx, s, ubuf[s].data()));
               std::vector<double>().swap(ubuf[s]);  // free eagerly
             },
@@ -473,18 +701,23 @@ void run_rl_scheduled(FactorContext& ctx) {
         const index_t last = n.batch_last;
         if (batch_on_dev[i]) {
           const auto [need_panel, need_update] = batch_needs(n);
+          const std::size_t dord = ord(n.device);
           task_of[i] = sched.add_task(
               n.priority,
-              [&ctx, &pool, first, last, need_panel,
-               need_update](std::size_t) {
+              [&ctx, &pools, first, last, need_panel, need_update,
+               dord](std::size_t) {
                 FactorContext::TaskScope scope(ctx);
-                auto lease = pool->acquire([&](const RlGpuSlot& slot) {
-                  return slot.panel.size() >= need_panel &&
-                         slot.update.size() >= need_update;
-                });
-                rl_gpu_batch(ctx, first, last, *lease);
+                auto lease = pools[dord]->acquire(
+                    [&](const RlGpuSlot& slot) {
+                      return slot.panel.size() >= need_panel &&
+                             slot.update.size() >= need_update;
+                    });
+                rl_gpu_batch(ctx,
+                             ctx.device(static_cast<index_t>(dord)),
+                             static_cast<index_t>(dord), first, last,
+                             *lease);
               },
-              gpu_res, n.queue);
+              gpu_res[dord], n.queue);
           break;
         }
         // Fused CPU sweep: compute then assemble each member in
@@ -541,8 +774,7 @@ void run_rl_scheduled(FactorContext& ctx) {
     throttled.emplace_back(task_of[i],
                            task_of[plan.compute_node(nodes[i].sn)]);
   }
-  const std::size_t kWindow =
-      2 * ctx.workers + 2 + (pool ? pool->size() : 0);
+  const std::size_t kWindow = 2 * ctx.workers + 2 + pool_slots;
   for (std::size_t j = kWindow; j < throttled.size(); ++j) {
     sched.add_edge(throttled[j - kWindow].first, throttled[j].second);
   }
@@ -555,7 +787,9 @@ void run_rl_scheduled(FactorContext& ctx) {
                         ? sched.run_on(*res->crew)
                         : sched.run(ctx.workers);
   ctx.flush_deferred();
-  ctx.dev.synchronize();
+  for (std::size_t d = 0; d < ndev; ++d) {
+    ctx.device(static_cast<index_t>(d)).synchronize();
+  }
 }
 
 }  // namespace

@@ -173,24 +173,27 @@ struct RlbGpuState {
   // (the deferred CPU-time fold owns the host timeline).
   bool deferred_clock = false;
 
-  RlbGpuState(FactorContext& ctx, const RlbSizes& sz, bool batched,
+  RlbGpuState(gpu::Device& dev, const RlbSizes& sz, bool batched,
               bool deferred = false)
-      : compute(ctx.dev),
-        copy(ctx.dev),
+      : compute(dev),
+        copy(dev),
         u_host(sz.host_update_max * (batched ? 1 : 2)),
         host_update_max(sz.host_update_max),
         deferred_clock(deferred) {
     if (sz.gpu_panel_max > 0) {
-      panel_dev = gpu::DeviceBuffer(ctx.dev, sz.gpu_panel_max);
+      panel_dev = gpu::DeviceBuffer(dev, sz.gpu_panel_max);
     }
     if (sz.gpu_update_max > 0) {
-      update_dev = gpu::DeviceBuffer(ctx.dev, sz.gpu_update_max);
+      update_dev = gpu::DeviceBuffer(dev, sz.gpu_update_max);
     }
   }
 };
 
-void rlb_gpu_supernode(FactorContext& ctx, index_t s, RlbGpuState& st,
-                       bool batched) {
+/// `dev` is the device the planner assigned s to (the owner of st's
+/// streams/buffers); `dev_ord` its effective ordinal for the stats
+/// breakdown. Single-device paths pass ctx.dev / 0.
+void rlb_gpu_supernode(FactorContext& ctx, gpu::Device& dev, index_t dev_ord,
+                       index_t s, RlbGpuState& st, bool batched) {
   const SymbolicFactor& symb = ctx.symb;
   const index_t w = symb.sn_width(s);
   const index_t r = symb.sn_nrows(s);
@@ -205,7 +208,7 @@ void rlb_gpu_supernode(FactorContext& ctx, index_t s, RlbGpuState& st,
   std::vector<double>& u_host = st.u_host;
 
   // --- factor the panel on the device ---
-  ctx.count_gpu_supernode();
+  ctx.count_gpu_supernode(dev_ord);
   // Panel/update buffer reuse hazard against the previous occupant's
   // transfers: a device-side wait in the scheduled path, a host wait in
   // the genuinely sequential one.
@@ -215,19 +218,19 @@ void rlb_gpu_supernode(FactorContext& ctx, index_t s, RlbGpuState& st,
     copy.synchronize();
   }
   const std::size_t entries = static_cast<std::size_t>(r) * w;
-  gpu::copy_h2d(ctx.dev, compute, panel_dev, 0, panel, entries,
+  gpu::copy_h2d(dev, compute, panel_dev, 0, panel, entries,
                 /*async=*/true);
   try {
-    gpu::potrf_lower(ctx.dev, compute, w, panel_dev, 0, r);
+    gpu::potrf_lower(dev, compute, w, panel_dev, 0, r);
   } catch (const NotPositiveDefinite& e) {
     throw NotPositiveDefinite(symb.sn_begin(s) + e.column());
   }
   if (below > 0) {
-    gpu::trsm_right_lower_trans(ctx.dev, compute, below, w, panel_dev, 0,
+    gpu::trsm_right_lower_trans(dev, compute, below, w, panel_dev, 0,
                                 r, w, r);
   }
   copy.wait(compute.record());
-  gpu::copy_d2h(ctx.dev, copy, panel, panel_dev, 0, entries,
+  gpu::copy_d2h(dev, copy, panel, panel_dev, 0, entries,
                 /*async=*/true);
   if (below == 0) return;
 
@@ -241,7 +244,7 @@ void rlb_gpu_supernode(FactorContext& ctx, index_t s, RlbGpuState& st,
     for (index_t i = 0; i < m; ++i) {
       const auto& bi = blocks[i];
       const offset_t bi_off = bi.src_offset - w;  // below-space offset
-      gpu::syrk_lower_nt_beta0(ctx.dev, compute, bi.nrows, w, panel_dev,
+      gpu::syrk_lower_nt_beta0(dev, compute, bi.nrows, w, panel_dev,
                                bi.src_offset, r, update_dev,
                                static_cast<std::size_t>(bi_off) +
                                    static_cast<std::size_t>(bi_off) *
@@ -250,7 +253,7 @@ void rlb_gpu_supernode(FactorContext& ctx, index_t s, RlbGpuState& st,
       for (index_t k = i + 1; k < m; ++k) {
         const auto& bk = blocks[k];
         const offset_t bk_off = bk.src_offset - w;
-        gpu::gemm_nt_minus_beta0(ctx.dev, compute, bk.nrows, bi.nrows, w,
+        gpu::gemm_nt_minus_beta0(dev, compute, bk.nrows, bi.nrows, w,
                                  panel_dev, bk.src_offset, r,
                                  bi.src_offset, r, update_dev,
                                  static_cast<std::size_t>(bk_off) +
@@ -259,7 +262,7 @@ void rlb_gpu_supernode(FactorContext& ctx, index_t s, RlbGpuState& st,
                                  below);
       }
     }
-    gpu::copy_d2h(ctx.dev, compute, u_host.data(), update_dev, 0, ucount,
+    gpu::copy_d2h(dev, compute, u_host.data(), update_dev, 0, ucount,
                   /*async=*/st.deferred_clock);
     ctx.account_assembly(rl_assemble(ctx, s, u_host.data()));
     return;
@@ -289,7 +292,7 @@ void rlb_gpu_supernode(FactorContext& ctx, index_t s, RlbGpuState& st,
     // Scheduled path: the wait lives on the stream timeline only (the
     // data itself moved eagerly), keeping the host clock free for the
     // post-drain fold of deferred CPU time.
-    if (!st.deferred_clock) ctx.dev.wait_event(pending.copy_done);
+    if (!st.deferred_clock) dev.wait_event(pending.copy_done);
     const double* u = u_host.data() +
                       static_cast<std::size_t>(pending.staging) *
                           st.host_update_max;
@@ -312,17 +315,17 @@ void rlb_gpu_supernode(FactorContext& ctx, index_t s, RlbGpuState& st,
         static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
     compute.wait(scratch_free);  // scratch reuse hazard (device-side)
     if (is_syrk) {
-      gpu::syrk_lower_nt_beta0(ctx.dev, compute, rows, w, panel_dev,
+      gpu::syrk_lower_nt_beta0(dev, compute, rows, w, panel_dev,
                                src_rows_off, r, update_dev, 0, rows);
     } else {
-      gpu::gemm_nt_minus_beta0(ctx.dev, compute, rows, cols, w, panel_dev,
+      gpu::gemm_nt_minus_beta0(dev, compute, rows, cols, w, panel_dev,
                                src_rows_off, r, src_cols_off, r,
                                update_dev, 0, rows);
     }
     copy.wait(compute.record());
     double* stage = u_host.data() +
                     static_cast<std::size_t>(staging) * st.host_update_max;
-    gpu::copy_d2h(ctx.dev, copy, stage, update_dev, 0, cnt,
+    gpu::copy_d2h(dev, copy, stage, update_dev, 0, cnt,
                   /*async=*/true);
     scratch_free = copy.record();
     // Assemble the previous product while this one is in flight.
@@ -358,14 +361,14 @@ void run_rlb_sequential(FactorContext& ctx) {
   const bool batched = opts.rlb_variant == RlbVariant::kBatched;
 
   const RlbSizes sz = rlb_sizes(ctx, gpu_enabled, batched);
-  RlbGpuState st(ctx, sz, batched);
+  RlbGpuState st(ctx.dev, sz, batched);
   if (sz.gpu_panel_max > 0) ctx.gpu_stream_pairs = 1;
   for (index_t s = 0; s < ns; ++s) {
     if (!ctx.on_gpu(s)) {
       cpu_factor_panel(ctx, s);
       rlb_cpu_updates(ctx, s);
     } else {
-      rlb_gpu_supernode(ctx, s, st, batched);
+      rlb_gpu_supernode(ctx, ctx.dev, 0, s, st, batched);
     }
   }
   ctx.dev.synchronize();
@@ -415,46 +418,113 @@ void run_rlb_scheduled(FactorContext& ctx) {
     }
     return max_block * max_block;
   };
-  std::vector<std::size_t> panel_need, update_need;
+  // Effective ordinal a plan-node device assignment resolves to on THIS
+  // run (mod-folded when the plan was built for more devices than the
+  // registry provides).
+  const std::size_t ndev = hybrid ? ctx.ndev : 1;
+  auto ord = [&ctx](index_t dv) {
+    return static_cast<std::size_t>(ctx.device_ordinal(dv));
+  };
+  const std::span<const index_t> devof = pg->device_of;
+  auto device_of_sn = [&](index_t s) {
+    return devof.empty() ? std::size_t{0} : ord(devof[s]);
+  };
+
+  std::vector<std::vector<std::size_t>> panel_need(ndev), update_need(ndev);
   if (hybrid) {
     for (index_t s = 0; s < ns; ++s) {
       if (!ctx.on_gpu(s)) continue;
-      panel_need.push_back(static_cast<std::size_t>(symb.sn_entries(s)));
-      update_need.push_back(update_entries(s));
+      const std::size_t d = device_of_sn(s);
+      panel_need[d].push_back(static_cast<std::size_t>(symb.sn_entries(s)));
+      update_need[d].push_back(update_entries(s));
     }
-    std::sort(panel_need.rbegin(), panel_need.rend());
-    std::sort(update_need.rbegin(), update_need.rend());
+    for (std::size_t d = 0; d < ndev; ++d) {
+      std::sort(panel_need[d].rbegin(), panel_need[d].rend());
+      std::sort(update_need[d].rbegin(), update_need[d].rend());
+    }
   }
-  const std::size_t num_gpu = panel_need.size();
+
+  // Device-resident factor storage (opt-in; see rl.cpp for the full
+  // rationale): one held reservation per engaged device sized as the sum
+  // of its assigned GPU panels.
+  std::vector<gpu::DeviceBuffer> resident;
+  if (hybrid && ctx.opts.device_resident_factor) {
+    std::vector<std::size_t> resident_entries(ndev, 0);
+    for (index_t s = 0; s < ns; ++s) {
+      if (!ctx.on_gpu(s)) continue;
+      resident_entries[device_of_sn(s)] +=
+          static_cast<std::size_t>(symb.sn_entries(s));
+    }
+    for (std::size_t d = 0; d < ndev; ++d) {
+      if (resident_entries[d] == 0) continue;
+      resident.emplace_back(ctx.device(static_cast<index_t>(d)),
+                            resident_entries[d]);
+    }
+  }
 
   // One pipeline state (stream pair + device buffers + host staging) per
-  // in-flight GPU supernode, from a bounded pool that shrinks — down to
-  // the old single-pipeline behaviour — under device memory pressure.
-  // With an injected arena the pool is cached under the pattern+options
-  // key, so repeat requests reacquire the same slots.
+  // in-flight GPU supernode, from a bounded PER-DEVICE pool that shrinks
+  // — down to the old single-pipeline behaviour — under device memory
+  // pressure. With an injected arena each pool is cached under the
+  // pattern+options key mixed with its device ordinal (ordinal 0 keeps
+  // the legacy key), so cached slots never migrate across devices; each
+  // device gets its own scheduler counting resource.
   using RlbSlotPool = gpu::SlotPool<RlbGpuState>;
   constexpr std::uint64_t kRlbPoolTag = 0x524c422d504f4full;  // "RLB-POO"
-  std::shared_ptr<RlbSlotPool> pool;
-  if (num_gpu > 0) {
+  constexpr std::uint64_t kDevKeyMix = 0x9e3779b97f4a7c15ull;
+  std::vector<std::shared_ptr<RlbSlotPool>> pools(ndev);
+  std::vector<std::size_t> gpu_res(ndev, TaskScheduler::kNoResource);
+  std::size_t pool_slots = 0;
+  for (std::size_t d = 0; d < ndev; ++d) {
+    const std::size_t num_gpu = panel_need[d].size();
+    if (num_gpu == 0) continue;
+    gpu::Device& dv = ctx.device(static_cast<index_t>(d));
     const std::size_t want = std::min(ctx.gpu_slot_budget(), num_gpu);
     auto make_pool = [&] {
-      return std::make_shared<RlbSlotPool>(want, [&](std::size_t k) {
+      return std::make_shared<RlbSlotPool>(want, [&, d](std::size_t k) {
         RlbSizes slot_sz;
-        slot_sz.gpu_panel_max = panel_need[k];
-        slot_sz.gpu_update_max = update_need[k];
-        slot_sz.host_update_max = update_need[k];
-        return std::make_unique<RlbGpuState>(ctx, slot_sz, batched,
+        slot_sz.gpu_panel_max = panel_need[d][k];
+        slot_sz.gpu_update_max = update_need[d][k];
+        slot_sz.host_update_max = update_need[d][k];
+        return std::make_unique<RlbGpuState>(dv, slot_sz, batched,
                                              /*deferred=*/true);
       });
     };
-    pool = (res != nullptr && res->arena != nullptr)
-               ? res->arena->pool<RlbSlotPool>(res->pool_key ^ kRlbPoolTag,
-                                               make_pool)
-               : make_pool();
-    ctx.gpu_stream_pairs = static_cast<index_t>(pool->size());
+    const std::uint64_t key =
+        res != nullptr ? res->pool_key ^ kRlbPoolTag ^ (kDevKeyMix * d) : 0;
+    pools[d] = (res != nullptr && res->arena != nullptr)
+                   ? res->arena->pool<RlbSlotPool>(key, make_pool)
+                   : make_pool();
+    gpu_res[d] = sched.add_resource(pools[d]->size());
+    pool_slots += pools[d]->size();
   }
-  const std::size_t gpu_res =
-      pool ? sched.add_resource(pool->size()) : TaskScheduler::kNoResource;
+  ctx.gpu_stream_pairs = static_cast<index_t>(pool_slots);
+
+  // Modeled cross-device hop of s's updates: the slice aimed at GPU
+  // targets assigned to OTHER devices pays an explicit D2H→H2D transfer
+  // (deterministic from the plan, priced at build time; the assembly
+  // itself keeps the plan's fixed order, so the bits never move). RLB
+  // fuses GPU assembly into the compute node, so the charge rides there.
+  auto cross_entries = [&](index_t s) {
+    if (ndev <= 1 || devof.empty() || !ctx.on_gpu(s)) return 0.0;
+    const index_t w = symb.sn_width(s);
+    const index_t below = symb.sn_below(s);
+    const auto rows = symb.sn_rows(s);
+    const std::size_t sd = device_of_sn(s);
+    double x = 0.0;
+    index_t b0 = 0;
+    while (b0 < below) {
+      const index_t target = symb.col_to_sn(rows[w + b0]);
+      index_t b1 = b0;
+      while (b1 < below && symb.col_to_sn(rows[w + b1]) == target) ++b1;
+      if (ctx.on_gpu(target) && device_of_sn(target) != sd) {
+        x += 0.5 * static_cast<double>(b1 - b0) *
+             static_cast<double>((below - b0) + (below - b1 + 1));
+      }
+      b0 = b1;
+    }
+    return x;
+  };
 
   // --- map plan nodes to scheduler tasks ---------------------------------
   std::vector<std::size_t> task_of(nodes.size());
@@ -472,18 +542,25 @@ void run_rlb_scheduled(FactorContext& ctx) {
           const std::size_t need_panel =
               static_cast<std::size_t>(symb.sn_entries(s));
           const std::size_t need_update = update_entries(s);
+          const std::size_t dord = ord(n.device);
+          const double xe = cross_entries(s);
           task_of[i] = sched.add_task(
               n.priority,
-              [&ctx, s, &pool, batched, need_panel,
-               need_update](std::size_t) {
+              [&ctx, s, &pools, batched, need_panel, need_update, dord,
+               xe](std::size_t) {
                 FactorContext::TaskScope scope(ctx);
-                auto lease = pool->acquire([&](const RlbGpuState& slot) {
-                  return slot.panel_dev.size() >= need_panel &&
-                         slot.update_dev.size() >= need_update;
-                });
-                rlb_gpu_supernode(ctx, s, *lease, batched);
+                auto lease = pools[dord]->acquire(
+                    [&](const RlbGpuState& slot) {
+                      return slot.panel_dev.size() >= need_panel &&
+                             slot.update_dev.size() >= need_update;
+                    });
+                if (xe > 0.0) ctx.account_cross_device(xe);
+                rlb_gpu_supernode(ctx,
+                                  ctx.device(static_cast<index_t>(dord)),
+                                  static_cast<index_t>(dord), s, *lease,
+                                  batched);
               },
-              gpu_res, n.queue);
+              gpu_res[dord], n.queue);
         } else {
           task_of[i] = sched.add_task(
               n.priority,
@@ -540,7 +617,9 @@ void run_rlb_scheduled(FactorContext& ctx) {
                         ? sched.run_on(*res->crew)
                         : sched.run(ctx.workers);
   ctx.flush_deferred();
-  ctx.dev.synchronize();
+  for (std::size_t d = 0; d < ndev; ++d) {
+    ctx.device(static_cast<index_t>(d)).synchronize();
+  }
 }
 
 }  // namespace

@@ -53,7 +53,17 @@ PlannedSolve build_planned_solve(const SymbolicFactor& symb,
   SolvePlanOptions po;
   po.batch_entries = opts.batch_entries;
   po.batch_max_supernodes = opts.batch_max_supernodes;
-  ps.plan = SolvePlan::build(symb, on_gpu, ps.queue_of, po);
+  // The solve shares the factorization's separator-tree device
+  // assignment (same assign_devices pass over the solve's own on_gpu
+  // marks): each top-level ND subtree solves on the device that holds
+  // its factor shard. Single-device plans skip the pass.
+  ps.devices = static_cast<index_t>(std::max(1, opts.gpu_devices));
+  std::vector<index_t> device_of;
+  if (ps.devices > 1 && (opts.exec == Execution::kGpuHybrid ||
+                         opts.exec == Execution::kGpuOnly)) {
+    device_of = assign_devices(symb, on_gpu, ps.devices);
+  }
+  ps.plan = SolvePlan::build(symb, on_gpu, ps.queue_of, po, device_of);
   return ps;
 }
 
@@ -276,59 +286,103 @@ void scheduled_solve(const SymbolicFactor& symb, const double* values,
   for (const SolveNode& nd : nodes) {
     if (nd.kind == SolveNodeKind::kCompute && nd.on_gpu) num_gpu_nodes++;
   }
-  std::optional<gpu::Device> own_dev;
-  gpu::Device* dev = nullptr;
+  // Device substrate: the injected arena's registry when available (the
+  // multi-device path), a bare injected device (pinned to one device),
+  // or a per-call registry sized from opts.gpu_devices.
+  std::optional<gpu::DeviceRegistry> own_reg;
+  gpu::DeviceRegistry* reg = nullptr;
+  gpu::Device* dev = nullptr;  // primary device (ordinal 0)
+  std::size_t ndev = 1;
   if (num_gpu_nodes > 0) {
-    dev = (res != nullptr && res->device != nullptr)
-              ? res->device
-              : &own_dev.emplace(opts.device);
+    if (res != nullptr && res->arena != nullptr) {
+      reg = &res->arena->registry();
+      dev = &reg->device(0);
+    } else if (res != nullptr && res->device != nullptr) {
+      dev = res->device;
+    } else {
+      reg = &own_reg.emplace(
+          opts.device, static_cast<std::size_t>(
+                           opts.gpu_devices > 0 ? opts.gpu_devices : 1));
+      dev = &reg->device(0);
+    }
+    if (reg != nullptr) {
+      ndev = std::min(reg->size(),
+                      static_cast<std::size_t>(
+                          opts.gpu_devices > 0 ? opts.gpu_devices : 1));
+    }
   }
+  // Effective ordinal a plan-node device assignment resolves to on this
+  // run (mod-folded when the plan was built for more devices); routing
+  // never moves bits — the solve kernels accumulate in the serial order
+  // on every device.
+  auto ord = [&](index_t dv) {
+    return (reg == nullptr || ndev <= 1)
+               ? std::size_t{0}
+               : static_cast<std::size_t>(dv) % ndev;
+  };
+  auto device_at = [&](std::size_t d) -> gpu::Device& {
+    return (reg == nullptr || ndev <= 1) ? *dev : reg->device(d);
+  };
   using SolveSlotPool = gpu::SlotPool<SolveGpuSlot>;
   constexpr std::uint64_t kSolvePoolTag = 0x534c56504f4f4cull;  // "SLVPOOL"
-  std::shared_ptr<SolveSlotPool> pool;
+  constexpr std::uint64_t kDevKeyMix = 0x9e3779b97f4a7c15ull;
+  std::vector<std::shared_ptr<SolveSlotPool>> pools(ndev);
+  std::vector<std::size_t> gpu_res(ndev, TaskScheduler::kNoResource);
   if (num_gpu_nodes > 0) {
     // Ranked (L entries, RHS entries) needs of every (GPU node, panel)
-    // task, descending: slot k only hosts the k-th largest concurrent
-    // task, so N slots cost far less than N copies of the largest.
-    std::vector<std::size_t> lneed, rneed;
+    // task PER DEVICE, descending: slot k only hosts the k-th largest
+    // concurrent task on its device, so N slots cost far less than N
+    // copies of the largest; needs never mix devices.
+    std::vector<std::vector<std::size_t>> lneed(ndev), rneed(ndev);
     for (const SolveNode& nd : nodes) {
       if (nd.kind != SolveNodeKind::kCompute || !nd.on_gpu) continue;
+      const std::size_t d = ord(nd.device);
       const std::size_t r = static_cast<std::size_t>(symb.sn_nrows(nd.sn));
       for (index_t p = 0; p < npanels; ++p) {
         const index_t width = std::min(pw, nrhs - p * pw);
-        lneed.push_back(static_cast<std::size_t>(symb.sn_entries(nd.sn)));
-        rneed.push_back(r * static_cast<std::size_t>(width));
+        lneed[d].push_back(static_cast<std::size_t>(symb.sn_entries(nd.sn)));
+        rneed[d].push_back(r * static_cast<std::size_t>(width));
       }
     }
-    std::sort(lneed.rbegin(), lneed.rend());
-    std::sort(rneed.rbegin(), rneed.rend());
-    const std::size_t want = std::min(
-        static_cast<std::size_t>(opts.gpu_streams), lneed.size());
-    auto make_pool = [&] {
-      return std::make_shared<SolveSlotPool>(want, [&](std::size_t k) {
-        return std::make_unique<SolveGpuSlot>(*dev, lneed[k], rneed[k]);
-      });
-    };
-    // The solve pool's shape depends on the RHS blocking and the device
-    // routing, so those fold into the arena key next to the pattern key.
-    std::uint64_t key = (res != nullptr ? res->pool_key : 0) ^ kSolvePoolTag;
-    const auto mix = [&key](std::uint64_t v) {
-      key = (key ^ v) * 1099511628211ull;
-    };
-    mix(static_cast<std::uint64_t>(opts.rhs_panel));
-    mix(static_cast<std::uint64_t>(nrhs));
-    mix(static_cast<std::uint64_t>(opts.gpu_streams));
-    mix(static_cast<std::uint64_t>(opts.gpu_threshold));
-    mix(static_cast<std::uint64_t>(opts.exec));
-    pool = (res != nullptr && res->arena != nullptr)
-               ? res->arena->pool<SolveSlotPool>(key, make_pool)
-               : make_pool();
+    std::size_t pairs = 0;
+    for (std::size_t d = 0; d < ndev; ++d) {
+      if (lneed[d].empty()) continue;
+      std::sort(lneed[d].rbegin(), lneed[d].rend());
+      std::sort(rneed[d].rbegin(), rneed[d].rend());
+      gpu::Device& dv = device_at(d);
+      const std::size_t want = std::min(
+          static_cast<std::size_t>(opts.gpu_streams), lneed[d].size());
+      auto make_pool = [&] {
+        return std::make_shared<SolveSlotPool>(want, [&, d](std::size_t k) {
+          return std::make_unique<SolveGpuSlot>(dv, lneed[d][k],
+                                                rneed[d][k]);
+        });
+      };
+      // The solve pool's shape depends on the RHS blocking and the
+      // device routing, so those fold into the arena key next to the
+      // pattern key; the device ordinal mixes in last (ordinal 0 keeps
+      // the legacy key) so cached slots never migrate across devices.
+      std::uint64_t key =
+          (res != nullptr ? res->pool_key : 0) ^ kSolvePoolTag;
+      const auto mix = [&key](std::uint64_t v) {
+        key = (key ^ v) * 1099511628211ull;
+      };
+      mix(static_cast<std::uint64_t>(opts.rhs_panel));
+      mix(static_cast<std::uint64_t>(nrhs));
+      mix(static_cast<std::uint64_t>(opts.gpu_streams));
+      mix(static_cast<std::uint64_t>(opts.gpu_threshold));
+      mix(static_cast<std::uint64_t>(opts.exec));
+      key ^= kDevKeyMix * d;
+      pools[d] = (res != nullptr && res->arena != nullptr)
+                     ? res->arena->pool<SolveSlotPool>(key, make_pool)
+                     : make_pool();
+      gpu_res[d] = sched.add_resource(pools[d]->size());
+      pairs += pools[d]->size();
+    }
     if (stats != nullptr) {
-      stats->gpu_stream_pairs = static_cast<index_t>(pool->size());
+      stats->gpu_stream_pairs = static_cast<index_t>(pairs);
     }
   }
-  const std::size_t gpu_res =
-      pool ? sched.add_resource(pool->size()) : TaskScheduler::kNoResource;
 
   // --- map (plan node, RHS panel) to scheduler tasks ----------------------
   // Panels touch disjoint RHS columns, so tasks of different panels never
@@ -355,26 +409,33 @@ void scheduled_solve(const SymbolicFactor& symb, const double* values,
             const std::size_t rn =
                 static_cast<std::size_t>(symb.sn_nrows(s)) *
                 static_cast<std::size_t>(q1 - q0);
+            const std::size_t dord = ord(nd.device);
             fwd_task[at] = sched.add_task(
                 nd.fwd_priority,
-                [&symb, values, y, n, dev, &pool, s, q0, q1, ln,
-                 rn](std::size_t) {
-                  auto lease = pool->acquire([&](const SolveGpuSlot& sl) {
-                    return sl.lpanel.size() >= ln && sl.rhs.size() >= rn;
-                  });
-                  fwd_gpu_node(symb, values, y, n, *dev, *lease, s, q0, q1);
+                [&symb, values, y, n, &device_at, &pools, s, q0, q1, ln,
+                 rn, dord](std::size_t) {
+                  auto lease =
+                      pools[dord]->acquire([&](const SolveGpuSlot& sl) {
+                        return sl.lpanel.size() >= ln &&
+                               sl.rhs.size() >= rn;
+                      });
+                  fwd_gpu_node(symb, values, y, n, device_at(dord), *lease,
+                               s, q0, q1);
                 },
-                gpu_res, queue);
+                gpu_res[dord], queue);
             bwd_task[at] = sched.add_task(
                 nd.bwd_priority,
-                [&symb, values, y, n, dev, &pool, s, q0, q1, ln,
-                 rn](std::size_t) {
-                  auto lease = pool->acquire([&](const SolveGpuSlot& sl) {
-                    return sl.lpanel.size() >= ln && sl.rhs.size() >= rn;
-                  });
-                  bwd_gpu_node(symb, values, y, n, *dev, *lease, s, q0, q1);
+                [&symb, values, y, n, &device_at, &pools, s, q0, q1, ln,
+                 rn, dord](std::size_t) {
+                  auto lease =
+                      pools[dord]->acquire([&](const SolveGpuSlot& sl) {
+                        return sl.lpanel.size() >= ln &&
+                               sl.rhs.size() >= rn;
+                      });
+                  bwd_gpu_node(symb, values, y, n, device_at(dord), *lease,
+                               s, q0, q1);
                 },
-                gpu_res, queue);
+                gpu_res[dord], queue);
           } else {
             fwd_task[at] = sched.add_task(
                 nd.fwd_priority,
@@ -453,7 +514,7 @@ void scheduled_solve(const SymbolicFactor& symb, const double* values,
   const SchedulerStats st = (res != nullptr && res->crew != nullptr)
                                 ? sched.run_on(*res->crew)
                                 : sched.run(workers);
-  if (own_dev.has_value()) own_dev->synchronize();
+  if (own_reg.has_value()) own_reg->synchronize();
 
   if (stats != nullptr) {
     stats->tasks = st.tasks_run;

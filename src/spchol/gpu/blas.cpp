@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <vector>
 
 #include "spchol/dense/kernels.hpp"
 
@@ -283,6 +284,199 @@ void zero_fill(Device& dev, Stream& s, DeviceBuffer& buf, std::size_t off,
   dev.advance_host(dev.model().issue_overhead);
   dev.enqueue(s, dur);
   dev.note_kernel(dur);
+}
+
+// --- cooperative multi-device kernels -------------------------------------
+
+namespace {
+
+/// All-to-all fence between the owner stream and every peer stream:
+/// record every tail, then make every stream wait on every other's event
+/// — the cudaStreamWaitEvent mesh between cooperative phases. Events are
+/// plain timeline points, so the waits compose across devices exactly
+/// like the host-mediated synchronization they model.
+void coop_barrier(Stream& s, std::span<const CoopPeer> peers) {
+  const Event own = s.record();
+  std::vector<Event> evs;
+  evs.reserve(peers.size());
+  for (const CoopPeer& p : peers) evs.push_back(p.stream->record());
+  for (const Event& e : evs) s.wait(e);
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    peers[i].stream->wait(own);
+    for (std::size_t j = 0; j < peers.size(); ++j) {
+      if (j != i) peers[i].stream->wait(evs[j]);
+    }
+  }
+}
+
+/// One cooperative compute phase: the same modeled duration lands on the
+/// owner stream and every peer stream (the devices work in lockstep on
+/// their row-block shares). The owner pays the launch issue overhead —
+/// one host thread drives the whole cooperative launch.
+void coop_phase(Device& dev, Stream& s, std::span<const CoopPeer> peers,
+                double dur) {
+  dev.advance_host(dev.model().issue_overhead);
+  dev.enqueue(s, dur);
+  dev.note_kernel(dur);
+  for (const CoopPeer& p : peers) {
+    p.dev->enqueue(*p.stream, dur);
+    p.dev->note_kernel(dur);
+  }
+}
+
+}  // namespace
+
+void coop_copy_h2d(Device& dev, Stream& s, std::span<const CoopPeer> peers,
+                   DeviceBuffer& dst, std::size_t off, const double* src,
+                   std::size_t count) {
+  SPCHOL_CHECK(off + count <= dst.size(), "coop_copy_h2d out of range");
+  std::memcpy(dst.data() + off, src, count * sizeof(double));
+
+  const double num_devices = static_cast<double>(peers.size() + 1);
+  const std::size_t slice_bytes = static_cast<std::size_t>(
+      static_cast<double>(count) * sizeof(double) / num_devices);
+  const double own_up =
+      dev.model().h2d_seconds(static_cast<double>(slice_bytes));
+  dev.advance_host(dev.model().issue_overhead);
+  dev.enqueue(s, own_up);
+  dev.note_h2d(slice_bytes, own_up);
+  for (const CoopPeer& p : peers) {
+    const double up =
+        p.dev->model().h2d_seconds(static_cast<double>(slice_bytes));
+    p.dev->enqueue(*p.stream, up);
+    p.dev->note_h2d(slice_bytes, up);
+  }
+  // All-gather the (P-1)/P of the block each device is missing over the
+  // p2p mesh, then fence: the factor's first round needs the full panel
+  // resident everywhere.
+  const double gather_bytes = static_cast<double>(slice_bytes) *
+                              static_cast<double>(peers.size());
+  if (!peers.empty()) {
+    dev.enqueue(s, dev.model().p2p_seconds(gather_bytes));
+    for (const CoopPeer& p : peers) {
+      p.dev->enqueue(*p.stream, p.dev->model().p2p_seconds(gather_bytes));
+    }
+  }
+  coop_barrier(s, peers);
+}
+
+void coop_copy_d2h(Device& dev, Stream& s, std::span<const CoopPeer> peers,
+                   double* dst, const DeviceBuffer& src, std::size_t off,
+                   std::size_t count) {
+  SPCHOL_CHECK(off + count <= src.size(), "coop_copy_d2h out of range");
+  std::memcpy(dst, src.data() + off, count * sizeof(double));
+
+  const double num_devices = static_cast<double>(peers.size() + 1);
+  const std::size_t slice_bytes = static_cast<std::size_t>(
+      static_cast<double>(count) * sizeof(double) / num_devices);
+  const double own_down =
+      dev.model().d2h_seconds(static_cast<double>(slice_bytes));
+  dev.advance_host(dev.model().issue_overhead);
+  dev.enqueue(s, own_down);
+  dev.note_d2h(slice_bytes, own_down);
+  for (const CoopPeer& p : peers) {
+    // The slice is ready once the peer's compute share is done; it then
+    // drains on the peer's copy stream, overlapping whatever the mesh
+    // does next.
+    p.copy->wait(p.stream->record());
+    const double down =
+        p.dev->model().d2h_seconds(static_cast<double>(slice_bytes));
+    p.dev->enqueue(*p.copy, down);
+    p.dev->note_d2h(slice_bytes, down);
+  }
+}
+
+void coop_panel_factor(Device& dev, Stream& s, std::span<const CoopPeer> peers,
+                       index_t n, DeviceBuffer& buf, std::size_t off,
+                       index_t lda, index_t block) {
+  const double num_devices = static_cast<double>(peers.size() + 1);
+  const index_t below = lda - n;
+
+  // Numerics: once, on the owner's buffer — identical call sequence to
+  // potrf_lower + trsm_right_lower_trans, so the factored panel is
+  // bitwise independent of how many devices share the modeled work.
+  dense::potrf_lower_parallel(dev.compute_pool(), dev.compute_threads(), n,
+                              buf.data() + off, lda);
+  if (below > 0) {
+    dense::trsm_right_lower_trans_parallel(
+        dev.compute_pool(), dev.compute_threads(), below, n,
+        buf.data() + off, lda, buf.data() + off + n, lda);
+  }
+
+  // Timeline: block-column rounds — each round's diagonal block factors
+  // serially on the owner while the trailing update splits evenly across
+  // the devices (the panel is already resident everywhere via
+  // coop_copy_h2d's all-gather).
+  const index_t nb = (n + block - 1) / block;
+  double diag_flops = 0.0;
+  double diag_seconds = 0.0;
+  for (index_t j = 0; j < n; j += block) {
+    const index_t wj = std::min(block, n - j);
+    diag_flops += dense::flops_potrf(wj);
+    diag_seconds += dev.model().gpu_kernel_seconds(dense::flops_potrf(wj));
+  }
+  const double trail_flops =
+      std::max(0.0, dense::flops_potrf(n) - diag_flops);
+  const double potrf_dur =
+      diag_seconds +
+      dev.model().gpu_kernel_seconds(trail_flops / num_devices) +
+      static_cast<double>(nb) * dev.model().p2p_latency;
+  coop_phase(dev, s, peers, potrf_dur);
+  coop_barrier(s, peers);
+
+  if (below > 0) {
+    const double trsm_dur =
+        dev.model().gpu_kernel_seconds(dense::flops_trsm(below, n) /
+                                       num_devices) +
+        dev.model().p2p_latency;
+    coop_phase(dev, s, peers, trsm_dur);
+    coop_barrier(s, peers);
+  }
+}
+
+void coop_syrk_update_d2h(Device& dev, Stream& s,
+                          std::span<const CoopPeer> peers, index_t n,
+                          index_t k, const DeviceBuffer& abuf,
+                          std::size_t a_off, index_t lda, DeviceBuffer& cbuf,
+                          double* host_out) {
+  const double num_devices = static_cast<double>(peers.size() + 1);
+  SPCHOL_CHECK(static_cast<std::size_t>(n) * n <= cbuf.size(),
+               "coop_syrk_update_d2h out of range");
+
+  // Numerics: once, on the owner — the same zero + SYRK as
+  // syrk_lower_nt_beta0 followed by one contiguous download, so the host
+  // update matrix is bitwise identical to the single-device path.
+  zero_region(cbuf, 0, n, n, n);
+  dense::syrk_lower_nt_parallel(dev.compute_pool(), dev.compute_threads(), n,
+                                k, abuf.data() + a_off, lda, cbuf.data(), n);
+  std::memcpy(host_out, cbuf.data(),
+              static_cast<std::size_t>(n) * n * sizeof(double));
+
+  // Timeline: each device computes its row-block share of C (the panel is
+  // already resident everywhere from the cooperative factor's broadcast)
+  // and downloads ITS slice of the update matrix over its own link.
+  const double syrk_dur = dev.model().gpu_kernel_seconds(
+      dense::flops_syrk(n, k) / num_devices);
+  coop_phase(dev, s, peers, syrk_dur);
+
+  const std::size_t slice_bytes = static_cast<std::size_t>(
+      static_cast<double>(n) * n * sizeof(double) / num_devices);
+  const double own_xfer =
+      dev.model().d2h_seconds(static_cast<double>(slice_bytes));
+  dev.advance_host(dev.model().issue_overhead);
+  dev.enqueue(s, own_xfer);
+  dev.note_d2h(slice_bytes, own_xfer);
+  for (const CoopPeer& p : peers) {
+    p.copy->wait(p.stream->record());
+    const double xfer =
+        p.dev->model().d2h_seconds(static_cast<double>(slice_bytes));
+    p.dev->enqueue(*p.copy, xfer);
+    p.dev->note_d2h(slice_bytes, xfer);
+  }
+  // Like the single-device pipeline's async update download, the host
+  // assembly is sequenced by the task graph, not a device sync — the
+  // slice transfers just have to drain before the device goes idle
+  // (they are folded into the final per-device synchronize).
 }
 
 }  // namespace spchol::gpu

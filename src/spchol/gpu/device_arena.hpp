@@ -1,5 +1,5 @@
-// DeviceArena: a long-lived device plus a keyed cache of slot pools,
-// decoupling GPU resource lifetime from a single factorize() call.
+// DeviceArena: a long-lived DeviceRegistry plus a keyed cache of slot
+// pools, decoupling GPU resource lifetime from a single factorize() call.
 //
 // The per-call drivers build a gpu::SlotPool on the stack: every
 // factorization pays the slot allocation (stream pairs + device buffers
@@ -13,8 +13,10 @@
 //
 // Keying. The key must fingerprint everything that shapes the pool —
 // sparsity pattern, factorization method (RL slots and RLB slots are
-// different types!), variant, stream count, batching options — because
-// the cache returns the stored pool for a key hit without inspecting it.
+// different types!), variant, stream count, batching options, and the
+// DEVICE INDEX the pool allocates from (the executors mix the device
+// ordinal into the key, so pools never mix devices) — because the cache
+// returns the stored pool for a key hit without inspecting it.
 // SolverService derives the key from its pattern fingerprint plus the
 // plan-relevant FactorOptions, so distinct sessions only ever share a
 // pool when their slot requirements are provably identical.
@@ -44,18 +46,27 @@
 #include <vector>
 
 #include "spchol/gpu/device.hpp"
+#include "spchol/gpu/device_registry.hpp"
 
 namespace spchol::gpu {
 
 class DeviceArena {
  public:
-  explicit DeviceArena(DeviceConfig cfg = {}) : dev_(cfg) {}
+  explicit DeviceArena(DeviceConfig cfg = {}, std::size_t device_count = 1)
+      : reg_(cfg, device_count) {}
   DeviceArena(const DeviceArena&) = delete;
   DeviceArena& operator=(const DeviceArena&) = delete;
 
-  /// The shared device every arena-managed pool allocates from.
-  Device& device() noexcept { return dev_; }
-  const Device& device() const noexcept { return dev_; }
+  /// The shared registry the arena-managed pools allocate from.
+  DeviceRegistry& registry() noexcept { return reg_; }
+  const DeviceRegistry& registry() const noexcept { return reg_; }
+  std::size_t num_devices() const noexcept { return reg_.size(); }
+
+  /// Device 0 — the primary device single-device callers see (existing
+  /// single-device behaviour routes everything here).
+  Device& device() noexcept { return reg_.device(0); }
+  const Device& device() const noexcept { return reg_.device(0); }
+  Device& device(std::size_t i) noexcept { return reg_.device(i); }
 
   /// Cache-usage counters (snapshot under the arena lock).
   struct Stats {
@@ -117,7 +128,7 @@ class DeviceArena {
   /// is empty). Caller holds mu_.
   bool evict_idle_locked();
 
-  Device dev_;
+  DeviceRegistry reg_;
   mutable std::mutex mu_;
   std::vector<Entry> entries_;
   std::uint64_t stamp_ = 0;

@@ -63,6 +63,10 @@ double PerfModel::d2h_seconds(double bytes) const {
   return transfer_latency + bytes / (d2h_gbytes_per_s * 1e9);
 }
 
+double PerfModel::p2p_seconds(double bytes) const {
+  return p2p_latency + bytes / (p2p_gbytes_per_s * 1e9);
+}
+
 double PerfModel::assembly_seconds(double entries, int threads) const {
   if (entries <= 0.0) return 0.0;
   threads = std::max(threads, 1);
@@ -81,6 +85,8 @@ PerfModel PerfModel::a100_nominal() {
   m.gpu_solve_half_flops = 4.0e7;
   m.h2d_gbytes_per_s = 24.0;
   m.d2h_gbytes_per_s = 22.0;
+  m.p2p_gbytes_per_s = 600.0;
+  m.p2p_latency = 5.0e-6;
   m.cpu_call_overhead = 2.0e-6;
   m.cpu_flops_per_thread_grain = 4.0e5;
   m.gpu_kernel_launch = 1.0e-5;

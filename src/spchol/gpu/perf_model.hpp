@@ -83,6 +83,15 @@ struct PerfModel {
   double d2h_gbytes_per_s = 80.0;
   double transfer_latency = 0.8e-6;
 
+  // --- peer-to-peer (device-to-device) link ---
+  /// NVLink-class direct device-to-device bandwidth, scaled by the same
+  /// ~3.75× factor as the PCIe numbers above (A100 NVLink ≈ 600 GB/s
+  /// against PCIe 4.0 ≈ 24 GB/s on the paper's node). Used by the
+  /// cooperative wide-supernode pipeline to broadcast panel blocks
+  /// between the devices of a multi-device run.
+  double p2p_gbytes_per_s = 300.0;
+  double p2p_latency = 1.5e-6;
+
   // --- CPU assembly (scatter-add) ---
   double assembly_seconds_per_entry = 1.0e-9;
   int assembly_threads = 16;
@@ -116,6 +125,8 @@ struct PerfModel {
                                          std::size_t count) const;
   double h2d_seconds(double bytes) const;
   double d2h_seconds(double bytes) const;
+  /// Modeled time of one direct device-to-device transfer of `bytes`.
+  double p2p_seconds(double bytes) const;
   /// Modeled time of scatter-assembling `entries` factor entries on the
   /// CPU with `threads` OpenMP-style workers (paper parallelizes assembly).
   double assembly_seconds(double entries, int threads) const;

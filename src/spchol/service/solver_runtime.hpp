@@ -48,8 +48,14 @@ struct RuntimeOptions {
   /// this runtime; further admit() calls block until one finishes.
   /// Values < 1 are rejected with InvalidArgument.
   int max_concurrent = 4;
-  /// Configuration of the shared simulated device.
+  /// Configuration of the shared simulated device(s). Every device in
+  /// the registry is built from this one config.
   gpu::DeviceConfig device{};
+  /// Simulated devices in the runtime's registry. Sessions shard GPU
+  /// work across min(this, FactorOptions::gpu_devices) devices; the
+  /// default 1 reproduces the single-device runtime exactly. Values < 1
+  /// are rejected with InvalidArgument.
+  int gpu_devices = 1;
 };
 
 /// Throws InvalidArgument on invalid RuntimeOptions (negative workers,
@@ -100,6 +106,9 @@ class SolverRuntime {
   WorkerCrew& crew() noexcept { return crew_; }
   gpu::DeviceArena& arena() noexcept { return arena_; }
   gpu::Device& device() noexcept { return arena_.device(); }
+  /// Registry of the runtime's simulated devices (device() is entry 0).
+  gpu::DeviceRegistry& registry() noexcept { return arena_.registry(); }
+  std::size_t num_devices() const noexcept { return arena_.num_devices(); }
   /// Persistent crew threads (effective DAG parallelism is this + 1).
   std::size_t workers() const noexcept { return crew_.size(); }
   std::size_t max_concurrent() const noexcept { return max_concurrent_; }

@@ -70,6 +70,11 @@ std::uint64_t plan_fingerprint(const FactorOptions& fo) {
   f.pod(fo.gpu_streams);
   f.pod(fo.batch_entries);
   f.pod(fo.batch_max_supernodes);
+  // Device sharding shapes the plan (per-node device assignment) and
+  // the per-device pools, so plans built for different device counts —
+  // or with the resident-factor reservation — must never alias.
+  f.pod(fo.gpu_devices);
+  f.pod(fo.device_resident_factor);
   return f.hash();
 }
 
@@ -91,6 +96,7 @@ std::uint64_t solve_plan_fingerprint(const SolveOptions& so) {
   f.pod(so.gpu_streams);
   f.pod(so.batch_entries);
   f.pod(so.batch_max_supernodes);
+  f.pod(so.gpu_devices);  // device assignment lives on the plan nodes
   return f.hash();
 }
 

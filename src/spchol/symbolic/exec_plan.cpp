@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "spchol/gpu/perf_model.hpp"
+
 namespace spchol {
 
 namespace {
@@ -99,6 +101,133 @@ std::vector<SubtreeBatch> pack_subtree_batches(const SymbolicFactor& symb,
   return defs;
 }
 
+std::vector<index_t> assign_devices(const SymbolicFactor& symb,
+                                    std::span<const char> on_gpu,
+                                    index_t num_devices,
+                                    bool coop_spine) {
+  const index_t ns = symb.num_supernodes();
+  std::vector<index_t> dev(static_cast<std::size_t>(ns), 0);
+  if (ns == 0 || num_devices <= 1) return dev;
+
+  // GPU-work proxy per supernode: MODELED device seconds (nominal
+  // PerfModel), not raw flops — a shard of many small supernodes pays a
+  // per-kernel launch latency and runs far off the peak rate, so a
+  // flop-balanced cut is badly seconds-imbalanced. The proxy sums the
+  // pipeline's kernel curve (POTRF + TRSM + SYRK) plus the panel
+  // up/down and update-download transfers; CPU-resident supernodes never
+  // touch a device and weigh nothing, so the shards balance DEVICE time.
+  const gpu::PerfModel pm;
+  std::vector<double> weight(static_cast<std::size_t>(ns), 0.0);
+  double total = 0.0;
+  for (index_t s = 0; s < ns; ++s) {
+    if (!on_gpu.empty() && on_gpu[s] != 0) {
+      const double w = static_cast<double>(symb.sn_width(s));
+      const double below = static_cast<double>(symb.sn_below(s));
+      const double entries = static_cast<double>(symb.sn_entries(s));
+      double sec = pm.gpu_kernel_seconds(w * w * w / 3.0) +
+                   pm.h2d_seconds(entries * 8.0) +
+                   pm.d2h_seconds(entries * 8.0);
+      if (below > 0.0) {
+        sec += pm.gpu_kernel_seconds(below * w * w) +
+               pm.gpu_kernel_seconds(below * below * w) +
+               pm.d2h_seconds(below * below * 8.0);
+      }
+      weight[s] = sec;
+      total += sec;
+    }
+  }
+  if (total <= 0.0) return dev;
+
+  // Cooperative set: a supernode whose OWN modeled cost is a sizable
+  // fraction of one device's fair share serializes whichever shard it
+  // lands on — the top separators of a 3D mesh are 50%+ of the whole
+  // factorization by themselves. When the executor supports cooperative
+  // launches, such supernodes are marked -1 (block-distributed across
+  // every device) and their weight leaves the partition problem: coop
+  // work is spread evenly by construction, so only the remaining
+  // subtree work needs balancing.
+  std::vector<char> coop(static_cast<std::size_t>(ns), 0);
+  if (coop_spine) {
+    const double coop_cut =
+        0.25 * total / static_cast<double>(num_devices);
+    for (index_t s = 0; s < ns; ++s) {
+      if (weight[s] > coop_cut) {
+        coop[s] = 1;
+        total -= weight[s];
+        weight[s] = 0.0;
+      }
+    }
+    if (total <= 0.0) {
+      for (index_t s = 0; s < ns; ++s) {
+        if (coop[s]) dev[s] = -1;
+      }
+      return dev;
+    }
+  }
+
+  // Subtree weights and sizes, bottom-up over the postorder (a subtree
+  // is the contiguous supernode range [s - size[s] + 1, s]).
+  std::vector<double> subtree(weight);
+  std::vector<index_t> size(static_cast<std::size_t>(ns), 1);
+  std::vector<index_t> heavy_child(static_cast<std::size_t>(ns), -1);
+  for (index_t s = 0; s < ns; ++s) {
+    const index_t p = symb.sn_parent(s);
+    if (p >= 0) {
+      if (heavy_child[p] < 0 || subtree[s] > subtree[heavy_child[p]]) {
+        heavy_child[p] = s;
+      }
+      subtree[p] += subtree[s];
+      size[p] += size[s];
+    }
+  }
+  const double target = total / static_cast<double>(num_devices);
+
+  // Maximal-subtree cut (the subtree_partition idiom, weighted): a
+  // supernode whose whole subtree fits under the per-device share AND
+  // whose parent's does not is a cut root; it claims its contiguous
+  // postorder range for the currently least-loaded device. Spine
+  // (separator) supernodes — subtrees too heavy to place whole — ride
+  // with their heaviest child's device, so independent heavy branches
+  // land on different devices and each separator stays co-resident with
+  // the shard that feeds it most; the contributions arriving from other
+  // shards are the explicit cross-device separator assembly.
+  std::vector<double> bin_load(static_cast<std::size_t>(num_devices), 0.0);
+  const auto lightest = [&] {
+    index_t best = 0;
+    for (index_t b = 1; b < num_devices; ++b) {
+      if (bin_load[b] < bin_load[best]) best = b;
+    }
+    return best;
+  };
+  for (index_t s = 0; s < ns; ++s) {
+    if (subtree[s] > target) {
+      // Spine vertex: children precede it in postorder with devices
+      // already fixed — ride with the heaviest contributor so the
+      // separator stays co-resident with the shard that feeds it most;
+      // contributions arriving from other shards are the explicit
+      // cross-device separator assembly.
+      const index_t hc = heavy_child[s];
+      dev[s] = hc >= 0 && dev[hc] >= 0 ? dev[hc] : lightest();
+      bin_load[dev[s]] += weight[s];
+      continue;
+    }
+    const index_t p = symb.sn_parent(s);
+    if (p >= 0 && subtree[p] <= target) continue;  // an ancestor will cut
+    const index_t bin = lightest();
+    const index_t begin = s - size[s] + 1;
+    for (index_t k = begin; k <= s; ++k) dev[k] = bin;
+    bin_load[bin] += subtree[s];
+  }
+  // The cooperative override happens LAST: a coop supernode inside a
+  // claimed cut range (a wide branch separator) still leaves its range
+  // contiguous for its siblings, and a coop spine vertex is invisible to
+  // the heavy-child walk above (its weight is already zero).
+  for (index_t s = 0; s < ns; ++s) {
+    if (coop[s]) dev[s] = -1;
+  }
+  return dev;
+}
+
 std::size_t ExecutionPlan::scatter_node(index_t sn, index_t target) const {
   if (batch_of_[sn] != kNoNode) return batch_of_[sn];
   if (fuse_gpu_scatter_ && nodes_[compute_of_[sn]].on_gpu) {
@@ -121,7 +250,8 @@ std::size_t ExecutionPlan::scatter_node(index_t sn, index_t target) const {
 ExecutionPlan ExecutionPlan::build(const SymbolicFactor& symb,
                                    std::span<const char> on_gpu,
                                    std::span<const index_t> queue_of,
-                                   const PlanOptions& opts) {
+                                   const PlanOptions& opts,
+                                   std::span<const index_t> device_of) {
   const index_t ns = symb.num_supernodes();
   SPCHOL_CHECK(on_gpu.empty() ||
                    on_gpu.size() == static_cast<std::size_t>(ns),
@@ -129,6 +259,9 @@ ExecutionPlan ExecutionPlan::build(const SymbolicFactor& symb,
   SPCHOL_CHECK(queue_of.empty() ||
                    queue_of.size() == static_cast<std::size_t>(ns),
                "queue_of span size mismatch");
+  SPCHOL_CHECK(device_of.empty() ||
+                   device_of.size() == static_cast<std::size_t>(ns),
+               "device_of span size mismatch");
   SPCHOL_CHECK(opts.batch_max_supernodes >= 1,
                "batch_max_supernodes must be >= 1");
 
@@ -152,6 +285,9 @@ ExecutionPlan ExecutionPlan::build(const SymbolicFactor& symb,
     return queue_of.empty() ? std::size_t{0}
                             : static_cast<std::size_t>(queue_of[s]);
   };
+  auto device = [&](index_t s) {
+    return device_of.empty() ? index_t{0} : device_of[s];
+  };
   const std::size_t prio_scatter_base = 0;  // drain scatters first
   const std::size_t prio_compute_base = static_cast<std::size_t>(ns);
 
@@ -169,6 +305,7 @@ ExecutionPlan ExecutionPlan::build(const SymbolicFactor& symb,
         b.priority = prio_scatter_base +
                      static_cast<std::size_t>(defs[d].last);
         b.queue = queue(defs[d].first);
+        b.device = device(defs[d].first);
         const std::size_t id = plan.nodes_.size();
         plan.nodes_.push_back(b);
         for (index_t m = defs[d].first; m <= defs[d].last; ++m) {
@@ -187,6 +324,7 @@ ExecutionPlan ExecutionPlan::build(const SymbolicFactor& symb,
     c.priority = (gpu ? prio_scatter_base : prio_compute_base) +
                  static_cast<std::size_t>(s);
     c.queue = queue(s);
+    c.device = device(s);
     plan.compute_of_[s] = plan.nodes_.size();
     plan.nodes_.push_back(c);
     if ((gpu && opts.fuse_gpu_scatter) || symb.sn_below(s) == 0) continue;
@@ -197,6 +335,9 @@ ExecutionPlan ExecutionPlan::build(const SymbolicFactor& symb,
       n.target = target;
       n.priority = prio_scatter_base + static_cast<std::size_t>(s);
       n.queue = queue(s);
+      // Assembly lands on the target's device; target -1 (unsplit) covers
+      // every ancestor, so it stays with the source's shard.
+      n.device = target >= 0 ? device(target) : device(s);
       const std::size_t id = plan.nodes_.size();
       plan.nodes_.push_back(n);
       plan.scatter_nodes_.push_back(id);

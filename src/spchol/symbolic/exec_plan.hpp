@@ -61,6 +61,12 @@ struct PlanNode {
   /// kBatch: every member is an independent leaf (no member updates
   /// another member), so the batch may run as one fused device launch.
   bool device_eligible = false;
+  /// Device ordinal the node's GPU work is routed to (0 when single
+  /// device). COMPUTE/BATCH nodes carry their supernode's assignment;
+  /// SCATTER nodes carry the TARGET's device — assembly lands where the
+  /// target will be factored, so a contributor computed elsewhere pays a
+  /// cross-device D2H→H2D transfer (modeled by the executors).
+  index_t device = 0;
   std::size_t priority = 0;  ///< scheduler priority (lower runs first)
   std::size_t queue = 0;     ///< ready-queue partition
 };
@@ -88,6 +94,29 @@ std::vector<SubtreeBatch> pack_subtree_batches(const SymbolicFactor& symb,
                                                offset_t batch_entries,
                                                index_t batch_max_supernodes);
 
+/// Device-assignment pass shared by the factorization and solve
+/// planners: partitions the supernodal elimination tree into
+/// `num_devices` work-balanced shards and returns the per-supernode
+/// device ordinal. Weights are a GPU-work proxy (dense panel entries ×
+/// supernode width for supernodes marked `on_gpu`, zero otherwise), so
+/// the balance is over DEVICE load, not supernode count. Maximal
+/// subtrees packing under the per-device share stay whole — the ND
+/// separator tree guarantees disjoint writes below each separator, so a
+/// subtree is the natural sharding unit — and separator (spine)
+/// supernodes ride with the device of their heaviest child, making the
+/// cross-device traffic exactly the separator assembly the plan's
+/// SCATTER chains already serialize. With `coop_spine` set, spine
+/// supernodes that carry GPU weight are instead marked COOPERATIVE
+/// (ordinal -1): a top separator is too heavy for any single shard — it
+/// bounds the whole factorization's scaling — so the executor runs its
+/// kernels block-distributed across every engaged device (numerics
+/// unchanged; see rl.cpp's cooperative pipeline). Returns all zeros
+/// when num_devices <= 1 or nothing is marked on_gpu.
+std::vector<index_t> assign_devices(const SymbolicFactor& symb,
+                                    std::span<const char> on_gpu,
+                                    index_t num_devices,
+                                    bool coop_spine = false);
+
 struct PlanOptions {
   /// One SCATTER node per (source, target) pair — the RLB CPU shape —
   /// instead of one SCATTER per source (RL).
@@ -108,8 +137,10 @@ class ExecutionPlan {
 
   /// Builds the plan. `on_gpu[s]` marks supernodes the executor will run
   /// on the device (never batched); `queue_of[s]` assigns ready-queue
-  /// partitions (empty span → all 0). Both spans are indexed by
-  /// supernode and must be empty or of length num_supernodes().
+  /// partitions (empty span → all 0); `device_of[s]` assigns device
+  /// ordinals (empty span → all device 0; see assign_devices). All
+  /// spans are indexed by supernode and must be empty or of length
+  /// num_supernodes().
   ///
   /// Reuse contract: a built plan is an immutable function of
   /// (symbolic pattern, on_gpu marks, queue partitioning, PlanOptions) —
@@ -120,7 +151,8 @@ class ExecutionPlan {
   static ExecutionPlan build(const SymbolicFactor& symb,
                              std::span<const char> on_gpu,
                              std::span<const index_t> queue_of,
-                             const PlanOptions& opts);
+                             const PlanOptions& opts,
+                             std::span<const index_t> device_of = {});
 
   std::span<const PlanNode> nodes() const noexcept { return nodes_; }
   std::span<const std::pair<std::size_t, std::size_t>> edges()

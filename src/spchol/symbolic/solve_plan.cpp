@@ -9,7 +9,8 @@ namespace spchol {
 SolvePlan SolvePlan::build(const SymbolicFactor& symb,
                            std::span<const char> on_gpu,
                            std::span<const index_t> queue_of,
-                           const SolvePlanOptions& opts) {
+                           const SolvePlanOptions& opts,
+                           std::span<const index_t> device_of) {
   const index_t ns = symb.num_supernodes();
   SPCHOL_CHECK(on_gpu.empty() ||
                    on_gpu.size() == static_cast<std::size_t>(ns),
@@ -17,6 +18,9 @@ SolvePlan SolvePlan::build(const SymbolicFactor& symb,
   SPCHOL_CHECK(queue_of.empty() ||
                    queue_of.size() == static_cast<std::size_t>(ns),
                "queue_of span size mismatch");
+  SPCHOL_CHECK(device_of.empty() ||
+                   device_of.size() == static_cast<std::size_t>(ns),
+               "device_of span size mismatch");
   SPCHOL_CHECK(opts.batch_max_supernodes >= 1,
                "batch_max_supernodes must be >= 1");
 
@@ -36,6 +40,9 @@ SolvePlan SolvePlan::build(const SymbolicFactor& symb,
   auto queue = [&](index_t s) {
     return queue_of.empty() ? std::size_t{0}
                             : static_cast<std::size_t>(queue_of[s]);
+  };
+  auto device = [&](index_t s) {
+    return device_of.empty() ? index_t{0} : device_of[s];
   };
   // Forward: scatters (and GPU pipeline feeders) drain before CPU
   // computes, exactly as in the factorization plan. Backward: the solve
@@ -68,6 +75,7 @@ SolvePlan SolvePlan::build(const SymbolicFactor& symb,
                          static_cast<std::size_t>(defs[d].last);
         b.bwd_priority = bwd_prio(defs[d].last);
         b.queue = queue(defs[d].first);
+        b.device = device(defs[d].first);
         const std::size_t id = plan.nodes_.size();
         plan.nodes_.push_back(b);
         for (index_t m = defs[d].first; m <= defs[d].last; ++m) {
@@ -85,6 +93,7 @@ SolvePlan SolvePlan::build(const SymbolicFactor& symb,
                      static_cast<std::size_t>(s);
     c.bwd_priority = bwd_prio(s);
     c.queue = queue(s);
+    c.device = device(s);
     plan.compute_of_[s] = plan.nodes_.size();
     plan.nodes_.push_back(c);
     // GPU computes absorb their scatters (fused device solve); CPU
@@ -107,6 +116,7 @@ SolvePlan SolvePlan::build(const SymbolicFactor& symb,
       n.rows_hi = k2;
       n.fwd_priority = prio_scatter_base + static_cast<std::size_t>(s);
       n.queue = queue(s);
+      n.device = device(target);
       const std::size_t id = plan.nodes_.size();
       plan.nodes_.push_back(n);
       scatter_nodes.push_back(id);
