@@ -80,7 +80,8 @@ void print_rule(char c, int width) {
 
 void JsonReport::row(
     const std::string& section, const std::string& matrix,
-    std::initializer_list<std::pair<const char*, double>> fields) {
+    std::initializer_list<std::pair<const char*, double>> fields,
+    std::initializer_list<std::pair<const char*, const char*>> text) {
   std::string r = "{\"section\": \"" + section + "\", \"matrix\": \"" +
                   matrix + "\"";
   char buf[64];
@@ -91,6 +92,9 @@ void JsonReport::row(
       std::snprintf(buf, sizeof buf, "%.9g", value);
     }
     r += std::string(", \"") + key + "\": " + buf;
+  }
+  for (const auto& [key, value] : text) {
+    r += std::string(", \"") + key + "\": \"" + value + "\"";
   }
   r += "}";
   rows_.push_back(std::move(r));

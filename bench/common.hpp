@@ -72,9 +72,14 @@ class JsonReport {
  public:
   explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
 
-  /// Appends one row; NaN values (OOM rows) are emitted as null.
+  /// Appends one row; NaN values (OOM rows) are emitted as null. The
+  /// optional `text` fields are emitted as JSON strings — used for
+  /// explicit markers like {"skipped", "<reason>"} so downstream tooling
+  /// never has to interpret a bare null.
   void row(const std::string& section, const std::string& matrix,
-           std::initializer_list<std::pair<const char*, double>> fields);
+           std::initializer_list<std::pair<const char*, double>> fields,
+           std::initializer_list<std::pair<const char*, const char*>> text =
+               {});
 
   /// Writes the document to `path` (overwriting).
   void write(const std::string& path) const;

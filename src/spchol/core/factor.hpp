@@ -128,6 +128,25 @@ struct FactorOptions {
   /// Greedy sibling packing stops a batch at this many supernodes
   /// (>= 1; rejected with InvalidArgument otherwise).
   index_t batch_max_supernodes = 16;
+  /// Fan-both plan shape (scheduled RL only; ignored by RLB and
+  /// left-looking). Targets with enough contributors have their updates
+  /// gathered into per-subtree aggregation buffers (AGGREGATE nodes,
+  /// fully parallel across groups) and folded in by short chained APPLY
+  /// replays — breaking the per-target scatter chains that bound
+  /// parallelism on shared-separator matrices, with factors bitwise
+  /// identical to serial (the buffers record (offset, value) pairs in
+  /// the exact serial order; replay preserves it). Batches additionally
+  /// decouple into batched-COMPUTE plus per-target batched-SCATTER
+  /// nodes.
+  bool fan_both = false;
+  /// Fan-both: minimum contributors before a target is aggregated
+  /// (>= 2; rejected with InvalidArgument otherwise).
+  index_t aggregate_min_contributors = 2;
+  /// Fan-both: total (offset, value) slab-entry budget across all
+  /// aggregation buffers; 0 = unlimited. Negative values are rejected
+  /// with InvalidArgument. Targets are considered in ascending order and
+  /// fall back to plain scatter chains once the budget is exhausted.
+  offset_t aggregate_buffer_cap = 0;
 };
 
 /// Options of one triangular-solve call (CholeskyFactor::solve /
@@ -285,6 +304,28 @@ struct FactorStats {
   /// broadcasts, because no single shard can absorb them without capping
   /// the run's scaling). Zero on single-device runs; RL hybrid only.
   index_t coop_supernodes = 0;
+  // --- fan-both plan-shape counters ---------------------------------------
+  /// Aggregation buffers (AGGREGATE groups) the fan-both plan executed;
+  /// zero for the right-looking shape.
+  index_t aggregation_buffers = 0;
+  /// APPLY (slab replay) tasks executed; equals aggregation_buffers.
+  index_t apply_nodes = 0;
+  /// Peak bytes simultaneously held by live aggregation slabs
+  /// ((offset, value) pairs between AGGREGATE fill and APPLY replay).
+  std::size_t aggregation_bytes_peak = 0;
+  /// Tasks whose LAST unmet dependency was a same-target chain edge
+  /// (SchedulerStats::chain_waits): the scatter-chain serialization the
+  /// fan-both shape removes, observable before/after.
+  std::size_t scheduler_chain_waits = 0;
+  /// Measured per-task durations replayed through a greedy list schedule
+  /// at 1 and at `scheduler_workers` workers — the modeled serial and
+  /// parallel factorization task makespans (the machine-independent
+  /// speedup convention; see TaskScheduler::modeled_makespan). Zero on
+  /// the sequential drivers. Unlike modeled_seconds (an
+  /// order-independent deferred sum), these see the dependency
+  /// structure, so they are where chain removal shows up.
+  double modeled_task_serial_seconds = 0.0;
+  double modeled_task_parallel_seconds = 0.0;
   // --- solve-path accumulators (filled by CholeskySolver, which owns the
   // solve traffic; zero on a factor that never solved) ---------------------
   double solve_seconds = 0.0;      ///< wall time summed over solve calls

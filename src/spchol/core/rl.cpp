@@ -22,6 +22,16 @@
 // accumulation order, so results are bitwise identical to kCpuSerial for
 // every worker/stream/batch setting.
 //
+// Fan-both (FactorOptions::fan_both, PlanShape::kFanBoth): heavily
+// shared targets trade their scatter chain for per-group AGGREGATE
+// gathers into private (offset, value) slabs — executed concurrently —
+// plus a short chain of sequential APPLY replays whose concatenation IS
+// the serial accumulation order (bitwise identity preserved). BATCH
+// nodes decouple into compute + in-batch assembly here and separate
+// BATCHSCATTER nodes per out-of-batch target. Update buffers become
+// multi-consumer and are freed by reference count instead of the single
+// scatter's eager swap.
+//
 // In kGpuHybrid the above-threshold COMPUTE tasks run the §III device
 // pipeline on a slot drawn from a bounded pool: each in-flight GPU
 // supernode gets its OWN compute/copy stream pair and device panel+update
@@ -32,6 +42,7 @@
 // modeled host clock to a stream tail, so the post-drain fold of deferred
 // CPU-task time keeps makespan = max(host, stream tails), not their sum.
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <memory>
 #include <optional>
@@ -236,8 +247,15 @@ void rl_gpu_compute_coop(FactorContext& ctx, gpu::Device& dev,
 /// transfer latency are paid once per batch instead of once per
 /// supernode (gpu::perf_model batched-kernel cost). Synchronization is
 /// device-side only, like rl_gpu_compute.
+///
+/// Fan-both (`ubuf_out` != nullptr): the batch is DECOUPLED — each
+/// member's update matrix is kept in (*ubuf_out)[member] for the separate
+/// BATCHSCATTER/AGGREGATE consumers, and only in-batch targets are
+/// assembled here (device-eligible batches are independent leaves, so
+/// that range is empty). Same kernels in the same order either way.
 void rl_gpu_batch(FactorContext& ctx, gpu::Device& dev, index_t dev_ord,
-                  index_t first, index_t last, RlGpuSlot& slot) {
+                  index_t first, index_t last, RlGpuSlot& slot,
+                  std::vector<std::vector<double>>* ubuf_out = nullptr) {
   const SymbolicFactor& symb = ctx.symb;
   std::vector<gpu::BatchedPanel> panels;
   panels.reserve(static_cast<std::size_t>(last - first + 1));
@@ -289,8 +307,15 @@ void rl_gpu_batch(FactorContext& ctx, gpu::Device& dev, index_t dev_ord,
   for (std::size_t i = 0; i < panels.size(); ++i) {
     const gpu::BatchedPanel& p = panels[i];
     if (p.r == p.w) continue;
-    entries += rl_assemble(ctx, first + static_cast<index_t>(i),
-                           ustage.data() + p.update_off);
+    const index_t m = first + static_cast<index_t>(i);
+    const double* u = ustage.data() + p.update_off;
+    if (ubuf_out != nullptr) {
+      const std::size_t below = static_cast<std::size_t>(p.r - p.w);
+      (*ubuf_out)[m].assign(u, u + below * below);
+      entries += rl_assemble_range(ctx, m, u, first, last);
+    } else {
+      entries += rl_assemble(ctx, m, u);
+    }
   }
   ctx.account_assembly(entries);  // one fused assembly region per batch
 }
@@ -578,6 +603,107 @@ void run_rl_scheduled(FactorContext& ctx) {
   // Batches carry their own transient scratch instead.
   std::vector<std::vector<double>> ubuf(static_cast<std::size_t>(ns));
 
+  // --- fan-both support --------------------------------------------------
+  const bool fan_both = plan.fan_both();
+  const std::span<const index_t> devof = pg->device_of;
+
+  // Cross-device separator assembly price of s's update slice aimed at
+  // target `only_t` (or at EVERY off-device GPU target when only_t < 0):
+  // entries whose contributor was produced on one device while the
+  // target panel lives on another pay an explicit D2H→H2D hop,
+  // deterministic from the plan, so priced at build time. Cooperative
+  // supernodes (ordinal -1) assemble on the host from their per-device
+  // D2H slices, so neither side of a coop pair pays the hop.
+  auto cross_slice = [&](index_t s, index_t only_t) -> double {
+    if (ndev <= 1 || devof.empty() || !ctx.on_gpu(s) || devof[s] < 0) {
+      return 0.0;
+    }
+    const index_t w = symb.sn_width(s);
+    const index_t below = symb.sn_below(s);
+    const auto rows = symb.sn_rows(s);
+    const std::size_t sd = ord(devof[s]);
+    double xe = 0.0;
+    index_t b0 = 0;
+    while (b0 < below) {
+      const index_t target = symb.col_to_sn(rows[w + b0]);
+      index_t b1 = b0;
+      while (b1 < below && symb.col_to_sn(rows[w + b1]) == target) ++b1;
+      if ((only_t < 0 || target == only_t) && ctx.on_gpu(target) &&
+          devof[target] >= 0 && ord(devof[target]) != sd) {
+        xe += 0.5 * static_cast<double>(b1 - b0) *
+              static_cast<double>((below - b0) + (below - b1 + 1));
+      }
+      b0 = b1;
+    }
+    return xe;
+  };
+
+  // Fan-both splits one supernode's assembly across several consumer
+  // tasks (per-target scatters, batch-scatters, aggregation groups), so
+  // ubuf release moves from the single scatter's eager swap to a
+  // reference count: one reference per consumer task per member, plus
+  // one held by a batch task itself for each of its members (covering
+  // members whose every target is in-batch). The last consumer frees.
+  std::vector<std::atomic<index_t>> uref(
+      fan_both ? static_cast<std::size_t>(ns) : 0);
+  if (fan_both) {
+    for (const PlanNode& n : nodes) {
+      if (n.kind == PlanNodeKind::kScatter && n.target >= 0) {
+        uref[n.sn].fetch_add(1, std::memory_order_relaxed);
+      } else if (n.kind == PlanNodeKind::kBatchScatter ||
+                 n.kind == PlanNodeKind::kBatch) {
+        for (index_t m = n.batch_first; m <= n.batch_last; ++m) {
+          uref[m].fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+    for (index_t g = 0; g < plan.num_aggs(); ++g) {
+      for (const index_t m : plan.agg_members(g)) {
+        uref[m].fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  auto unref = [&uref, &ubuf](index_t s) {
+    if (uref[s].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::vector<double>().swap(ubuf[s]);
+    }
+  };
+
+  // Aggregation slabs: (offset, value) pair storage per group, allocated
+  // by AGGREGATE, replayed and freed by APPLY.
+  std::vector<std::vector<offset_t>> slab_offs(
+      fan_both ? static_cast<std::size_t>(plan.num_aggs()) : 0);
+  std::vector<std::vector<double>> slab_vals(
+      fan_both ? static_cast<std::size_t>(plan.num_aggs()) : 0);
+
+  // Device-fused aggregation: when EVERY member of a group runs on the
+  // same device, the gather is one fused batched device kernel over the
+  // members' update buffers (already resident there) followed by one
+  // D2H of the slab — modeled on a dedicated per-device aggregation
+  // stream so gathers overlap the compute pipeline. The numerics still
+  // run host-side (the device executes eagerly on host memory anyway),
+  // so the bits never depend on where the gather was priced.
+  std::vector<std::unique_ptr<gpu::Stream>> agg_streams(
+      fan_both && hybrid ? ndev : 0);
+  auto agg_fused_device = [&](index_t g) -> index_t {
+    if (!fan_both || !hybrid) return -1;
+    index_t d = -1;
+    for (const index_t m : plan.agg_members(g)) {
+      if (!ctx.on_gpu(m)) return -1;
+      index_t md = 0;
+      if (!devof.empty()) {
+        if (devof[m] < 0) return -1;
+        md = static_cast<index_t>(ord(devof[m]));
+      }
+      if (d < 0) {
+        d = md;
+      } else if (d != md) {
+        return -1;
+      }
+    }
+    return d;
+  };
+
   // --- map plan nodes to scheduler tasks ---------------------------------
   std::vector<std::size_t> task_of(nodes.size());
   for (std::size_t i = 0; i < nodes.size(); ++i) {
@@ -653,38 +779,28 @@ void run_rl_scheduled(FactorContext& ctx) {
         const index_t s = n.sn;
         // Cross-device separator assembly: the slice of s's update
         // matrix aimed at GPU targets on OTHER devices pays an explicit
-        // D2H→H2D hop (deterministic from the plan, so priced here at
-        // build time). The assembly itself still runs on the host in the
-        // plan's fixed per-target ascending order — the hop changes the
-        // modeled timeline, never the bits.
-        double xentries = 0.0;
-        // Cooperative supernodes (ordinal -1) assemble on the host from
-        // their per-device D2H slices and re-broadcast on the next
-        // panel's upload, so neither a coop contributor nor a coop
-        // target pays the explicit cross-device hop.
-        if (ndev > 1 && !pg->device_of.empty() && ctx.on_gpu(s) &&
-            pg->device_of[s] >= 0) {
-          const std::span<const index_t> devof = pg->device_of;
-          const index_t w = symb.sn_width(s);
-          const index_t below = symb.sn_below(s);
-          const auto rows = symb.sn_rows(s);
-          const std::size_t sd = ord(devof[s]);
-          index_t b0 = 0;
-          while (b0 < below) {
-            const index_t target = symb.col_to_sn(rows[w + b0]);
-            index_t b1 = b0;
-            while (b1 < below && symb.col_to_sn(rows[w + b1]) == target) {
-              ++b1;
-            }
-            if (ctx.on_gpu(target) && devof[target] >= 0 &&
-                ord(devof[target]) != sd) {
-              xentries += 0.5 * static_cast<double>(b1 - b0) *
-                          static_cast<double>((below - b0) +
-                                              (below - b1 + 1));
-            }
-            b0 = b1;
-          }
+        // D2H→H2D hop (cross_slice; deterministic from the plan, so
+        // priced here at build time). The assembly itself still runs on
+        // the host in the plan's fixed per-target ascending order — the
+        // hop changes the modeled timeline, never the bits.
+        if (fan_both && n.target >= 0) {
+          // Fan-both per-target split: assemble ONLY this target's
+          // segment, then drop one ubuf reference.
+          const index_t t = n.target;
+          const double xentries = cross_slice(s, t);
+          task_of[i] = sched.add_task(
+              n.priority,
+              [&ctx, &ubuf, unref, s, t, xentries](std::size_t) {
+                FactorContext::TaskScope scope(ctx);
+                if (xentries > 0.0) ctx.account_cross_device(xentries);
+                ctx.account_assembly(
+                    rl_assemble_range(ctx, s, ubuf[s].data(), t, t));
+                unref(s);
+              },
+              TaskScheduler::kNoResource, n.queue);
+          break;
         }
+        const double xentries = cross_slice(s, -1);
         task_of[i] = sched.add_task(
             n.priority,
             [&ctx, &ubuf, s, xentries](std::size_t) {
@@ -704,8 +820,8 @@ void run_rl_scheduled(FactorContext& ctx) {
           const std::size_t dord = ord(n.device);
           task_of[i] = sched.add_task(
               n.priority,
-              [&ctx, &pools, first, last, need_panel, need_update,
-               dord](std::size_t) {
+              [&ctx, &pools, &ubuf, unref, first, last, need_panel,
+               need_update, dord, fan_both](std::size_t) {
                 FactorContext::TaskScope scope(ctx);
                 auto lease = pools[dord]->acquire(
                     [&](const RlGpuSlot& slot) {
@@ -715,7 +831,10 @@ void run_rl_scheduled(FactorContext& ctx) {
                 rl_gpu_batch(ctx,
                              ctx.device(static_cast<index_t>(dord)),
                              static_cast<index_t>(dord), first, last,
-                             *lease);
+                             *lease, fan_both ? &ubuf : nullptr);
+                if (fan_both) {
+                  for (index_t m = first; m <= last; ++m) unref(m);
+                }
               },
               gpu_res[dord], n.queue);
           break;
@@ -725,19 +844,27 @@ void run_rl_scheduled(FactorContext& ctx) {
         // (shared scratch, memset per member), so the bits match it.
         // BatchScope gathers the members' modeled costs and charges the
         // batch as one fused call group + one fused assembly region.
+        // Fan-both decouples the batch: each member's update matrix goes
+        // to ubuf[member] (kept for the out-of-batch BATCHSCATTER and
+        // AGGREGATE consumers) and only in-batch targets are assembled
+        // here — the same entries in the same order the plain sweep
+        // would have applied them.
         task_of[i] = sched.add_task(
             n.priority,
-            [&ctx, first, last](std::size_t) {
+            [&ctx, &ubuf, unref, first, last, fan_both](std::size_t) {
               FactorContext::TaskScope scope(ctx);
               FactorContext::BatchScope batch(ctx);
               const SymbolicFactor& sb = ctx.symb;
-              std::size_t umax = 0;
-              for (index_t s = first; s <= last; ++s) {
-                const std::size_t below =
-                    static_cast<std::size_t>(sb.sn_below(s));
-                umax = std::max(umax, below * below);
+              std::vector<double> u;
+              if (!fan_both) {
+                std::size_t umax = 0;
+                for (index_t s = first; s <= last; ++s) {
+                  const std::size_t below =
+                      static_cast<std::size_t>(sb.sn_below(s));
+                  umax = std::max(umax, below * below);
+                }
+                u.resize(umax);
               }
-              std::vector<double> u(umax);
               for (index_t s = first; s <= last; ++s) {
                 const index_t w = sb.sn_width(s);
                 const index_t r = sb.sn_nrows(s);
@@ -747,36 +874,254 @@ void run_rl_scheduled(FactorContext& ctx) {
                   const std::size_t ucount =
                       static_cast<std::size_t>(below) *
                       static_cast<std::size_t>(below);
-                  std::memset(u.data(), 0, ucount * sizeof(double));
-                  ctx.cpu_syrk(below, w, ctx.sn_values(s) + w, r, u.data(),
-                               below);
-                  ctx.account_assembly(rl_assemble(ctx, s, u.data()));
+                  if (fan_both) {
+                    ubuf[s].assign(ucount, 0.0);
+                    ctx.cpu_syrk(below, w, ctx.sn_values(s) + w, r,
+                                 ubuf[s].data(), below);
+                    ctx.account_assembly(rl_assemble_range(
+                        ctx, s, ubuf[s].data(), first, last));
+                  } else {
+                    std::memset(u.data(), 0, ucount * sizeof(double));
+                    ctx.cpu_syrk(below, w, ctx.sn_values(s) + w, r,
+                                 u.data(), below);
+                    ctx.account_assembly(rl_assemble(ctx, s, u.data()));
+                  }
                 }
               }
+              if (fan_both) {
+                for (index_t s = first; s <= last; ++s) unref(s);
+              }
+            },
+            TaskScheduler::kNoResource, n.queue);
+        break;
+      }
+      case PlanNodeKind::kBatchScatter: {
+        // Fan-both decoupled batch assembly: every batch member's slice
+        // into ONE out-of-batch target, in ascending member order — the
+        // contiguous run of the target's contributor chain the batch
+        // replaced. Each member drops one ubuf reference.
+        const index_t first = n.batch_first;
+        const index_t last = n.batch_last;
+        const index_t t = n.target;
+        double xentries = 0.0;
+        for (index_t m = first; m <= last; ++m) {
+          xentries += cross_slice(m, t);
+        }
+        task_of[i] = sched.add_task(
+            n.priority,
+            [&ctx, &ubuf, unref, first, last, t, xentries](std::size_t) {
+              FactorContext::TaskScope scope(ctx);
+              if (xentries > 0.0) ctx.account_cross_device(xentries);
+              double entries = 0.0;
+              for (index_t m = first; m <= last; ++m) {
+                if (!ubuf[m].empty()) {
+                  entries +=
+                      rl_assemble_range(ctx, m, ubuf[m].data(), t, t);
+                }
+                unref(m);
+              }
+              ctx.account_assembly(entries);
+            },
+            TaskScheduler::kNoResource, n.queue);
+        break;
+      }
+      case PlanNodeKind::kAggregate: {
+        // Fan-both gather: every group member's update slice for the
+        // target streams into a private (offset, value) slab in the
+        // exact serial per-entry order. Groups of one target run
+        // CONCURRENTLY — this is the parallelizable half of the
+        // assembly the per-target chain used to serialize.
+        const index_t g = n.agg;
+        const index_t t = n.target;
+        const offset_t total = plan.agg_entries(g);
+        const index_t fd = agg_fused_device(g);
+        if (fd >= 0 && !agg_streams[static_cast<std::size_t>(fd)]) {
+          agg_streams[static_cast<std::size_t>(fd)] =
+              std::make_unique<gpu::Stream>(ctx.device(fd));
+        }
+        gpu::Stream* astream =
+            fd >= 0 ? agg_streams[static_cast<std::size_t>(fd)].get()
+                    : nullptr;
+        task_of[i] = sched.add_task(
+            n.priority,
+            [&ctx, &plan, &ubuf, &slab_offs, &slab_vals, unref, g, t,
+             total, fd, astream](std::size_t) {
+              FactorContext::TaskScope scope(ctx);
+              const std::size_t bytes =
+                  static_cast<std::size_t>(total) *
+                  (sizeof(offset_t) + sizeof(double));
+              slab_offs[g].resize(static_cast<std::size_t>(total));
+              slab_vals[g].resize(static_cast<std::size_t>(total));
+              ctx.note_agg_alloc(bytes);
+              offset_t k = 0;
+              for (const index_t m : plan.agg_members(g)) {
+                if (!ubuf[m].empty()) {
+                  k += rl_gather_target(ctx, m, ubuf[m].data(), t,
+                                        slab_offs[g].data() + k,
+                                        slab_vals[g].data() + k);
+                }
+                unref(m);
+              }
+              SPCHOL_CHECK(k == total,
+                           "aggregation slab entry count mismatch");
+              if (astream != nullptr) {
+                // Every member's update buffer already lives on device
+                // fd: model the gather as one fused batched kernel plus
+                // one slab D2H on the device's aggregation stream. The
+                // host-side gather above IS the numerics (the simulated
+                // device computes on host memory), so only the price
+                // moves to the device timeline.
+                gpu::Device& dv = ctx.device(fd);
+                const auto& pm = dv.model();
+                const double kt = pm.gpu_batched_kernel_seconds(
+                    static_cast<double>(total),
+                    plan.agg_members(g).size());
+                dv.enqueue(*astream, kt);
+                dv.note_kernel(kt);
+                const double dt =
+                    pm.d2h_seconds(static_cast<double>(bytes));
+                dv.enqueue(*astream, dt);
+                dv.note_d2h(bytes, dt);
+                ctx.count_fused_launch();
+                ctx.account_aggregation(0.0);  // count the buffer only
+              } else {
+                ctx.account_aggregation(static_cast<double>(total));
+              }
+            },
+            TaskScheduler::kNoResource, n.queue);
+        break;
+      }
+      case PlanNodeKind::kApply: {
+        // Fan-both replay: fold one slab into the target panel
+        // sequentially — `panel[offs[k]] += vals[k]` in slab order, so
+        // the APPLY chain concatenation reproduces the serial ascending
+        // accumulation bit for bit. Per-position fold order is all that
+        // determinism needs, so the modeled cost may still assume the
+        // standard parallel assembly region (partition by panel offset).
+        const index_t g = n.agg;
+        const index_t t = n.target;
+        const offset_t total = plan.agg_entries(g);
+        // One aggregated cross-device hop replaces the per-contributor
+        // hops: the pre-folded slab ships each distinct panel offset
+        // once, so the group's price is the UNION footprint of its
+        // cross-device members' slices — bounded above by the trapezoid
+        // of the union row set (computed below against the target's
+        // panel rows), by the per-member sum (disjoint members), and by
+        // the panel itself. Sibling subtree contributors into a shared
+        // separator overlap heavily, which is exactly where this beats
+        // the per-contributor pricing.
+        double xe = 0.0;
+        bool any_cross = false;
+        std::vector<char> in_col, in_row;
+        for (const index_t m : plan.agg_members(g)) {
+          const double cm = cross_slice(m, t);
+          if (cm <= 0.0) continue;
+          xe += cm;
+          const auto trows = symb.sn_rows(t);
+          if (!any_cross) {
+            any_cross = true;
+            in_col.assign(trows.size(), 0);
+            in_row.assign(trows.size(), 0);
+          }
+          const index_t wm = symb.sn_width(m);
+          const index_t below = symb.sn_below(m);
+          const auto mrows = symb.sn_rows(m);
+          index_t b0 = 0;
+          while (b0 < below && symb.col_to_sn(mrows[wm + b0]) != t) ++b0;
+          index_t b1 = b0;
+          while (b1 < below && symb.col_to_sn(mrows[wm + b1]) == t) ++b1;
+          // Map m's rows from the segment start onward into panel
+          // positions (both lists ascending): positions of the segment
+          // itself are slab columns, everything from the segment start
+          // is a slab row.
+          std::size_t p = 0;
+          for (index_t a = b0; a < below; ++a) {
+            while (p < trows.size() && trows[p] != mrows[wm + a]) ++p;
+            if (p >= trows.size()) break;
+            in_row[p] = 1;
+            if (a < b1) in_col[p] = 1;
+          }
+        }
+        if (any_cross) {
+          const index_t wt = symb.sn_width(t);
+          double tail = 0.0, union_bound = 0.0;
+          for (std::size_t p = in_row.size(); p-- > 0;) {
+            tail += static_cast<double>(in_row[p]);
+            if (static_cast<index_t>(p) < wt && in_col[p] != 0) {
+              union_bound += tail;
+            }
+          }
+          xe = std::min({xe, union_bound,
+                         static_cast<double>(symb.sn_entries(t))});
+        }
+        task_of[i] = sched.add_task(
+            n.priority,
+            [&ctx, &slab_offs, &slab_vals, g, t, total, xe](std::size_t) {
+              FactorContext::TaskScope scope(ctx);
+              if (xe > 0.0) ctx.account_cross_device(xe);
+              double* panel = ctx.sn_values(t);
+              const offset_t* offs = slab_offs[g].data();
+              const double* vals = slab_vals[g].data();
+              for (offset_t k = 0; k < total; ++k) {
+                panel[offs[k]] += vals[k];
+              }
+              ctx.account_assembly(static_cast<double>(total));
+              ctx.count_apply();
+              const std::size_t bytes =
+                  static_cast<std::size_t>(total) *
+                  (sizeof(offset_t) + sizeof(double));
+              std::vector<offset_t>().swap(slab_offs[g]);
+              std::vector<double>().swap(slab_vals[g]);
+              ctx.note_agg_free(bytes);
             },
             TaskScheduler::kNoResource, n.queue);
         break;
       }
     }
   }
-  for (const auto& [from, to] : plan.edges()) {
-    sched.add_edge(task_of[from], task_of[to]);
+  {
+    const auto edges = plan.edges();
+    const auto echain = plan.edge_chain();
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      sched.add_edge(task_of[edges[e].first], task_of[edges[e].second],
+                     echain[e] != 0);
+    }
   }
 
   // Memory throttle: at most ~K update buffers in flight. The edge
   // target's compute may not start until the K-back scatter has freed
-  // its buffer; all edges go forward in supernode order, so no cycles.
-  // Batches hold no ubuf (their scratch is task-local), so only the
-  // plan's SCATTER nodes participate.
-  std::vector<std::pair<std::size_t, std::size_t>> throttled;
+  // its buffer. Plain RL has one SCATTER per source in ascending order,
+  // so all edges go forward in supernode order and no cycle can form;
+  // fan-both has SEVERAL consumers per source (per-target scatters,
+  // batch-scatters), so an edge is added only when the window spans
+  // strictly increasing source supernodes — every ancestor of a
+  // consumer task involves supernodes <= its source, so a forward-only
+  // edge can never close a cycle. AGGREGATE/APPLY don't participate:
+  // their slabs are tracked by the aggregation-bytes counters and freed
+  // by the APPLY chain regardless.
+  struct ThrottleEntry {
+    std::size_t consumer_task;
+    std::size_t compute_task;
+    index_t src;
+  };
+  std::vector<ThrottleEntry> throttled;
   for (std::size_t i = 0; i < nodes.size(); ++i) {
-    if (nodes[i].kind != PlanNodeKind::kScatter) continue;
-    throttled.emplace_back(task_of[i],
-                           task_of[plan.compute_node(nodes[i].sn)]);
+    index_t src;
+    if (nodes[i].kind == PlanNodeKind::kScatter) {
+      src = nodes[i].sn;
+    } else if (nodes[i].kind == PlanNodeKind::kBatchScatter) {
+      src = nodes[i].batch_first;
+    } else {
+      continue;
+    }
+    throttled.push_back({task_of[i], task_of[plan.compute_node(src)], src});
   }
   const std::size_t kWindow = 2 * ctx.workers + 2 + pool_slots;
   for (std::size_t j = kWindow; j < throttled.size(); ++j) {
-    sched.add_edge(throttled[j - kWindow].first, throttled[j].second);
+    if (throttled[j - kWindow].src < throttled[j].src) {
+      sched.add_edge(throttled[j - kWindow].consumer_task,
+                     throttled[j].compute_task);
+    }
   }
 
   // Drain on the injected persistent crew (caller participates as one
@@ -786,6 +1131,11 @@ void run_rl_scheduled(FactorContext& ctx) {
   ctx.sched_stats = (res != nullptr && res->crew != nullptr)
                         ? sched.run_on(*res->crew)
                         : sched.run(ctx.workers);
+  // Task-graph makespans replayed from the measured per-task durations:
+  // the order-independent basis for comparing plan SHAPES (the deferred
+  // host-clock fold below is a shape-blind sum).
+  ctx.modeled_task_serial_seconds = sched.modeled_makespan(1);
+  ctx.modeled_task_parallel_seconds = sched.modeled_makespan(ctx.workers);
   ctx.flush_deferred();
   for (std::size_t d = 0; d < ndev; ++d) {
     ctx.device(static_cast<index_t>(d)).synchronize();

@@ -604,10 +604,22 @@ void run_rlb_scheduled(FactorContext& ctx) {
             TaskScheduler::kNoResource, n.queue);
         break;
       }
+      case PlanNodeKind::kBatchScatter:
+      case PlanNodeKind::kAggregate:
+      case PlanNodeKind::kApply:
+        // Fan-both is an RL-only plan shape (build_planned_graph never
+        // requests it for RLB).
+        SPCHOL_CHECK(false, "fan-both plan node in an RLB plan");
+        break;
     }
   }
-  for (const auto& [from, to] : plan.edges()) {
-    sched.add_edge(task_of[from], task_of[to]);
+  {
+    const auto edges = plan.edges();
+    const auto echain = plan.edge_chain();
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      sched.add_edge(task_of[edges[e].first], task_of[edges[e].second],
+                     echain[e] != 0);
+    }
   }
 
   // Drain on the injected persistent crew (caller participates as one
@@ -616,6 +628,9 @@ void run_rlb_scheduled(FactorContext& ctx) {
   ctx.sched_stats = (res != nullptr && res->crew != nullptr)
                         ? sched.run_on(*res->crew)
                         : sched.run(ctx.workers);
+  // Task-graph makespans replayed from measured per-task durations.
+  ctx.modeled_task_serial_seconds = sched.modeled_makespan(1);
+  ctx.modeled_task_parallel_seconds = sched.modeled_makespan(ctx.workers);
   ctx.flush_deferred();
   for (std::size_t d = 0; d < ndev; ++d) {
     ctx.device(static_cast<index_t>(d)).synchronize();

@@ -97,6 +97,10 @@ struct PerfModel {
   int assembly_threads = 16;
   double assembly_parallel_exponent = 0.75;
   double assembly_fork_overhead = 0.5e-6;
+  /// Fan-both aggregation gather: streaming (offset, value) slab writes
+  /// run at roughly twice the scatter-add rate — sequential stores, no
+  /// read-modify-write of the target panel.
+  double aggregation_seconds_per_entry = 0.5e-9;
 
   /// Modeled time of a CPU BLAS call of `flops` on `threads` threads.
   double cpu_kernel_seconds(double flops, int threads) const;
@@ -130,6 +134,10 @@ struct PerfModel {
   /// Modeled time of scatter-assembling `entries` factor entries on the
   /// CPU with `threads` OpenMP-style workers (paper parallelizes assembly).
   double assembly_seconds(double entries, int threads) const;
+  /// Modeled time of gathering `entries` update entries into a fan-both
+  /// aggregation slab (relative-index merge + streaming store) with
+  /// `threads` workers.
+  double aggregation_seconds(double entries, int threads) const;
 
   /// Unscaled nameplate constants of the paper's hardware (A100 9.7 TF/s
   /// FP64, PCIe 4.0 ≈ 24 GB/s, uncapped EPYC scaling). Useful for

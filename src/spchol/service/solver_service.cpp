@@ -75,6 +75,11 @@ std::uint64_t plan_fingerprint(const FactorOptions& fo) {
   // or with the resident-factor reservation — must never alias.
   f.pod(fo.gpu_devices);
   f.pod(fo.device_resident_factor);
+  // The fan-both shape and its aggregation knobs change the node set
+  // (AGGREGATE/APPLY/BATCHSCATTER) and the edge chains outright.
+  f.pod(fo.fan_both);
+  f.pod(fo.aggregate_min_contributors);
+  f.pod(fo.aggregate_buffer_cap);
   return f.hash();
 }
 

@@ -86,6 +86,7 @@ struct TaskScheduler::RunState {
   std::atomic<std::size_t> remaining{0};
   std::atomic<std::size_t> max_ready{0};
   std::atomic<std::size_t> resource_waits{0};
+  std::atomic<std::size_t> chain_waits{0};
   std::atomic<bool> cancelled{false};
   std::mutex sleep_mu;  // guards `error` and pairs with cv waits
   std::condition_variable cv;
@@ -147,14 +148,15 @@ std::size_t TaskScheduler::add_task(std::size_t priority, TaskFn fn,
   SPCHOL_CHECK(resource == kNoResource || resource < resource_tokens_.size(),
                "task resource out of range");
   tasks_.push_back(Task{std::move(fn), priority, resource, partition,
-                        kNoResource, 0.0, {}});
+                        kNoResource, 0.0, {}, {}});
   return tasks_.size() - 1;
 }
 
-void TaskScheduler::add_edge(std::size_t from, std::size_t to) {
+void TaskScheduler::add_edge(std::size_t from, std::size_t to, bool chain) {
   SPCHOL_CHECK(from < tasks_.size() && to < tasks_.size() && from != to,
                "task edge out of range");
   tasks_[from].out.push_back(to);
+  if (chain) tasks_[from].chain_out.push_back(to);
 }
 
 TaskScheduler::Task& TaskScheduler::task(std::size_t id) {
@@ -251,6 +253,10 @@ void TaskScheduler::prepare(RunState& rs) {
   for (auto& t : tasks_) {
     std::sort(t.out.begin(), t.out.end());
     t.out.erase(std::unique(t.out.begin(), t.out.end()), t.out.end());
+    std::sort(t.chain_out.begin(), t.chain_out.end());
+    t.chain_out.erase(
+        std::unique(t.chain_out.begin(), t.chain_out.end()),
+        t.chain_out.end());
     rs.num_edges += t.out.size();
   }
   rs.pending = std::vector<std::atomic<std::size_t>>(ntasks);
@@ -325,7 +331,16 @@ bool TaskScheduler::step(RunState& rs, std::size_t worker) {
     if (next != kNoResource) push_ready(rs, next);
   }
   for (const std::size_t succ : task(id).out) {
-    if (rs.pending[succ].fetch_sub(1) == 1) stage(rs, succ);
+    if (rs.pending[succ].fetch_sub(1) == 1) {
+      // The edge just satisfied was the successor's last unmet
+      // dependency; if it is a chain edge, the successor was held back
+      // purely by same-target write serialization.
+      const auto& co = task(id).chain_out;
+      if (std::binary_search(co.begin(), co.end(), succ)) {
+        rs.chain_waits.fetch_add(1, std::memory_order_relaxed);
+      }
+      stage(rs, succ);
+    }
   }
   const std::size_t rem = rs.remaining.fetch_sub(1) - 1;
   const std::size_t lv = rs.live.fetch_sub(1) - 1;
@@ -391,6 +406,7 @@ SchedulerStats TaskScheduler::finish(RunState& rs, std::size_t workers) {
   stats.edges = rs.num_edges;
   stats.max_ready_depth = rs.max_ready.load();
   stats.resource_waits = rs.resource_waits.load();
+  stats.chain_waits = rs.chain_waits.load();
   if (rs.error) std::rethrow_exception(rs.error);
   SPCHOL_CHECK(rs.remaining.load() == 0,
                "task graph did not complete (cycle?)");

@@ -72,6 +72,11 @@ struct SchedulerStats {
   std::size_t steals = 0;           ///< tasks run outside their partition
   std::size_t tasks_spawned = 0;    ///< tasks added dynamically via spawn()
   std::size_t edges = 0;            ///< dependency edges (after dedup)
+  /// Tasks whose LAST unmet dependency was a chain edge (same-target
+  /// serialization declared via add_edge(..., chain = true)): each one is
+  /// a task that sat fully ready but for the write-order chain — the
+  /// scatter-chain bottleneck the fan-both plan shape removes.
+  std::size_t chain_waits = 0;
 };
 
 class TaskScheduler {
@@ -110,7 +115,11 @@ class TaskScheduler {
   /// Declares that `from` must complete before `to` may start.
   /// Duplicate edges are deduplicated at run(); the graph must be acyclic
   /// (the factorization drivers only ever add ascending-index edges).
-  void add_edge(std::size_t from, std::size_t to);
+  /// `chain` marks a same-target serialization edge (the drivers' write
+  /// chains) rather than a data-flow dependency: when such an edge is the
+  /// LAST one holding `to` back, the run counts a chain wait
+  /// (SchedulerStats::chain_waits).
+  void add_edge(std::size_t from, std::size_t to, bool chain = false);
 
   /// Adds an immediately-runnable task DURING run(), from inside a
   /// running task body; `worker` is the worker index that body received.
@@ -174,6 +183,7 @@ class TaskScheduler {
     std::size_t spawned_by = kNoResource;  // spawning task id, if any
     double seconds = 0.0;                  // measured by run()
     std::vector<std::size_t> out;          // successor task ids
+    std::vector<std::size_t> chain_out;    // chain-edge successors (sorted)
   };
   struct RunState;    // live run coordination + spawned-task store
   struct CrewSource;  // WorkerCrew adapter with the close handshake
