@@ -100,6 +100,28 @@ void JsonReport::row(
   rows_.push_back(std::move(r));
 }
 
+void JsonReport::row(
+    const std::string& section, const std::string& matrix,
+    const std::vector<std::pair<std::string, double>>& fields,
+    const std::vector<std::pair<std::string, std::string>>& text) {
+  std::string r = "{\"section\": \"" + section + "\", \"matrix\": \"" +
+                  matrix + "\"";
+  char buf[64];
+  for (const auto& [key, value] : fields) {
+    if (value != value) {  // NaN (the OOM rows)
+      std::snprintf(buf, sizeof buf, "null");
+    } else {
+      std::snprintf(buf, sizeof buf, "%.9g", value);
+    }
+    r += ", \"" + key + "\": " + buf;
+  }
+  for (const auto& [key, value] : text) {
+    r += ", \"" + key + "\": \"" + value + "\"";
+  }
+  r += "}";
+  rows_.push_back(std::move(r));
+}
+
 void JsonReport::write(const std::string& path) const {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {

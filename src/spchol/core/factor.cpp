@@ -82,6 +82,7 @@ void validate(const FactorOptions& o) {
         "unlimited); got " +
         std::to_string(o.aggregate_buffer_cap));
   }
+  o.topology.validate(o.gpu_devices, "FactorOptions::topology");
 }
 
 void validate(const SolveOptions& o) {
@@ -117,6 +118,7 @@ void validate(const SolveOptions& o) {
         "SolveOptions::batch_max_supernodes must be >= 1; got " +
         std::to_string(o.batch_max_supernodes));
   }
+  o.topology.validate(o.gpu_devices, "SolveOptions::topology");
 }
 
 namespace detail {
@@ -169,8 +171,10 @@ PlannedGraph build_planned_graph(const SymbolicFactor& symb,
     // its per-supernode kernels decompose cleanly into block rounds. RLB
     // keeps whole-supernode placement (its fused per-block-pair updates
     // do not), so spine supernodes follow their heaviest child there.
-    pg.device_of = assign_devices(symb, on_gpu, pg.devices,
-                                  /*coop_spine=*/opts.method == Method::kRL);
+    pg.device_of =
+        assign_devices(symb, on_gpu, pg.devices,
+                       /*coop_spine=*/opts.method == Method::kRL,
+                       /*links=*/&opts.topology);
   }
   pg.plan =
       ExecutionPlan::build(symb, on_gpu, pg.queue_of, popts, pg.device_of);
@@ -422,6 +426,7 @@ CholeskyFactor CholeskyFactor::factorize(
   st.cross_device_assembly_seconds = ctx.cross_device_assembly_seconds;
   st.cross_device_transfer_bytes = ctx.cross_device_transfer_bytes;
   st.num_cross_device_transfers = ctx.num_cross_device_transfers;
+  st.per_link = ctx.per_link_transfers();
   st.coop_supernodes = ctx.coop_supernodes;
   st.wall_seconds = timer.seconds();
   st.supernodes_on_gpu = ctx.supernodes_on_gpu;

@@ -90,6 +90,18 @@ struct FactorOptions {
   /// InvalidArgument. When factorizing on an injected runtime the
   /// effective count is capped by the runtime's device registry size.
   int gpu_devices = 1;
+  /// Per-pair p2p link topology of the multi-device run (NVLink islands,
+  /// PCIe trees — gpu::LinkTable presets). Empty (default) keeps the
+  /// flat uniform mesh and the PR 8 order-of-partition placement,
+  /// byte-for-byte. Non-empty tables must be square, symmetric,
+  /// positive-bandwidth, non-negative-latency, and cover at least
+  /// gpu_devices devices (InvalidArgument otherwise); they turn on the
+  /// planner's two-phase topology-aware shard placement and route every
+  /// modeled cross-device hop (separator assembly, fan-both APPLY, coop
+  /// all-gathers and panel exchanges) over its actual src→dst link.
+  /// Topology never changes numerics: factors stay bitwise identical to
+  /// the uniform single-device run at every preset.
+  gpu::LinkTable topology{};
   /// Models the paper's device-resident factor storage: each GPU
   /// supernode's factored panel stays allocated on its assigned device
   /// until the factorization completes (scheduled kGpuHybrid paths
@@ -183,6 +195,10 @@ struct SolveOptions {
   /// Simulated device configuration (used only when no shared device is
   /// injected and the exec mode touches the device).
   gpu::DeviceConfig device{};
+  /// Per-pair p2p link topology of the multi-device solve — the
+  /// FactorOptions::topology mirror (same validation, same two-phase
+  /// placement in the SolvePlan, same bitwise-identity contract).
+  gpu::LinkTable topology{};
 };
 
 /// Rejects malformed SolveOptions with InvalidArgument (negative
@@ -227,6 +243,16 @@ struct DeviceBreakdown {
   std::size_t peak_bytes = 0;
   std::size_t num_kernels = 0;
   index_t supernodes = 0;  ///< GPU supernodes routed to this device
+};
+
+/// One (src,dst) device pair's share of the modeled cross-device
+/// assembly traffic (FactorStats::per_link).
+struct LinkTransfer {
+  int src = 0;  ///< source device ordinal (where the update was computed)
+  int dst = 0;  ///< destination ordinal (where the target panel lives)
+  std::size_t bytes = 0;
+  double seconds = 0.0;
+  std::size_t transfers = 0;
 };
 
 /// Modeled + measured execution statistics of one factorization.
@@ -298,6 +324,13 @@ struct FactorStats {
   double cross_device_assembly_seconds = 0.0;
   std::size_t cross_device_transfer_bytes = 0;
   std::size_t num_cross_device_transfers = 0;
+  /// Per-(src,dst) breakdown of the cross-device hops above, one entry
+  /// per link that actually carried traffic, sorted by (src, dst). The
+  /// aggregate fields are the exact sums of these rows (kept unchanged
+  /// for single-topology byte-compatibility); with a topology set the
+  /// seconds price each hop over its actual link, so slow cross-island
+  /// links surface directly here.
+  std::vector<LinkTransfer> per_link;
   /// Supernodes executed through the cooperative all-device pipeline
   /// (top separators the planner marked device -1: their kernels are
   /// block-distributed across every engaged device with p2p panel

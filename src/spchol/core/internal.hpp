@@ -225,6 +225,16 @@ struct FactorContext {
   /// GPU supernodes routed to each device ordinal (stats breakdown).
   std::vector<index_t> gpu_supernodes_of;
 
+  /// The self-owned registry's device config: the per-call config with
+  /// the topology table installed into its PerfModel, so p2p hops price
+  /// against the per-pair links. Injected registries (arena/device) keep
+  /// their own model — RuntimeOptions::topology configures those.
+  static gpu::DeviceConfig own_device_config(const FactorOptions& o) {
+    gpu::DeviceConfig cfg = o.device;
+    cfg.model.links = o.topology;
+    return cfg;
+  }
+
   FactorContext(const SymbolicFactor& s, std::vector<double>& v,
                 const FactorOptions& o,
                 const ExecutionResources* r = nullptr)
@@ -238,7 +248,7 @@ struct FactorContext {
                 : (r != nullptr && r->device != nullptr
                        ? nullptr
                        : &own_reg.emplace(
-                             o.device,
+                             own_device_config(o),
                              static_cast<std::size_t>(
                                  o.gpu_devices > 0 ? o.gpu_devices : 1)))),
         dev(r != nullptr && r->device != nullptr ? *r->device
@@ -264,6 +274,7 @@ struct FactorContext {
       makespan0_of.push_back(dd.makespan());
     }
     gpu_supernodes_of.assign(ndev, 0);
+    link_accum_.assign(ndev * ndev, LinkAccum{});
   }
 
   /// Device a plan-node ordinal resolves to. Plans may have been built
@@ -442,21 +453,57 @@ struct FactorContext {
     coop_supernodes++;
   }
 
-  /// Models the D2H→H2D hop of one cross-device scatter: `entries`
-  /// update-matrix entries produced on the contributor's device, shipped
-  /// to the host, re-staged onto the target's device. Order-independent
-  /// deferred sum folded into the host floor by flush_deferred() — the
-  /// measured price of sharding the separator tree. Only the scheduled
-  /// drivers route across devices, so the deferred fold owns the clock.
-  void account_cross_device(double entries) {
+  /// Models the hop of one cross-device scatter: `entries` update-matrix
+  /// entries produced on device ordinal `src`, assembled into a target
+  /// panel owned by ordinal `dst`. Without a link topology this is the
+  /// legacy D2H→H2D price (ship to host, re-stage — byte-identical to
+  /// pre-topology runs); with PerfModel::links set the hop rides the
+  /// actual src→dst link instead, so cross-island hops cost their real
+  /// bandwidth. Order-independent deferred sum folded into the host
+  /// floor by flush_deferred() — the measured price of sharding the
+  /// separator tree. Only the scheduled drivers route across devices, so
+  /// the deferred fold owns the clock. Per-(src,dst) totals accumulate
+  /// for FactorStats::per_link.
+  void account_cross_device(index_t src, index_t dst, double entries) {
     const double bytes = entries * static_cast<double>(sizeof(double));
     const auto& m = dev.model();
-    const double t = m.d2h_seconds(bytes) + m.h2d_seconds(bytes);
+    const double t =
+        m.links.empty()
+            ? m.d2h_seconds(bytes) + m.h2d_seconds(bytes)
+            : m.p2p_seconds(static_cast<int>(src), static_cast<int>(dst),
+                            bytes);
     std::lock_guard<std::mutex> lk(account_mu_);
     deferred_host_seconds_ += t;
     cross_device_assembly_seconds += t;
     cross_device_transfer_bytes += static_cast<std::size_t>(bytes);
     num_cross_device_transfers++;
+    const std::size_t a = src < 0 ? 0 : static_cast<std::size_t>(src) % ndev;
+    const std::size_t b = dst < 0 ? 0 : static_cast<std::size_t>(dst) % ndev;
+    LinkAccum& acc = link_accum_[a * ndev + b];
+    acc.bytes += static_cast<std::size_t>(bytes);
+    acc.seconds += t;
+    acc.transfers++;
+  }
+
+  /// Snapshot of the per-(src,dst) cross-device traffic, one row per
+  /// pair that carried any, sorted by (src, dst) — FactorStats::per_link.
+  std::vector<LinkTransfer> per_link_transfers() {
+    std::lock_guard<std::mutex> lk(account_mu_);
+    std::vector<LinkTransfer> out;
+    for (std::size_t a = 0; a < ndev; ++a) {
+      for (std::size_t b = 0; b < ndev; ++b) {
+        const LinkAccum& acc = link_accum_[a * ndev + b];
+        if (acc.transfers == 0) continue;
+        LinkTransfer lt;
+        lt.src = static_cast<int>(a);
+        lt.dst = static_cast<int>(b);
+        lt.bytes = acc.bytes;
+        lt.seconds = acc.seconds;
+        lt.transfers = acc.transfers;
+        out.push_back(lt);
+      }
+    }
+    return out;
   }
 
   void count_fused_launch() {
@@ -522,6 +569,15 @@ struct FactorContext {
   }
 
   static thread_local BatchAccum* tl_batch_;
+
+  /// One (src,dst) pair's running cross-device traffic (ndev×ndev,
+  /// row-major; guarded by account_mu_).
+  struct LinkAccum {
+    std::size_t bytes = 0;
+    double seconds = 0.0;
+    std::size_t transfers = 0;
+  };
+  std::vector<LinkAccum> link_accum_;
 
   std::mutex account_mu_;
   double deferred_host_seconds_ = 0.0;

@@ -541,7 +541,8 @@ void run_rl_scheduled(FactorContext& ctx) {
       if (d > 0) {
         gpu::Stream* mesh = coop_streams.back().get();
         coop_streams.push_back(std::make_unique<gpu::Stream>(dv));
-        coop_peers.push_back({&dv, mesh, coop_streams.back().get()});
+        coop_peers.push_back(
+            {&dv, mesh, coop_streams.back().get(), static_cast<int>(d)});
       }
     }
     constexpr std::uint64_t kCoopPoolTag = 0x434f4f502d534c54ull;  // "COOP"
@@ -607,22 +608,32 @@ void run_rl_scheduled(FactorContext& ctx) {
   const bool fan_both = plan.fan_both();
   const std::span<const index_t> devof = pg->device_of;
 
-  // Cross-device separator assembly price of s's update slice aimed at
-  // target `only_t` (or at EVERY off-device GPU target when only_t < 0):
+  // One cross-device assembly hop: `entries` produced on effective
+  // ordinal `src`, assembled into a target panel on `dst`. The hops are
+  // deterministic from the plan, so they are priced at build time; with
+  // a link topology each pair charges its actual src→dst link.
+  struct CrossHop {
+    index_t src = 0;
+    index_t dst = 0;
+    double entries = 0.0;
+  };
+  // Cross-device separator assembly of s's update slice aimed at target
+  // `only_t` (or at EVERY off-device GPU target when only_t < 0):
   // entries whose contributor was produced on one device while the
-  // target panel lives on another pay an explicit D2H→H2D hop,
-  // deterministic from the plan, so priced at build time. Cooperative
+  // target panel lives on another pay an explicit modeled hop, returned
+  // per destination ordinal (src is fixed — s's device). Cooperative
   // supernodes (ordinal -1) assemble on the host from their per-device
   // D2H slices, so neither side of a coop pair pays the hop.
-  auto cross_slice = [&](index_t s, index_t only_t) -> double {
+  auto cross_slice = [&](index_t s,
+                         index_t only_t) -> std::vector<CrossHop> {
+    std::vector<CrossHop> hops;
     if (ndev <= 1 || devof.empty() || !ctx.on_gpu(s) || devof[s] < 0) {
-      return 0.0;
+      return hops;
     }
     const index_t w = symb.sn_width(s);
     const index_t below = symb.sn_below(s);
     const auto rows = symb.sn_rows(s);
     const std::size_t sd = ord(devof[s]);
-    double xe = 0.0;
     index_t b0 = 0;
     while (b0 < below) {
       const index_t target = symb.col_to_sn(rows[w + b0]);
@@ -630,12 +641,32 @@ void run_rl_scheduled(FactorContext& ctx) {
       while (b1 < below && symb.col_to_sn(rows[w + b1]) == target) ++b1;
       if ((only_t < 0 || target == only_t) && ctx.on_gpu(target) &&
           devof[target] >= 0 && ord(devof[target]) != sd) {
-        xe += 0.5 * static_cast<double>(b1 - b0) *
-              static_cast<double>((below - b0) + (below - b1 + 1));
+        const index_t td = static_cast<index_t>(ord(devof[target]));
+        const double xe = 0.5 * static_cast<double>(b1 - b0) *
+                          static_cast<double>((below - b0) +
+                                              (below - b1 + 1));
+        bool merged = false;
+        for (CrossHop& h : hops) {
+          if (h.dst == td) {
+            h.entries += xe;
+            merged = true;
+            break;
+          }
+        }
+        if (!merged) {
+          hops.push_back({static_cast<index_t>(sd), td, xe});
+        }
       }
       b0 = b1;
     }
-    return xe;
+    return hops;
+  };
+  // Charges every hop of a build-time-priced list (captured by value in
+  // the task lambdas).
+  const auto account_hops = [&ctx](const std::vector<CrossHop>& hops) {
+    for (const CrossHop& h : hops) {
+      ctx.account_cross_device(h.src, h.dst, h.entries);
+    }
   };
 
   // Fan-both splits one supernode's assembly across several consumer
@@ -787,12 +818,13 @@ void run_rl_scheduled(FactorContext& ctx) {
           // Fan-both per-target split: assemble ONLY this target's
           // segment, then drop one ubuf reference.
           const index_t t = n.target;
-          const double xentries = cross_slice(s, t);
+          const std::vector<CrossHop> xhops = cross_slice(s, t);
           task_of[i] = sched.add_task(
               n.priority,
-              [&ctx, &ubuf, unref, s, t, xentries](std::size_t) {
+              [&ctx, &ubuf, unref, account_hops, s, t,
+               xhops](std::size_t) {
                 FactorContext::TaskScope scope(ctx);
-                if (xentries > 0.0) ctx.account_cross_device(xentries);
+                account_hops(xhops);
                 ctx.account_assembly(
                     rl_assemble_range(ctx, s, ubuf[s].data(), t, t));
                 unref(s);
@@ -800,12 +832,12 @@ void run_rl_scheduled(FactorContext& ctx) {
               TaskScheduler::kNoResource, n.queue);
           break;
         }
-        const double xentries = cross_slice(s, -1);
+        const std::vector<CrossHop> xhops = cross_slice(s, -1);
         task_of[i] = sched.add_task(
             n.priority,
-            [&ctx, &ubuf, s, xentries](std::size_t) {
+            [&ctx, &ubuf, account_hops, s, xhops](std::size_t) {
               FactorContext::TaskScope scope(ctx);
-              if (xentries > 0.0) ctx.account_cross_device(xentries);
+              account_hops(xhops);
               ctx.account_assembly(rl_assemble(ctx, s, ubuf[s].data()));
               std::vector<double>().swap(ubuf[s]);  // free eagerly
             },
@@ -903,15 +935,28 @@ void run_rl_scheduled(FactorContext& ctx) {
         const index_t first = n.batch_first;
         const index_t last = n.batch_last;
         const index_t t = n.target;
-        double xentries = 0.0;
+        // Members of one batch may live on different devices: merge
+        // their hops per (src,dst) pair so each pair charges its link.
+        std::vector<CrossHop> xhops;
         for (index_t m = first; m <= last; ++m) {
-          xentries += cross_slice(m, t);
+          for (const CrossHop& h : cross_slice(m, t)) {
+            bool merged = false;
+            for (CrossHop& o : xhops) {
+              if (o.src == h.src && o.dst == h.dst) {
+                o.entries += h.entries;
+                merged = true;
+                break;
+              }
+            }
+            if (!merged) xhops.push_back(h);
+          }
         }
         task_of[i] = sched.add_task(
             n.priority,
-            [&ctx, &ubuf, unref, first, last, t, xentries](std::size_t) {
+            [&ctx, &ubuf, unref, account_hops, first, last, t,
+             xhops](std::size_t) {
               FactorContext::TaskScope scope(ctx);
-              if (xentries > 0.0) ctx.account_cross_device(xentries);
+              account_hops(xhops);
               double entries = 0.0;
               for (index_t m = first; m <= last; ++m) {
                 if (!ubuf[m].empty()) {
@@ -1001,28 +1046,42 @@ void run_rl_scheduled(FactorContext& ctx) {
         const index_t g = n.agg;
         const index_t t = n.target;
         const offset_t total = plan.agg_entries(g);
-        // One aggregated cross-device hop replaces the per-contributor
-        // hops: the pre-folded slab ships each distinct panel offset
-        // once, so the group's price is the UNION footprint of its
-        // cross-device members' slices — bounded above by the trapezoid
-        // of the union row set (computed below against the target's
-        // panel rows), by the per-member sum (disjoint members), and by
-        // the panel itself. Sibling subtree contributors into a shared
-        // separator overlap heavily, which is exactly where this beats
-        // the per-contributor pricing.
-        double xe = 0.0;
-        bool any_cross = false;
-        std::vector<char> in_col, in_row;
+        // One aggregated cross-device hop PER SOURCE DEVICE replaces the
+        // per-contributor hops: the pre-folded slab ships each distinct
+        // panel offset once per producing device, so every source
+        // ordinal's price is the UNION footprint of ITS cross-device
+        // members' slices — bounded above by the trapezoid of the union
+        // row set (computed below against the target's panel rows), by
+        // the per-member sum (disjoint members), and by the panel
+        // itself. Sibling subtree contributors into a shared separator
+        // overlap heavily, which is exactly where this beats the
+        // per-contributor pricing — and the per-source split lets each
+        // hop charge its actual src→dst link.
+        struct SrcUnion {
+          index_t src = 0;
+          double sum = 0.0;
+          std::vector<char> in_col, in_row;
+        };
+        std::vector<SrcUnion> unions;
         for (const index_t m : plan.agg_members(g)) {
-          const double cm = cross_slice(m, t);
-          if (cm <= 0.0) continue;
-          xe += cm;
+          const std::vector<CrossHop> ch = cross_slice(m, t);
+          if (ch.empty()) continue;  // only_t fixed: at most one hop
           const auto trows = symb.sn_rows(t);
-          if (!any_cross) {
-            any_cross = true;
-            in_col.assign(trows.size(), 0);
-            in_row.assign(trows.size(), 0);
+          SrcUnion* su = nullptr;
+          for (SrcUnion& u : unions) {
+            if (u.src == ch[0].src) {
+              su = &u;
+              break;
+            }
           }
+          if (su == nullptr) {
+            unions.push_back({ch[0].src,
+                              0.0,
+                              std::vector<char>(trows.size(), 0),
+                              std::vector<char>(trows.size(), 0)});
+            su = &unions.back();
+          }
+          su->sum += ch[0].entries;
           const index_t wm = symb.sn_width(m);
           const index_t below = symb.sn_below(m);
           const auto mrows = symb.sn_rows(m);
@@ -1038,27 +1097,35 @@ void run_rl_scheduled(FactorContext& ctx) {
           for (index_t a = b0; a < below; ++a) {
             while (p < trows.size() && trows[p] != mrows[wm + a]) ++p;
             if (p >= trows.size()) break;
-            in_row[p] = 1;
-            if (a < b1) in_col[p] = 1;
+            su->in_row[p] = 1;
+            if (a < b1) su->in_col[p] = 1;
           }
         }
-        if (any_cross) {
+        std::vector<CrossHop> xhops;
+        const index_t tord =
+            devof.empty() || devof[t] < 0
+                ? 0
+                : static_cast<index_t>(ord(devof[t]));
+        for (const SrcUnion& u : unions) {
           const index_t wt = symb.sn_width(t);
           double tail = 0.0, union_bound = 0.0;
-          for (std::size_t p = in_row.size(); p-- > 0;) {
-            tail += static_cast<double>(in_row[p]);
-            if (static_cast<index_t>(p) < wt && in_col[p] != 0) {
+          for (std::size_t p = u.in_row.size(); p-- > 0;) {
+            tail += static_cast<double>(u.in_row[p]);
+            if (static_cast<index_t>(p) < wt && u.in_col[p] != 0) {
               union_bound += tail;
             }
           }
-          xe = std::min({xe, union_bound,
-                         static_cast<double>(symb.sn_entries(t))});
+          const double xe =
+              std::min({u.sum, union_bound,
+                        static_cast<double>(symb.sn_entries(t))});
+          if (xe > 0.0) xhops.push_back({u.src, tord, xe});
         }
         task_of[i] = sched.add_task(
             n.priority,
-            [&ctx, &slab_offs, &slab_vals, g, t, total, xe](std::size_t) {
+            [&ctx, &slab_offs, &slab_vals, account_hops, g, t, total,
+             xhops](std::size_t) {
               FactorContext::TaskScope scope(ctx);
-              if (xe > 0.0) ctx.account_cross_device(xe);
+              account_hops(xhops);
               double* panel = ctx.sn_values(t);
               const offset_t* offs = slab_offs[g].data();
               const double* vals = slab_vals[g].data();

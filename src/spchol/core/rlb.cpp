@@ -500,30 +500,50 @@ void run_rlb_scheduled(FactorContext& ctx) {
   }
   ctx.gpu_stream_pairs = static_cast<index_t>(pool_slots);
 
-  // Modeled cross-device hop of s's updates: the slice aimed at GPU
-  // targets assigned to OTHER devices pays an explicit D2H→H2D transfer
+  // Modeled cross-device hops of s's updates: the slice aimed at GPU
+  // targets assigned to OTHER devices pays an explicit modeled transfer
   // (deterministic from the plan, priced at build time; the assembly
-  // itself keeps the plan's fixed order, so the bits never move). RLB
-  // fuses GPU assembly into the compute node, so the charge rides there.
-  auto cross_entries = [&](index_t s) {
-    if (ndev <= 1 || devof.empty() || !ctx.on_gpu(s)) return 0.0;
+  // itself keeps the plan's fixed order, so the bits never move),
+  // returned per destination ordinal so each hop charges its actual
+  // src→dst link when a topology is set. RLB fuses GPU assembly into
+  // the compute node, so the charge rides there.
+  struct CrossHop {
+    index_t src = 0;
+    index_t dst = 0;
+    double entries = 0.0;
+  };
+  auto cross_hops = [&](index_t s) -> std::vector<CrossHop> {
+    std::vector<CrossHop> hops;
+    if (ndev <= 1 || devof.empty() || !ctx.on_gpu(s)) return hops;
     const index_t w = symb.sn_width(s);
     const index_t below = symb.sn_below(s);
     const auto rows = symb.sn_rows(s);
     const std::size_t sd = device_of_sn(s);
-    double x = 0.0;
     index_t b0 = 0;
     while (b0 < below) {
       const index_t target = symb.col_to_sn(rows[w + b0]);
       index_t b1 = b0;
       while (b1 < below && symb.col_to_sn(rows[w + b1]) == target) ++b1;
       if (ctx.on_gpu(target) && device_of_sn(target) != sd) {
-        x += 0.5 * static_cast<double>(b1 - b0) *
-             static_cast<double>((below - b0) + (below - b1 + 1));
+        const index_t td = static_cast<index_t>(device_of_sn(target));
+        const double x = 0.5 * static_cast<double>(b1 - b0) *
+                         static_cast<double>((below - b0) +
+                                             (below - b1 + 1));
+        bool merged = false;
+        for (CrossHop& h : hops) {
+          if (h.dst == td) {
+            h.entries += x;
+            merged = true;
+            break;
+          }
+        }
+        if (!merged) {
+          hops.push_back({static_cast<index_t>(sd), td, x});
+        }
       }
       b0 = b1;
     }
-    return x;
+    return hops;
   };
 
   // --- map plan nodes to scheduler tasks ---------------------------------
@@ -543,18 +563,20 @@ void run_rlb_scheduled(FactorContext& ctx) {
               static_cast<std::size_t>(symb.sn_entries(s));
           const std::size_t need_update = update_entries(s);
           const std::size_t dord = ord(n.device);
-          const double xe = cross_entries(s);
+          const std::vector<CrossHop> xhops = cross_hops(s);
           task_of[i] = sched.add_task(
               n.priority,
               [&ctx, s, &pools, batched, need_panel, need_update, dord,
-               xe](std::size_t) {
+               xhops](std::size_t) {
                 FactorContext::TaskScope scope(ctx);
                 auto lease = pools[dord]->acquire(
                     [&](const RlbGpuState& slot) {
                       return slot.panel_dev.size() >= need_panel &&
                              slot.update_dev.size() >= need_update;
                     });
-                if (xe > 0.0) ctx.account_cross_device(xe);
+                for (const CrossHop& h : xhops) {
+                  ctx.account_cross_device(h.src, h.dst, h.entries);
+                }
                 rlb_gpu_supernode(ctx,
                                   ctx.device(static_cast<index_t>(dord)),
                                   static_cast<index_t>(dord), s, *lease,

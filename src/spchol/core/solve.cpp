@@ -61,7 +61,9 @@ PlannedSolve build_planned_solve(const SymbolicFactor& symb,
   std::vector<index_t> device_of;
   if (ps.devices > 1 && (opts.exec == Execution::kGpuHybrid ||
                          opts.exec == Execution::kGpuOnly)) {
-    device_of = assign_devices(symb, on_gpu, ps.devices);
+    device_of = assign_devices(symb, on_gpu, ps.devices,
+                               /*coop_spine=*/false,
+                               /*links=*/&opts.topology);
   }
   ps.plan = SolvePlan::build(symb, on_gpu, ps.queue_of, po, device_of);
   return ps;
@@ -300,9 +302,11 @@ void scheduled_solve(const SymbolicFactor& symb, const double* values,
     } else if (res != nullptr && res->device != nullptr) {
       dev = res->device;
     } else {
+      gpu::DeviceConfig cfg = opts.device;
+      cfg.model.links = opts.topology;
       reg = &own_reg.emplace(
-          opts.device, static_cast<std::size_t>(
-                           opts.gpu_devices > 0 ? opts.gpu_devices : 1));
+          cfg, static_cast<std::size_t>(
+                   opts.gpu_devices > 0 ? opts.gpu_devices : 1));
       dev = &reg->device(0);
     }
     if (reg != nullptr) {

@@ -309,6 +309,24 @@ void coop_barrier(Stream& s, std::span<const CoopPeer> peers) {
   }
 }
 
+/// Max link latency across the cooperative mesh (owner = ordinal 0 plus
+/// every peer): the lockstep rounds of a cooperative phase are paced by
+/// the slowest exchange in the mesh. Falls back to the flat p2p latency
+/// when no topology table is set.
+double coop_round_latency(const Device& dev, std::span<const CoopPeer> peers) {
+  const PerfModel& m = dev.model();
+  if (m.links.empty()) return m.p2p_latency;
+  double lat = 0.0;
+  auto consider = [&](int a, int b) {
+    if (a != b) lat = std::max(lat, m.p2p_seconds(a, b, 0.0));
+  };
+  for (const CoopPeer& p : peers) {
+    consider(0, p.ordinal);
+    for (const CoopPeer& q : peers) consider(p.ordinal, q.ordinal);
+  }
+  return lat > 0.0 ? lat : m.p2p_latency;
+}
+
 /// One cooperative compute phase: the same modeled duration lands on the
 /// owner stream and every peer stream (the devices work in lockstep on
 /// their row-block shares). The owner pays the launch issue overhead —
@@ -352,9 +370,38 @@ void coop_copy_h2d(Device& dev, Stream& s, std::span<const CoopPeer> peers,
   const double gather_bytes = static_cast<double>(slice_bytes) *
                               static_cast<double>(peers.size());
   if (!peers.empty()) {
-    dev.enqueue(s, dev.model().p2p_seconds(gather_bytes));
-    for (const CoopPeer& p : peers) {
-      p.dev->enqueue(*p.stream, p.dev->model().p2p_seconds(gather_bytes));
+    if (dev.model().links.empty()) {
+      dev.enqueue(s, dev.model().p2p_seconds(gather_bytes));
+      for (const CoopPeer& p : peers) {
+        p.dev->enqueue(*p.stream, p.dev->model().p2p_seconds(gather_bytes));
+      }
+    } else {
+      // Per-link all-gather: device i receives one 1/P slice from every
+      // other participant. The issue latencies pipeline (one, the
+      // slowest ingress link) while the slice payloads serialize on i's
+      // ingress path at each link's own bandwidth — so a uniform table
+      // prices exactly like the flat model, and an island-crossing hop
+      // paces the whole fence, which is what placement minimizes.
+      auto gather_for = [&](const PerfModel& m, int me) {
+        double lat = 0.0;
+        double xfer = 0.0;
+        auto add = [&](int from) {
+          const double hop_lat = m.p2p_seconds(from, me, 0.0);
+          lat = std::max(lat, hop_lat);
+          xfer += m.p2p_seconds(from, me,
+                                static_cast<double>(slice_bytes)) -
+                  hop_lat;
+        };
+        if (me != 0) add(0);
+        for (const CoopPeer& q : peers) {
+          if (q.ordinal != me) add(q.ordinal);
+        }
+        return lat + xfer;
+      };
+      dev.enqueue(s, gather_for(dev.model(), 0));
+      for (const CoopPeer& p : peers) {
+        p.dev->enqueue(*p.stream, gather_for(p.dev->model(), p.ordinal));
+      }
     }
   }
   coop_barrier(s, peers);
@@ -417,10 +464,11 @@ void coop_panel_factor(Device& dev, Stream& s, std::span<const CoopPeer> peers,
   }
   const double trail_flops =
       std::max(0.0, dense::flops_potrf(n) - diag_flops);
+  const double round_lat = coop_round_latency(dev, peers);
   const double potrf_dur =
       diag_seconds +
       dev.model().gpu_kernel_seconds(trail_flops / num_devices) +
-      static_cast<double>(nb) * dev.model().p2p_latency;
+      static_cast<double>(nb) * round_lat;
   coop_phase(dev, s, peers, potrf_dur);
   coop_barrier(s, peers);
 
@@ -428,7 +476,7 @@ void coop_panel_factor(Device& dev, Stream& s, std::span<const CoopPeer> peers,
     const double trsm_dur =
         dev.model().gpu_kernel_seconds(dense::flops_trsm(below, n) /
                                        num_devices) +
-        dev.model().p2p_latency;
+        round_lat;
     coop_phase(dev, s, peers, trsm_dur);
     coop_barrier(s, peers);
   }

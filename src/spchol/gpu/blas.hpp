@@ -63,6 +63,10 @@ struct CoopPeer {
   Device* dev = nullptr;
   Stream* stream = nullptr;
   Stream* copy = nullptr;
+  /// Registry ordinal of this peer — the row/column it occupies in the
+  /// PerfModel link table. The owner of a coop launch is always the
+  /// shard's primary device, ordinal 0.
+  int ordinal = 0;
 };
 
 /// Cooperative H2D: uploads `count` doubles to `off` in the owner's

@@ -56,6 +56,13 @@ struct RuntimeOptions {
   /// default 1 reproduces the single-device runtime exactly. Values < 1
   /// are rejected with InvalidArgument.
   int gpu_devices = 1;
+  /// Per-pair p2p link topology of the registry's devices — the
+  /// FactorOptions::topology mirror for the shared-runtime path. The
+  /// table is installed into every registry device's PerfModel, so
+  /// session factorizations and solves price their cross-device hops
+  /// over the real links. Same validation as the per-call mirrors
+  /// (square, symmetric, positive bandwidth, size >= gpu_devices).
+  gpu::LinkTable topology{};
 };
 
 /// Throws InvalidArgument on invalid RuntimeOptions (negative workers,

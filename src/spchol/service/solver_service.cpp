@@ -30,6 +30,14 @@ class Fnv {
     static_assert(std::is_trivially_copyable_v<T>);
     bytes(&v, sizeof v);
   }
+  /// Folds a link-topology table into the hash: plans built for
+  /// different topologies carry different device placements, so they
+  /// must never alias in the cache.
+  void links(const gpu::LinkTable& t) {
+    pod(t.devices);
+    bytes(t.gbytes_per_s.data(), t.gbytes_per_s.size() * sizeof(double));
+    bytes(t.latency_s.data(), t.latency_s.size() * sizeof(double));
+  }
   std::uint64_t hash() const noexcept { return h_; }
 
  private:
@@ -75,6 +83,7 @@ std::uint64_t plan_fingerprint(const FactorOptions& fo) {
   // or with the resident-factor reservation — must never alias.
   f.pod(fo.gpu_devices);
   f.pod(fo.device_resident_factor);
+  f.links(fo.topology);
   // The fan-both shape and its aggregation knobs change the node set
   // (AGGREGATE/APPLY/BATCHSCATTER) and the edge chains outright.
   f.pod(fo.fan_both);
@@ -102,6 +111,7 @@ std::uint64_t solve_plan_fingerprint(const SolveOptions& so) {
   f.pod(so.batch_entries);
   f.pod(so.batch_max_supernodes);
   f.pod(so.gpu_devices);  // device assignment lives on the plan nodes
+  f.links(so.topology);   // placement permutes those assignments
   return f.hash();
 }
 

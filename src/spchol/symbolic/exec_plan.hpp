@@ -78,6 +78,11 @@
 
 #include "spchol/symbolic/symbolic_factor.hpp"
 
+namespace spchol::gpu {
+struct LinkTable;
+struct PerfModel;
+}  // namespace spchol::gpu
+
 namespace spchol {
 
 enum class PlanNodeKind : std::uint8_t {
@@ -157,10 +162,35 @@ std::vector<SubtreeBatch> pack_subtree_batches(const SymbolicFactor& symb,
 /// kernels block-distributed across every engaged device (numerics
 /// unchanged; see rl.cpp's cooperative pipeline). Returns all zeros
 /// when num_devices <= 1 or nothing is marked on_gpu.
+///
+/// With a non-empty `links` table the assignment becomes TWO-PHASE:
+/// the partition above produces abstract shards, then a placement pass
+/// maps shards to physical device ordinals minimizing the modeled
+/// cross-shard traffic seconds over the per-pair link table (greedy
+/// heaviest-edge-first, then local-swap refinement) — heavy
+/// parent/child shard pairs land on well-connected devices (same
+/// NVLink island) instead of wherever the partition order dropped
+/// them. Placement only PERMUTES which ordinal runs a shard; the
+/// shard contents, the plan's edges, and every in-node order are
+/// untouched, so factors stay bitwise identical at every topology.
 std::vector<index_t> assign_devices(const SymbolicFactor& symb,
                                     std::span<const char> on_gpu,
                                     index_t num_devices,
-                                    bool coop_spine = false);
+                                    bool coop_spine = false,
+                                    const gpu::LinkTable* links = nullptr);
+
+/// Modeled seconds of the cross-device separator-assembly traffic a
+/// device assignment implies: every update segment a GPU supernode
+/// pushes into a GPU target on a DIFFERENT device prices one hop over
+/// the src→dst link of `model` (the flat d2h+h2d fallback when
+/// `model.links` is empty — the executors' legacy pricing). Cooperative
+/// supernodes (ordinal -1) on either end pay nothing, exactly like the
+/// executors. This is the placement pass's objective, exposed so tests
+/// and benches can compare placements.
+double modeled_cross_traffic_seconds(const SymbolicFactor& symb,
+                                     std::span<const char> on_gpu,
+                                     std::span<const index_t> device_of,
+                                     const gpu::PerfModel& model);
 
 /// Task-graph shape of the scheduled factorization.
 enum class PlanShape : std::uint8_t {

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "spchol/core/internal.hpp"
 #include "spchol/gpu/device.hpp"
 #include "spchol/service/solver_runtime.hpp"
 #include "test_util.hpp"
@@ -211,6 +212,65 @@ TEST(MultiDevice, OneDeviceOomTwoDevicesSucceed) {
                                        Execution::kGpuHybrid, 1, 1, 1,
                                        /*threshold=*/8000);
   expect_bitwise_equal(reference, sharded, "two-device resident factor");
+}
+
+TEST(MultiDevice, PlanBuiltForFourExecutesOnSmallerRegistry) {
+  // The registry-shrink path: a plan built for N devices may execute on
+  // an injected runtime whose registry holds M < N — plan ordinals fold
+  // mod M (FactorContext::device), so routing stays total, the factor
+  // stays bitwise identical, and the per-device stats describe the M
+  // devices that actually ran.
+  const CscMatrix a = grid3d_vector(8, 8, 8, 3);
+  const Permutation fill =
+      compute_ordering(a, OrderingMethod::kNestedDissection);
+  const SymbolicFactor symb =
+      SymbolicFactor::analyze(a, fill, AnalyzeOptions{});
+  FactorOptions fo;
+  fo.method = Method::kRL;
+  fo.exec = Execution::kGpuHybrid;
+  fo.cpu_workers = 4;
+  fo.gpu_streams = 2;
+  fo.gpu_devices = 4;
+  fo.gpu_threshold_rl = 2000;
+  const detail::PlannedGraph pg = detail::build_planned_graph(
+      symb, fo, resolve_worker_count(fo.cpu_workers));
+  ASSERT_EQ(pg.devices, 4);
+
+  const auto reference = factor_values(a, Method::kRL, Execution::kGpuHybrid,
+                                       1, 1, 1, /*threshold=*/2000);
+  for (const int registry_devices : {1, 2, 3}) {
+    SCOPED_TRACE("registry=" + std::to_string(registry_devices));
+    RuntimeOptions ro;
+    ro.workers = 4;
+    ro.gpu_devices = registry_devices;
+    SolverRuntime rt(ro);
+    detail::ExecutionResources res;
+    res.device = &rt.arena().device();
+    res.arena = &rt.arena();
+    res.planned = &pg;
+    const CholeskyFactor f = CholeskyFactor::factorize(a, symb, fo, &res);
+    const auto v = f.values();
+    expect_bitwise_equal(reference, {v.begin(), v.end()},
+                         "shrunk registry factor");
+    const FactorStats& st = f.stats();
+    EXPECT_EQ(st.gpu_devices_used, registry_devices);
+    ASSERT_EQ(static_cast<int>(st.per_device.size()), registry_devices);
+    index_t routed = 0;
+    double kernel_seconds = 0.0;
+    for (const auto& d : st.per_device) {
+      EXPECT_GE(d.kernel_seconds, 0.0);
+      routed += d.supernodes;
+      kernel_seconds += d.kernel_seconds;
+    }
+    EXPECT_EQ(routed, st.supernodes_on_gpu);
+    EXPECT_GT(st.supernodes_on_gpu, 0);
+    EXPECT_GT(kernel_seconds, 0.0);
+    // Folded ordinals keep every engaged device busy: with four plan
+    // shards on a two-device registry both devices must run work.
+    if (registry_devices == 2) {
+      for (const auto& d : st.per_device) EXPECT_GT(d.supernodes, 0);
+    }
+  }
 }
 
 TEST(MultiDevice, GpuDevicesValidatedEverywhere) {
